@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper: it prints
+the same rows/series the paper reports (modelled on the Haswell cost
+model) side-by-side with the paper's published numbers, and times the
+analysis pipeline itself with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jvm import MiniVM, TieredState
+from repro.timing import CostModel
+from repro.timing.staged_lower import lower_staged, param_env
+
+
+@pytest.fixture(scope="session")
+def cost_model() -> CostModel:
+    return CostModel()
+
+
+def java_machine_kernel(method, enable_slp: bool = True):
+    """Compile one Java kernel method at tier C2 and return its
+    machine-kernel view."""
+    vm = MiniVM(enable_slp=enable_slp)
+    vm.load(method)
+    vm.force_tier(method.name, TieredState.C2)
+    return vm.machine_kernel(method.name)
+
+
+def staged_flops_per_cycle(cm: CostModel, staged, params: dict,
+                           footprints: dict, flops: float) -> float:
+    kernel = lower_staged(staged)
+    cost = cm.cost(kernel, param_env(staged, params),
+                   footprints=footprints)
+    return flops / cost.cycles
+
+
+def print_series(title: str, header: list[str],
+                 rows: list[tuple]) -> None:
+    print(f"\n== {title} ==")
+    print("  ".join(f"{h:>12s}" for h in header))
+    for row in rows:
+        print("  ".join(
+            f"{x:>12.3f}" if isinstance(x, float) else f"{str(x):>12s}"
+            for x in row))

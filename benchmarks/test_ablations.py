@@ -1,0 +1,258 @@
+"""Ablations on the design choices DESIGN.md calls out.
+
+* abl1 — MMM block size: the paper fixes block = 8 (one AVX register
+  row); sweeping the Java blocked version shows why.
+* abl2 — SLP on/off: quantifies how much of HotSpot's SAXPY standing
+  comes from SLP, and shows SLP is worthless for reductions.
+* abl3 — JNI overhead: the SAXPY crossover point moves with the cost of
+  the managed/native boundary.
+"""
+
+import pytest
+
+from benchmarks.conftest import java_machine_kernel, print_series
+from repro.kernels import (
+    java_mmm_blocked_method,
+    java_saxpy_method,
+    make_staged_saxpy,
+)
+from repro.quant import java_dot_method
+from repro.timing.staged_lower import param_env
+
+
+def test_abl1_block_size(cost_model, benchmark):
+    def sweep():
+        n = 512
+        flops = 2.0 * n ** 3
+        fp = {x: 4.0 * n * n for x in ("a", "b", "c")}
+        rows = []
+        for block in (2, 4, 8, 16, 32, 64):
+            k = java_machine_kernel(java_mmm_blocked_method(block))
+            fc = flops / cost_model.cost(k, {"n": n},
+                                         footprints=fp).cycles
+            rows.append((block, fc))
+        return rows
+
+    rows = benchmark(sweep)
+    print_series("Ablation 1: Java blocked MMM, block-size sweep "
+                 "(n=512) [flops/cycle]", ["block", "f/c"], rows)
+    by_block = dict(rows)
+    # Tiny blocks drown in loop overhead.
+    assert by_block[8] > by_block[2]
+    # The paper's choice of 8 is within 20% of the sweep's best.
+    assert by_block[8] > 0.8 * max(by_block.values())
+
+
+def test_abl2_slp_on_off(cost_model, benchmark):
+    def measure():
+        n = 2 ** 12
+        fp = {"a": 4.0 * n, "b": 4.0 * n}
+        flops = 2.0 * n
+        out = {}
+        for slp in (True, False):
+            k = java_machine_kernel(java_saxpy_method(), enable_slp=slp)
+            out[("saxpy", slp)] = flops / cost_model.cost(
+                k, {"n": n, "s": 1.0}, footprints=fp).cycles
+            kd = java_machine_kernel(java_dot_method(32), enable_slp=slp)
+            out[("dot", slp)] = flops / cost_model.cost(
+                kd, {"n": n}, footprints=fp).cycles
+        return out
+
+    out = benchmark(measure)
+    rows = [(f"{kernel} slp={slp}", fc)
+            for (kernel, slp), fc in sorted(out.items())]
+    print_series("Ablation 2: SLP on/off (n=2^12) [flops/cycle]",
+                 ["config", "f/c"], rows)
+    # SLP is where the Java SAXPY performance comes from...
+    assert out[("saxpy", True)] > 2.0 * out[("saxpy", False)]
+    # ...and does nothing for the reduction (paper Section 2.2).
+    assert out[("dot", True)] == pytest.approx(out[("dot", False)],
+                                               rel=0.01)
+
+
+def test_abl4_tier_sweep(cost_model, benchmark):
+    """Why the paper excludes JIT warm-up: the tier ladder for SAXPY.
+
+    Interpreted bytecode costs ~20 cycles per instruction (dispatch,
+    operand-stack traffic); C1 compiles fast but lazily; C2 unrolls and
+    SLP-vectorizes.  Steady-state C2 is what Section 3.4 measures.
+    """
+    from repro.jvm import MiniVM, TieredState
+    from repro.jvm.interpreter import Interpreter
+    import numpy as np
+
+    CYCLES_PER_BYTECODE = 20.0
+
+    def measure():
+        n = 4096
+        fp = {"a": 4.0 * n, "b": 4.0 * n}
+        flops = 2.0 * n
+        out = {}
+        # Interpreted: count actual retired bytecodes.
+        vm = MiniVM()
+        vm.load(java_saxpy_method())
+        a = np.zeros(n, dtype=np.float32)
+        b = np.ones(n, dtype=np.float32)
+        before = vm.interpreter.instructions_retired
+        vm.call("jsaxpy", a, b, 1.0, n)
+        retired = vm.interpreter.instructions_retired - before
+        out["interpreted"] = flops / (retired * CYCLES_PER_BYTECODE)
+        for tier in (TieredState.C1, TieredState.C2):
+            vm.force_tier("jsaxpy", tier)
+            k = vm.machine_kernel("jsaxpy")
+            out[tier.value] = flops / cost_model.cost(
+                k, {"n": n, "s": 1.0}, footprints=fp).cycles
+        return out
+
+    out = benchmark(measure)
+    rows = [(tier, fc) for tier, fc in out.items()]
+    print_series("Ablation 4: tier ladder, SAXPY n=4096 [flops/cycle]",
+                 ["tier", "f/c"], rows)
+    # The ladder must be strictly increasing, with a huge interpreter gap.
+    assert out["interpreted"] < 0.1
+    assert out["c1"] > 5 * out["interpreted"]
+    assert out["c2"] > 1.5 * out["c1"]
+
+
+def test_abl6_staging_overhead(benchmark):
+    """Section 3.5: "LMS is also not optimized for fast code generation".
+
+    This is the one wall-clock measurement in the harness: the cost of
+    staging + pricing a SAXPY-sized kernel, with the structural-hash
+    kernel cache serving repeats.  The cached path must be dramatically
+    cheaper — that is what makes runtime code generation viable for
+    light kernels.
+    """
+    import time
+
+    from repro.core import compile_staged
+    from repro.isa import load_isas
+    from repro.lms import forloop
+    from repro.lms.ops import array_apply, array_update, reflect_mutable
+    from repro.lms.types import FLOAT, INT32, array_of
+
+    cir = load_isas("AVX", "AVX2", "FMA")
+
+    def make_fn():
+        def saxpy_staged(a, b, scalar, n):
+            reflect_mutable(a)
+            n0 = (n >> 3) << 3
+            vec_s = cir._mm256_set1_ps(scalar)
+
+            def body(i):
+                va = cir._mm256_loadu_ps(a, i)
+                vb = cir._mm256_loadu_ps(b, i)
+                cir._mm256_storeu_ps(
+                    a, cir._mm256_fmadd_ps(vb, vec_s, va), i)
+
+            forloop(0, n0, step=8, body=body)
+            forloop(n0, n, step=1, body=lambda i: array_update(
+                a, i, array_apply(a, i) + array_apply(b, i) * scalar))
+
+        return saxpy_staged
+
+    types = [array_of(FLOAT), array_of(FLOAT), FLOAT, INT32]
+    # Warm the cache once, then time the cached path.
+    compile_staged(make_fn(), types, name="abl6", backend="simulated")
+
+    def cached_compile():
+        return compile_staged(make_fn(), types, name="abl6",
+                              backend="simulated")
+
+    kernel = benchmark(cached_compile)
+
+    t0 = time.perf_counter()
+    compile_staged(make_fn(), types, name="abl6", backend="simulated",
+                   use_cache=False)
+    uncached_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    cached_compile()
+    cached_s = time.perf_counter() - t0
+    print(f"\n== Ablation 6: staging overhead ==\n"
+          f"  uncached compile: {uncached_s * 1e3:8.2f} ms\n"
+          f"  cached compile:   {cached_s * 1e3:8.2f} ms "
+          f"({uncached_s / max(cached_s, 1e-9):.0f}x faster)")
+    assert kernel is not None
+    assert cached_s < uncached_s
+
+
+def test_abl5_microarch(cost_model, benchmark):
+    """Haswell vs Skylake (the artifact: 'Broadwell, Skylake, Kaby Lake
+    or later would also work').
+
+    Skylake's second FP-add port and shorter FMA latency mostly help the
+    latency-bound kernels: the unvectorized Java dot product barely
+    moves (add latency 3 -> 4 actually hurts it), while the LMS dot's
+    accumulate chain shortens.
+    """
+    from repro.quant import make_staged_dot
+    from repro.timing import CostModel
+    from repro.timing.staged_lower import lower_staged
+    from repro.timing.uarch import HASWELL, SKYLAKE
+
+    def measure():
+        n = 2 ** 14
+        fp = {"a": 4.0 * n, "b": 4.0 * n}
+        flops = 2.0 * n
+        staged = make_staged_dot(32)
+        lms = lower_staged(staged)
+        jk = java_machine_kernel(java_dot_method(32))
+        out = {}
+        for uarch in (HASWELL, SKYLAKE):
+            cm = CostModel(uarch=uarch)
+            out[("lms", uarch.name)] = flops / cm.cost(
+                lms, param_env(staged, {"n": n}), footprints=fp).cycles
+            out[("java", uarch.name)] = flops / cm.cost(
+                jk, {"n": n}, footprints=fp).cycles
+        return out
+
+    out = benchmark(measure)
+    rows = [(f"{k} on {u.split(' ')[0]}", fc)
+            for (k, u), fc in sorted(out.items())]
+    print_series("Ablation 5: microarchitecture sweep, 32-bit dot "
+                 "(n=2^14) [flops/cycle]", ["config", "f/c"], rows)
+    # The scalar Java reduction is FP-add-latency bound, so Skylake's
+    # longer 4-cycle add makes it *slower* — narrowing nothing: the
+    # explicit-SIMD gap is microarchitecture-robust.
+    assert out[("java", SKYLAKE.name)] < out[("java", HASWELL.name)]
+    for uarch in (HASWELL, SKYLAKE):
+        assert out[("lms", uarch.name)] > 4 * out[("java", uarch.name)]
+
+
+def test_abl3_jni_overhead(cost_model, benchmark):
+    staged = make_staged_saxpy()
+
+    def crossover_for(boundary_cycles):
+        from repro.timing.staged_lower import lower_staged
+
+        k_lms = lower_staged(staged)
+        k_lms.call_overhead_cycles = boundary_cycles
+        k_java = java_machine_kernel(java_saxpy_method())
+        for e in range(4, 24):
+            n = 2 ** e
+            fp = {"a": 4.0 * n, "b": 4.0 * n}
+            java = 2.0 * n / cost_model.cost(
+                k_java, {"n": n, "s": 1.0}, footprints=fp).cycles
+            lms = 2.0 * n / cost_model.cost(
+                k_lms, param_env(staged, {"n": n, "scalar": 1.0}),
+                footprints=fp).cycles
+            if lms > java:
+                return e
+        return None
+
+    def sweep():
+        return [(jni, crossover_for(jni))
+                for jni in (0.0, 100.0, 450.0, 1000.0, 4000.0)]
+
+    rows = benchmark(sweep)
+    print_series("Ablation 3: JNI overhead vs SAXPY crossover point "
+                 "[log2 n]", ["JNI cycles", "crossover 2^e"],
+                 [(j, float(e)) for j, e in rows])
+    by_jni = dict(rows)
+    # No boundary cost: native wins from the start.
+    assert by_jni[0.0] <= 7
+    # The paper's crossover (~2^11) emerges at realistic JNI costs.
+    assert 9 <= by_jni[450.0] <= 13
+    # Heavier boundaries push the crossover out monotonically.
+    points = [e for _, e in rows]
+    assert points == sorted(points)

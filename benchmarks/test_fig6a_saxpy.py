@@ -1,0 +1,59 @@
+"""Figure 6a: SAXPY performance, Java vs LMS-generated code.
+
+Paper series (flops/cycle, Haswell, warm cache): the Java SAXPY sits
+around 2 f/c while L1/L2-resident (SLP-vectorized at SSE width), the LMS
+AVX+FMA kernel loses below ~2^10 because of the JNI invocation cost,
+overtakes around 2^11, peaks near 4 f/c, and both curves converge once
+memory-bound (~1 f/c at 2^22).
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    java_machine_kernel,
+    print_series,
+    staged_flops_per_cycle,
+)
+from repro.kernels import java_saxpy_method, make_staged_saxpy
+from repro.timing.staged_lower import lower_staged, param_env
+
+SIZES = [2 ** e for e in range(6, 23)]
+
+
+def _series(cm):
+    staged = make_staged_saxpy()
+    k_lms = lower_staged(staged)
+    k_java = java_machine_kernel(java_saxpy_method())
+    rows = []
+    for n in SIZES:
+        fp = {"a": 4.0 * n, "b": 4.0 * n}
+        flops = 2.0 * n
+        java = flops / cm.cost(k_java, {"n": n, "s": 1.0},
+                               footprints=fp).cycles
+        lms = flops / cm.cost(k_lms,
+                              param_env(staged, {"n": n, "scalar": 1.0}),
+                              footprints=fp).cycles
+        rows.append((f"2^{n.bit_length() - 1}", java, lms))
+    return rows
+
+
+def test_fig6a_saxpy(cost_model, benchmark):
+    rows = benchmark(_series, cost_model)
+    print_series("Figure 6a: SAXPY [flops/cycle]",
+                 ["size", "Java SAXPY", "LMS SAXPY"], rows)
+
+    by_size = {label: (java, lms) for label, java, lms in rows}
+    # Shape assertions documented in the paper's Section 3.4:
+    # 1. "For small sizes that are L1 cache resident the Java
+    #    implementation does better" (JNI cost).
+    assert by_size["2^6"][0] > by_size["2^6"][1]
+    assert by_size["2^8"][0] > by_size["2^8"][1]
+    # 2. The staged version wins in the mid range ("better performance
+    #    for larger sizes": AVX+FMA vs SSE).
+    assert by_size["2^13"][1] > 1.3 * by_size["2^13"][0]
+    # 3. Convergence when DRAM-bound.
+    java22, lms22 = by_size["2^22"]
+    assert lms22 == pytest.approx(java22, rel=0.15)
+    # 4. Absolute levels in the paper's band.
+    assert 1.5 < by_size["2^10"][0] < 3.5      # Java plateau ~2
+    assert 3.0 < max(l for _, _, l in rows) < 6.5   # LMS peak ~4

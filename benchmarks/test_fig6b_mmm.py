@@ -1,0 +1,60 @@
+"""Figure 6b: matrix-matrix multiplication, three implementations.
+
+Paper series (flops/cycle at n = 8..1024): the Java triple loop sits
+around 0.5 f/c, the blocked Java version (block 8) around 0.8 f/c, and
+the LMS AVX kernel around 4 f/c — "up to 5x over the blocked Java
+implementation, and over 7.8x over the baseline triple loop".
+"""
+
+import pytest
+
+from benchmarks.conftest import java_machine_kernel, print_series
+from repro.kernels import (
+    java_mmm_blocked_method,
+    java_mmm_triple_method,
+    make_staged_mmm,
+)
+from repro.timing.staged_lower import lower_staged, param_env
+
+SIZES = [8, 64, 128, 192, 256, 384, 512, 640, 768, 896, 1024]
+
+
+def _series(cm):
+    staged = make_staged_mmm()
+    k_lms = lower_staged(staged)
+    k_tri = java_machine_kernel(java_mmm_triple_method())
+    k_blk = java_machine_kernel(java_mmm_blocked_method())
+    rows = []
+    for n in SIZES:
+        flops = 2.0 * n ** 3
+        fp = {x: 4.0 * n * n for x in ("a", "b", "c")}
+        tri = flops / cm.cost(k_tri, {"n": n}, footprints=fp).cycles
+        blk = flops / cm.cost(k_blk, {"n": n}, footprints=fp).cycles
+        lms = flops / cm.cost(k_lms, param_env(staged, {"n": n}),
+                              footprints=fp).cycles
+        rows.append((n, tri, blk, lms))
+    return rows
+
+
+def test_fig6b_mmm(cost_model, benchmark):
+    rows = benchmark(_series, cost_model)
+    print_series(
+        "Figure 6b: MMM [flops/cycle]",
+        ["n", "Java triple", "Java blocked", "LMS AVX"], rows)
+
+    at = {n: (tri, blk, lms) for n, tri, blk, lms in rows}
+    tri, blk, lms = at[1024]
+    # LMS ~5x over blocked Java (paper), within a 2x band.
+    assert 3.0 < lms / blk < 10.0
+    # LMS ~7.8x over the triple loop, within a 2x band.
+    assert 4.0 < lms / tri < 16.0
+    # Absolute bands.
+    assert 0.3 < tri < 1.0
+    assert 0.4 < blk < 1.2
+    assert 3.0 < lms < 6.0
+    # The triple loop degrades once B's column walk misses cache.
+    assert at[1024][0] < at[64][0]
+    # LMS dominates everywhere at n >= 64.
+    for n in SIZES[1:]:
+        t, b, l = at[n]
+        assert l > b and l > t, n

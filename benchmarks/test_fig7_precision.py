@@ -1,0 +1,83 @@
+"""Figure 7: variable-precision dot product, Java vs LMS.
+
+Paper: "Our 4-bit implementation outperforms HotSpot by a factor of up
+to 40x, the 8-bit up to 9x, the 16-bit up to 4.8x, and the 32-bit
+version up to 5.4x", with LMS curves peaking around 16 (4-bit), 11.7
+(8-bit), 4.4 (16-bit) and 3.6 (32-bit) ops/cycle and Java stuck below
+~1.3 everywhere (type promotion; no FP16C access; SLP cannot vectorize
+the reductions).
+"""
+
+import pytest
+
+from benchmarks.conftest import java_machine_kernel, print_series
+from repro.quant import DOT_BITS, java_dot_method, make_staged_dot
+from repro.timing.staged_lower import lower_staged, param_env
+
+SIZES = [2 ** e for e in range(7, 27, 2)]
+ELEM_BYTES = {32: 4.0, 16: 2.0, 8: 1.0, 4: 0.5}
+
+PAPER_MAX_SPEEDUP = {32: 5.4, 16: 4.8, 8: 9.0, 4: 40.0}
+
+
+def _series(cm):
+    staged = {bits: make_staged_dot(bits) for bits in DOT_BITS}
+    lms_k = {bits: lower_staged(sf) for bits, sf in staged.items()}
+    java_k = {bits: java_machine_kernel(java_dot_method(bits))
+              for bits in DOT_BITS}
+    rows = []
+    for n in SIZES:
+        row = [f"2^{n.bit_length() - 1}"]
+        for bits in DOT_BITS:
+            fp = {"a": ELEM_BYTES[bits] * n, "b": ELEM_BYTES[bits] * n}
+            flops = 2.0 * n
+            params = {"n": n, "inv_scale": 1.0}
+            java = flops / cm.cost(java_k[bits], params,
+                                   footprints=fp).cycles
+            lms = flops / cm.cost(
+                lms_k[bits], param_env(staged[bits], params),
+                footprints=fp).cycles
+            row += [java, lms]
+        rows.append(tuple(row))
+    return rows
+
+
+def test_fig7_precision(cost_model, benchmark):
+    rows = benchmark(_series, cost_model)
+    header = ["size"]
+    for bits in DOT_BITS:
+        header += [f"Java {bits}b", f"LMS {bits}b"]
+    print_series("Figure 7: variable precision [ops/cycle]", header, rows)
+
+    # Max speedup per precision across sizes.
+    speedups = {}
+    peaks = {}
+    for bits_idx, bits in enumerate(DOT_BITS):
+        ratios = []
+        lms_vals = []
+        for row in rows:
+            java, lms = row[1 + 2 * bits_idx], row[2 + 2 * bits_idx]
+            ratios.append(lms / java)
+            lms_vals.append(lms)
+        speedups[bits] = max(ratios)
+        peaks[bits] = max(lms_vals)
+    print("\nmax speedup vs paper:")
+    for bits in DOT_BITS:
+        print(f"  {bits:2d}-bit: {speedups[bits]:6.1f}x "
+              f"(paper {PAPER_MAX_SPEEDUP[bits]:.1f}x)")
+
+    # Orderings the paper's figure shows.
+    assert speedups[4] > speedups[8] > speedups[32]
+    assert speedups[4] > 25.0
+    assert 3.0 < speedups[32] < 11.0
+    # Narrow precisions win beyond the caches (2^21+): half the bytes,
+    # twice the elements per register.
+    big = rows[-3]
+    lms_at_big = {bits: big[2 + 2 * i] for i, bits in enumerate(DOT_BITS)}
+    assert lms_at_big[4] > lms_at_big[16] > lms_at_big[32]
+    assert lms_at_big[8] > lms_at_big[16]
+    assert peaks[4] > peaks[16] and peaks[8] > peaks[16]
+    # Java never escapes the promotion/reduction trap.
+    for row in rows:
+        for bits_idx in range(4):
+            assert row[1 + 2 * bits_idx] < 2.0

@@ -1,0 +1,45 @@
+"""Table 2: type mappings between JVM and C/C++ types.
+
+Regenerates the 12-row mapping table and validates it against the
+paper's Table 2, then round-trips every mapping through the eDSL
+generator's type mapper and the native ctypes marshalling layer.
+"""
+
+from benchmarks.conftest import print_series
+from repro.codegen.native import _CTYPE_BY_SCALAR
+from repro.isa.typemap import map_param, map_return_type
+from repro.lms.types import SCALAR_TYPES
+
+PAPER_TABLE_2 = [
+    ("Float", "float"), ("Char", "int16_t"),
+    ("Double", "double"), ("Boolean", "bool"),
+    ("Byte", "int8_t"), ("UByte", "uint8_t"),
+    ("Short", "int16_t"), ("UShort", "uint16_t"),
+    ("Int", "int32_t"), ("UInt", "uint32_t"),
+    ("Long", "int64_t"), ("ULong", "uint64_t"),
+]
+
+
+def _table():
+    return [(t.jvm_name, t.c_type) for t in SCALAR_TYPES]
+
+
+def test_tab2_type_mappings(benchmark):
+    ours = benchmark(_table)
+    print("\n== Table 2: JVM <-> C/C++ type mappings ==")
+    for jvm, c in sorted(ours):
+        print(f"  {jvm:8s} <-> {c}")
+
+    assert len(ours) == 12
+    ours_map = dict(ours)
+    for jvm, c in PAPER_TABLE_2:
+        assert ours_map[jvm] == c, (jvm, ours_map[jvm], c)
+
+    # Each primitive survives the generator's parameter mapping and has
+    # a ctypes marshalling entry (the JNI analog).
+    for t in SCALAR_TYPES:
+        mapped = map_param("x", t.c_type)
+        # Short and Char share int16_t; the C name must round-trip.
+        assert mapped.staged.c_type == t.c_type
+        assert map_return_type(t.c_type).c_type == t.c_type
+        assert t.name in _CTYPE_BY_SCALAR

@@ -1,0 +1,122 @@
+"""Regenerate every figure of the paper's evaluation as CSV files.
+
+Writes ``figures/fig6a_saxpy.csv``, ``figures/fig6b_mmm.csv`` and
+``figures/fig7_precision.csv`` with the same series the paper plots
+(flops/cycle per size per implementation), ready for any plotting tool:
+
+    python examples/reproduce_figures.py [outdir]
+
+The benchmark suite (`pytest benchmarks/`) asserts the shapes; this
+script is the artifact-style "give me the numbers" entry point.
+"""
+
+import csv
+import sys
+from pathlib import Path
+
+from repro.jvm import MiniVM, TieredState
+from repro.kernels import (
+    java_mmm_blocked_method,
+    java_mmm_triple_method,
+    java_saxpy_method,
+    make_staged_mmm,
+    make_staged_saxpy,
+)
+from repro.quant import DOT_BITS, java_dot_method, make_staged_dot
+from repro.timing import CostModel
+from repro.timing.staged_lower import lower_staged, param_env
+
+CM = CostModel()
+
+
+def _java_kernel(method):
+    vm = MiniVM()
+    vm.load(method)
+    vm.force_tier(method.name, TieredState.C2)
+    return vm.machine_kernel(method.name)
+
+
+def fig6a(outdir: Path) -> Path:
+    staged = make_staged_saxpy()
+    k_lms = lower_staged(staged)
+    k_java = _java_kernel(java_saxpy_method())
+    path = outdir / "fig6a_saxpy.csv"
+    with path.open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(["log2_n", "java_flops_per_cycle",
+                    "lms_flops_per_cycle"])
+        for e in range(6, 23):
+            n = 2 ** e
+            fp = {"a": 4.0 * n, "b": 4.0 * n}
+            flops = 2.0 * n
+            java = flops / CM.cost(k_java, {"n": n, "s": 1.0},
+                                   footprints=fp).cycles
+            lms = flops / CM.cost(
+                k_lms, param_env(staged, {"n": n, "scalar": 1.0}),
+                footprints=fp).cycles
+            w.writerow([e, f"{java:.4f}", f"{lms:.4f}"])
+    return path
+
+
+def fig6b(outdir: Path) -> Path:
+    staged = make_staged_mmm()
+    k_lms = lower_staged(staged)
+    k_tri = _java_kernel(java_mmm_triple_method())
+    k_blk = _java_kernel(java_mmm_blocked_method())
+    path = outdir / "fig6b_mmm.csv"
+    with path.open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(["n", "java_triple", "java_blocked", "lms_avx"])
+        for n in (8, 64, 128, 192, 256, 320, 384, 448, 512, 576, 640,
+                  704, 768, 832, 896, 960, 1024):
+            flops = 2.0 * n ** 3
+            fp = {x: 4.0 * n * n for x in ("a", "b", "c")}
+            tri = flops / CM.cost(k_tri, {"n": n}, footprints=fp).cycles
+            blk = flops / CM.cost(k_blk, {"n": n}, footprints=fp).cycles
+            lms = flops / CM.cost(k_lms, param_env(staged, {"n": n}),
+                                  footprints=fp).cycles
+            w.writerow([n, f"{tri:.4f}", f"{blk:.4f}", f"{lms:.4f}"])
+    return path
+
+
+def fig7(outdir: Path) -> Path:
+    staged = {bits: make_staged_dot(bits) for bits in DOT_BITS}
+    lms_k = {bits: lower_staged(sf) for bits, sf in staged.items()}
+    java_k = {bits: _java_kernel(java_dot_method(bits))
+              for bits in DOT_BITS}
+    elem = {32: 4.0, 16: 2.0, 8: 1.0, 4: 0.5}
+    path = outdir / "fig7_precision.csv"
+    with path.open("w", newline="") as fh:
+        w = csv.writer(fh)
+        header = ["log2_n"]
+        for bits in DOT_BITS:
+            header += [f"java_{bits}bit", f"lms_{bits}bit"]
+        w.writerow(header)
+        for e in range(7, 27):
+            n = 2 ** e
+            row = [e]
+            for bits in DOT_BITS:
+                fp = {"a": elem[bits] * n, "b": elem[bits] * n}
+                flops = 2.0 * n
+                params = {"n": n, "inv_scale": 1.0}
+                java = flops / CM.cost(java_k[bits], params,
+                                       footprints=fp).cycles
+                lms = flops / CM.cost(
+                    lms_k[bits], param_env(staged[bits], params),
+                    footprints=fp).cycles
+                row += [f"{java:.4f}", f"{lms:.4f}"]
+            w.writerow(row)
+    return path
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("figures")
+    outdir.mkdir(parents=True, exist_ok=True)
+    for fig in (fig6a, fig6b, fig7):
+        path = fig(outdir)
+        rows = sum(1 for _ in path.open()) - 1
+        print(f"wrote {path} ({rows} data rows)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""C code generation and the native compile-and-link pipeline.
+
+The runtime half of the paper's Figure 3: unparse the staged computation
+graph to C (building block 4), inspect the system (CPUID-derived ISAs,
+available compilers and flags), compile a shared library, and link it
+back into the managed runtime — here via ``ctypes``, the Python analog of
+JNI, including the automatic name binding the paper implements with Scala
+macros and reflection.
+"""
+
+from repro.codegen.cgen import emit_c_source
+from repro.codegen.compiler import (
+    CompilerInfo,
+    SystemInfo,
+    detect_compilers,
+    inspect_system,
+)
+from repro.codegen.native import NativeKernel, compile_to_native
+
+__all__ = [
+    "CompilerInfo",
+    "NativeKernel",
+    "SystemInfo",
+    "compile_to_native",
+    "detect_compilers",
+    "emit_c_source",
+    "inspect_system",
+]

@@ -1,0 +1,242 @@
+"""Unparsing: staged computation graphs to C source.
+
+The fourth generated building block.  Every intrinsic node unparses to
+its own C invocation (memory containers render as ``(T*)&arr[offset]``),
+auxiliary scalar operations render as C expressions, and staged control
+flow renders as C loops and conditionals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.base import IntrinsicsDef
+from repro.lms.defs import (
+    ArrayApply,
+    ArrayUpdate,
+    BinaryOp,
+    Block,
+    Convert,
+    Def,
+    ForLoop,
+    IfThenElse,
+    ReflectMutable,
+    Select,
+    Stm,
+    UnaryOp,
+    VarAssign,
+    VarDecl,
+    VarRead,
+    WhileLoop,
+)
+from repro.lms.expr import Const, Exp, Sym
+from repro.lms.schedule import schedule_block
+from repro.lms.staging import StagedFunction
+from repro.lms.types import (
+    ArrayType,
+    BOOL,
+    ScalarType,
+    Type,
+    VectorType,
+    VoidType,
+)
+
+
+class CGenError(RuntimeError):
+    """Raised when a graph cannot be unparsed to C."""
+
+
+def c_type_of(tp: Type) -> str:
+    if isinstance(tp, VectorType):
+        if tp.kind == "mask":
+            return tp.name
+        return tp.name
+    if isinstance(tp, ScalarType):
+        return tp.c_type
+    if isinstance(tp, ArrayType):
+        return f"{tp.elem.c_type}*"
+    if isinstance(tp, VoidType):
+        return "void"
+    raise CGenError(f"no C type for {tp}")
+
+
+def _const_c(const: Const) -> str:
+    v = const.value
+    tp = const.tp
+    if isinstance(tp, ScalarType):
+        if tp.name == "Boolean":
+            return "true" if v else "false"
+        if tp.is_float:
+            if tp.bits == 32:
+                return f"{float(v)!r}f"
+            return repr(float(v))
+        suffix = ""
+        if tp.bits == 64:
+            suffix = "ULL" if not tp.signed else "LL"
+        elif not tp.signed:
+            suffix = "U"
+        return f"{int(v)}{suffix}"
+    raise CGenError(f"cannot render constant {const!r}")
+
+
+@dataclass
+class _Emitter:
+    lines: list[str] = field(default_factory=list)
+    indent: int = 1
+    headers: set[str] = field(default_factory=lambda: {"stdint.h",
+                                                       "stdbool.h"})
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def ref(self, exp: Exp) -> str:
+        if isinstance(exp, Const):
+            if exp.value is None:
+                raise CGenError("unit constant has no C rendering")
+            return _const_c(exp)
+        if isinstance(exp, Sym):
+            return f"x{exp.id}"
+        raise CGenError(f"cannot reference {exp!r}")
+
+    # -- statements ----------------------------------------------------------
+
+    def stm(self, stm: Stm) -> None:
+        rhs = stm.rhs
+        sym = stm.sym
+        if isinstance(rhs, BinaryOp):
+            self._assign(sym, f"{self.ref(rhs.lhs)} {rhs.op} "
+                              f"{self.ref(rhs.rhs)}")
+        elif isinstance(rhs, UnaryOp):
+            op = {"neg": "-", "not": "~"}.get(rhs.op)
+            if op is None:
+                raise CGenError(f"unknown unary op {rhs.op}")
+            self._assign(sym, f"{op}({self.ref(rhs.operand)})")
+        elif isinstance(rhs, Convert):
+            self._assign(sym, f"({c_type_of(rhs.tp)})"
+                              f"({self.ref(rhs.operand)})")
+        elif isinstance(rhs, Select):
+            cond, a, b = rhs.exp_args
+            self._assign(sym, f"{self.ref(cond)} ? {self.ref(a)} : "
+                              f"{self.ref(b)}")
+        elif isinstance(rhs, ArrayApply):
+            self._assign(sym, f"{self.ref(rhs.array)}"
+                              f"[{self.ref(rhs.index)}]")
+        elif isinstance(rhs, ArrayUpdate):
+            self.emit(f"{self.ref(rhs.array)}[{self.ref(rhs.index)}] = "
+                      f"{self.ref(rhs.value)};")
+        elif isinstance(rhs, VarDecl):
+            self.emit(f"{c_type_of(rhs.tp)} x{sym.id} = "
+                      f"{self.ref(rhs.init)};")
+        elif isinstance(rhs, VarRead):
+            self._assign(sym, f"x{rhs.var.id}")
+        elif isinstance(rhs, VarAssign):
+            self.emit(f"x{rhs.var.id} = {self.ref(rhs.value)};")
+        elif isinstance(rhs, ReflectMutable):
+            self._assign(sym, self.ref(rhs.source))
+        elif isinstance(rhs, ForLoop):
+            idx = f"x{rhs.index.id}"
+            self.emit(f"for (int32_t {idx} = {self.ref(rhs.start)}; "
+                      f"{idx} < {self.ref(rhs.end)}; "
+                      f"{idx} += {self.ref(rhs.step)}) {{")
+            self._block_body(rhs.body)
+            self.emit("}")
+        elif isinstance(rhs, IfThenElse):
+            has_result = not isinstance(rhs.tp, VoidType)
+            if has_result:
+                self.emit(f"{c_type_of(rhs.tp)} x{sym.id};")
+            self.emit(f"if ({self.ref(rhs.cond)}) {{")
+            self._branch(rhs.then_block, sym if has_result else None)
+            self.emit("} else {")
+            self._branch(rhs.else_block, sym if has_result else None)
+            self.emit("}")
+        elif isinstance(rhs, WhileLoop):
+            self.emit("while (1) {")
+            self.indent += 1
+            for inner in rhs.cond_block.stms:
+                self.stm(inner)
+            self.emit(f"if (!({self.ref(rhs.cond_block.result)})) break;")
+            self.indent -= 1
+            self._block_body(rhs.body)
+            self.emit("}")
+        elif isinstance(rhs, IntrinsicsDef):
+            self._intrinsic(sym, rhs)
+        else:
+            raise CGenError(f"cannot unparse node {type(rhs).__name__}")
+
+    def _assign(self, sym: Sym, expr: str) -> None:
+        self.emit(f"{c_type_of(sym.tp)} x{sym.id} = {expr};")
+
+    def _block_body(self, block: Block) -> None:
+        self.indent += 1
+        for stm in block.stms:
+            self.stm(stm)
+        self.indent -= 1
+
+    def _branch(self, block: Block, result_sym: Sym | None) -> None:
+        self.indent += 1
+        for stm in block.stms:
+            self.stm(stm)
+        if result_sym is not None:
+            self.emit(f"x{result_sym.id} = {self.ref(block.result)};")
+        self.indent -= 1
+
+    def _intrinsic(self, sym: Sym, rhs: IntrinsicsDef) -> None:
+        self.headers.add(rhs.header)
+        mem_idx = rhs.mem_indices()
+        n_regular = len(rhs.params_meta)
+        offsets = rhs.args[n_regular:]
+        rendered: list[str] = []
+        mem_seen = 0
+        for i, arg in enumerate(rhs.args[:n_regular]):
+            varname, c_type, kind = rhs.params_meta[i]
+            if kind == "mem":
+                offset = offsets[mem_seen]
+                mem_seen += 1
+                arr = self.ref(arg)  # the array symbol
+                off = self.ref(offset)
+                self.headers.add(rhs.header)
+                rendered.append(f"({c_type})&{arr}[{off}]")
+            elif isinstance(arg, Exp):
+                rendered.append(self.ref(arg))
+            else:
+                rendered.append(str(int(arg)))
+        call = f"{rhs.intrinsic_name}({', '.join(rendered)})"
+        if isinstance(rhs.tp, VoidType):
+            self.emit(f"{call};")
+        else:
+            self._assign(sym, call)
+
+
+EXPORT_PREFIX = "repro_native_"
+
+
+def emit_c_source(staged: StagedFunction,
+                  export_name: str | None = None) -> str:
+    """Unparse a staged function into a complete C translation unit.
+
+    The exported symbol is ``repro_native_<name>`` — the analog of JNI's
+    ``Java_<package>_<class>_<method>`` naming convention, which the
+    paper automates with Scala macros and we automate here.
+    """
+    body = schedule_block(staged.body)
+    em = _Emitter()
+    for stm in body.stms:
+        em.stm(stm)
+
+    params = []
+    for sym, name in zip(staged.params, staged.param_names):
+        params.append(f"{c_type_of(sym.tp)} x{sym.id} /* {name} */")
+    ret_c = c_type_of(staged.result_type)
+    if not isinstance(staged.result_type, VoidType):
+        em.emit(f"return {em.ref(body.result)};")
+
+    fn_name = export_name or (EXPORT_PREFIX + staged.name)
+    includes = "\n".join(f"#include <{h}>"
+                         for h in sorted(em.headers))
+    sig = ", ".join(params) if params else "void"
+    return (
+        f"{includes}\n\n"
+        f"{ret_c} {fn_name}({sig}) {{\n"
+        + "\n".join(em.lines)
+        + "\n}\n"
+    )

@@ -1,0 +1,167 @@
+"""System inspection and native compiler discovery.
+
+The runtime half of the paper's Figure 3: inspect the CPU (the CPUID
+analog reads ``/proc/cpuinfo`` on Linux and falls back to a conservative
+baseline), detect available C compilers (icc, gcc, llvm/clang — in the
+paper's preference order), and derive the best flag mix for each.
+"""
+
+from __future__ import annotations
+
+import platform
+import re
+import shutil
+import subprocess
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+
+# Map CPU feature flags (as /proc/cpuinfo spells them) to ISA names.
+_FLAG_TO_ISA = {
+    "mmx": "MMX", "sse": "SSE", "sse2": "SSE2", "pni": "SSE3",
+    "ssse3": "SSSE3", "sse4_1": "SSE4.1", "sse4_2": "SSE4.2",
+    "avx": "AVX", "avx2": "AVX2", "fma": "FMA", "f16c": "FP16C",
+    "rdrand": "RDRAND", "rdseed": "RDSEED", "aes": "AES", "sha_ni": "SHA",
+    "pclmulqdq": "PCLMULQDQ", "popcnt": "POPCNT", "abm": "LZCNT",
+    "bmi1": "BMI1", "bmi2": "BMI2",
+    "avx512f": "AVX512F", "avx512bw": "AVX512BW", "avx512cd": "AVX512CD",
+    "avx512dq": "AVX512DQ", "avx512vl": "AVX512VL",
+    "avx512ifma": "AVX512IFMA52", "avx512vbmi": "AVX512VBMI",
+}
+
+# ISA -> gcc/clang machine flag.
+_ISA_TO_FLAG = {
+    "SSE": "-msse", "SSE2": "-msse2", "SSE3": "-msse3", "SSSE3": "-mssse3",
+    "SSE4.1": "-msse4.1", "SSE4.2": "-msse4.2", "AVX": "-mavx",
+    "AVX2": "-mavx2", "FMA": "-mfma", "FP16C": "-mf16c",
+    "RDRAND": "-mrdrnd", "RDSEED": "-mrdseed", "AES": "-maes",
+    "SHA": "-msha", "PCLMULQDQ": "-mpclmul", "POPCNT": "-mpopcnt",
+    "LZCNT": "-mlzcnt", "BMI1": "-mbmi", "BMI2": "-mbmi2",
+    "AVX512F": "-mavx512f", "AVX512BW": "-mavx512bw",
+    "AVX512CD": "-mavx512cd", "AVX512DQ": "-mavx512dq",
+    "AVX512VL": "-mavx512vl",
+}
+
+
+@dataclass(frozen=True)
+class CompilerInfo:
+    """One detected C compiler."""
+
+    name: str            # "icc" | "gcc" | "clang"
+    path: str
+    version: str
+
+    def flags_for(self, isas: frozenset[str]) -> list[str]:
+        # -ffp-contract=off: FMA contraction must be the programmer's
+        # explicit choice (the fmadd intrinsics), so the compiled code
+        # is bit-identical to the staged graph's semantics.
+        # -fwrapv: staged integer arithmetic has JVM-style two's
+        # complement wraparound; signed overflow must not be UB.
+        flags = ["-O3", "-shared", "-fPIC", "-fno-strict-aliasing",
+                 "-ffp-contract=off", "-fwrapv"]
+        if self.name == "icc":
+            flags += ["-xHost"]
+        else:
+            flags += sorted(_ISA_TO_FLAG[isa] for isa in isas
+                            if isa in _ISA_TO_FLAG)
+        return flags
+
+
+@dataclass(frozen=True)
+class SystemInfo:
+    """The inspected host: available ISAs and compilers."""
+
+    cpu: str
+    isas: frozenset[str]
+    compilers: tuple[CompilerInfo, ...] = field(default=())
+
+    def supports(self, *isas: str) -> bool:
+        return all(isa in self.isas for isa in isas)
+
+    @property
+    def best_compiler(self) -> CompilerInfo | None:
+        # The paper's preference order: icc, gcc, llvm/clang.
+        for name in ("icc", "gcc", "clang"):
+            for c in self.compilers:
+                if c.name == name:
+                    return c
+        return None
+
+
+def _compiler_version(path: str) -> str:
+    try:
+        out = subprocess.run([path, "--version"], capture_output=True,
+                             text=True, timeout=10)
+        first = (out.stdout or out.stderr).splitlines()
+        return first[0] if first else "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+@lru_cache(maxsize=1)
+def detect_compilers() -> tuple[CompilerInfo, ...]:
+    """Search the PATH for icc, gcc and clang."""
+    found: list[CompilerInfo] = []
+    for name in ("icc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            found.append(CompilerInfo(name=name, path=path,
+                                      version=_compiler_version(path)))
+    return tuple(found)
+
+
+def _cpu_flags() -> tuple[str, set[str]]:
+    cpuinfo = Path("/proc/cpuinfo")
+    if cpuinfo.exists():
+        text = cpuinfo.read_text()
+        model = "unknown"
+        m = re.search(r"model name\s*:\s*(.+)", text)
+        if m:
+            model = m.group(1).strip()
+        fm = re.search(r"flags\s*:\s*(.+)", text)
+        flags = set(fm.group(1).split()) if fm else set()
+        return model, flags
+    # Conservative non-Linux fallback: assume SSE2 (x86-64 baseline).
+    if platform.machine() in ("x86_64", "AMD64"):
+        return platform.processor() or "x86-64", {"mmx", "sse", "sse2"}
+    return platform.machine(), set()
+
+
+@lru_cache(maxsize=1)
+def inspect_system() -> SystemInfo:
+    """Inspect the CPU and toolchain (the CPUID step of Figure 3)."""
+    model, flags = _cpu_flags()
+    isas = {"MMX"} if flags else set()
+    for flag, isa in _FLAG_TO_ISA.items():
+        if flag in flags:
+            isas.add(isa)
+    if any(i.startswith("AVX512") for i in isas):
+        isas.add("AVX-512")
+    return SystemInfo(cpu=model, isas=frozenset(isas),
+                      compilers=detect_compilers())
+
+
+class CompileError(RuntimeError):
+    """A native compilation failed; carries the compiler diagnostics."""
+
+
+def compile_shared_library(source: str, workdir: Path,
+                           isas: frozenset[str],
+                           compiler: CompilerInfo | None = None,
+                           name: str = "kernel") -> Path:
+    """Compile C source into a shared library and return its path."""
+    system = inspect_system()
+    cc = compiler or system.best_compiler
+    if cc is None:
+        raise CompileError("no C compiler found on this system")
+    workdir.mkdir(parents=True, exist_ok=True)
+    c_path = workdir / f"{name}.c"
+    so_path = workdir / f"{name}.so"
+    c_path.write_text(source)
+    cmd = [cc.path, *cc.flags_for(isas), str(c_path), "-o", str(so_path)]
+    result = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    if result.returncode != 0:
+        raise CompileError(
+            f"{cc.name} failed ({' '.join(cmd)}):\n{result.stderr}"
+        )
+    return so_path

@@ -1,0 +1,148 @@
+"""Linking generated native code into the runtime (the JNI analog).
+
+The paper links LMS-generated C into the JVM through JNI, automating the
+``Java_<pkg>_<class>_<method>`` naming with Scala macros.  The Python
+analog is ``ctypes``: arrays are passed as pointers into the numpy
+buffers (the equivalent of ``GetPrimitiveArrayCritical`` pinning — numpy
+arrays never move, so the GC-copy caveat of Section 3.5 does not arise),
+scalars are marshalled by value, and the exported symbol name is derived
+automatically from the staged function.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.codegen.cgen import EXPORT_PREFIX, emit_c_source
+from repro.codegen.compiler import (
+    CompileError,
+    SystemInfo,
+    compile_shared_library,
+    inspect_system,
+)
+from repro.lms.staging import StagedFunction
+from repro.lms.types import ArrayType, ScalarType, Type, VectorType, VoidType
+
+_CTYPE_BY_SCALAR = {
+    "Float": ctypes.c_float, "Double": ctypes.c_double,
+    "Byte": ctypes.c_int8, "Short": ctypes.c_int16,
+    "Int": ctypes.c_int32, "Long": ctypes.c_int64,
+    "Char": ctypes.c_uint16, "Boolean": ctypes.c_bool,
+    "UByte": ctypes.c_uint8, "UShort": ctypes.c_uint16,
+    "UInt": ctypes.c_uint32, "ULong": ctypes.c_uint64,
+}
+
+
+class NativeLinkError(RuntimeError):
+    """Raised when a staged function cannot be linked natively."""
+
+
+def _ctype_for(tp: Type):
+    if isinstance(tp, ScalarType):
+        return _CTYPE_BY_SCALAR[tp.name]
+    if isinstance(tp, ArrayType):
+        return ctypes.POINTER(_CTYPE_BY_SCALAR[tp.elem.name])
+    if isinstance(tp, VoidType):
+        return None
+    if isinstance(tp, VectorType):
+        raise NativeLinkError(
+            "vector values cannot cross the native boundary; return "
+            "scalars or write into arrays"
+        )
+    raise NativeLinkError(f"no ctypes mapping for {tp}")
+
+
+@dataclass
+class NativeKernel:
+    """A compiled-and-linked staged function."""
+
+    staged: StagedFunction
+    c_source: str
+    library_path: Path
+    symbol: str
+    _fn: Any
+    system: SystemInfo
+
+    def __call__(self, *args: Any) -> Any:
+        if len(args) != len(self.staged.params):
+            raise TypeError(
+                f"{self.staged.name} expects {len(self.staged.params)} "
+                f"arguments, got {len(args)}"
+            )
+        converted = []
+        for param, value in zip(self.staged.params, args):
+            if isinstance(param.tp, ArrayType):
+                if not isinstance(value, np.ndarray):
+                    raise TypeError(f"expected numpy array for {param!r}")
+                expected = param.tp.elem.np_dtype
+                if value.dtype != expected:
+                    raise TypeError(
+                        f"array for {param!r} must have dtype {expected}"
+                    )
+                if not value.flags["C_CONTIGUOUS"]:
+                    raise TypeError("arrays must be C-contiguous")
+                converted.append(value.ctypes.data_as(
+                    ctypes.POINTER(_CTYPE_BY_SCALAR[param.tp.elem.name])))
+            else:
+                converted.append(value)
+        return self._fn(*converted)
+
+
+def required_isas(staged: StagedFunction) -> frozenset[str]:
+    """The ISAs a staged function's intrinsics need, from their CPUIDs."""
+    from repro.isa.base import IntrinsicsDef
+    from repro.lms.defs import iter_defs
+    from repro.spec.catalog import all_entries
+
+    by_name = {e.name: e for e in all_entries("3.4")}
+    needed: set[str] = set()
+    for stm, _ in iter_defs(staged.body):
+        if isinstance(stm.rhs, IntrinsicsDef):
+            spec = by_name.get(stm.rhs.intrinsic_name)
+            if spec:
+                needed.update(spec.cpuids)
+    return frozenset(needed)
+
+
+def compile_to_native(staged: StagedFunction,
+                      workdir: str | Path | None = None,
+                      check_isas: bool = True) -> NativeKernel:
+    """Generate C, compile it and link it back (Figure 3's runtime path)."""
+    system = inspect_system()
+    if system.best_compiler is None:
+        raise NativeLinkError("no C compiler available")
+
+    isas = required_isas(staged)
+    if check_isas:
+        unsupported = {i for i in isas
+                       if i not in system.isas and i not in ("SVML", "KNCNI")}
+        if unsupported:
+            raise NativeLinkError(
+                f"host CPU lacks ISAs {sorted(unsupported)} required by "
+                f"{staged.name}"
+            )
+        if "SVML" in isas and system.best_compiler.name != "icc":
+            raise NativeLinkError(
+                "SVML intrinsics need the Intel compiler; use the "
+                "simulator backend"
+            )
+
+    symbol = EXPORT_PREFIX + staged.name
+    source = emit_c_source(staged, export_name=symbol)
+    wd = Path(workdir) if workdir is not None else \
+        Path(tempfile.mkdtemp(prefix="repro-native-"))
+    so_path = compile_shared_library(source, wd, isas, name=staged.name)
+
+    lib = ctypes.CDLL(str(so_path))
+    fn = getattr(lib, symbol)
+    fn.argtypes = [_ctype_for(p.tp) for p in staged.params]
+    fn.restype = _ctype_for(staged.result_type)
+    return NativeKernel(staged=staged, c_source=source,
+                        library_path=so_path, symbol=symbol, _fn=fn,
+                        system=system)

@@ -1,0 +1,39 @@
+"""The public API: the paper's NGen runtime, in Python.
+
+The paper's developer workflow (Figure 3) has four compile-time steps:
+
+1. implement a native function placeholder (``@native`` /
+   :func:`native_placeholder`);
+2. create a DSL instance by mixing ISA-specific eDSLs
+   (:func:`repro.isa.IntrinsicsIR` / :func:`repro.isa.load_isas`);
+3. implement the SIMD logic as a staged function;
+4. call :func:`compile_kernel` to generate, compile and link the code.
+
+At runtime the pipeline inspects the system (CPUID, compilers), stages
+the function, and links it back — natively through gcc/clang + ctypes
+when the host supports the kernel's ISAs, falling back to the
+bit-accurate SIMD machine otherwise.  Either way the kernel also carries
+its Haswell cost-model lowering, which is what the benchmarks price.
+"""
+
+from repro.core.pipeline import (
+    BackendKind,
+    CompiledKernel,
+    NativePlaceholder,
+    SignatureMismatchError,
+    UnsatisfiedLinkError,
+    compile_kernel,
+    compile_staged,
+    native_placeholder,
+)
+
+__all__ = [
+    "BackendKind",
+    "CompiledKernel",
+    "NativePlaceholder",
+    "SignatureMismatchError",
+    "UnsatisfiedLinkError",
+    "compile_kernel",
+    "compile_staged",
+    "native_placeholder",
+]

@@ -1,0 +1,89 @@
+"""Kernel caching: amortizing staging and native compilation.
+
+The paper notes (Section 3.5) that "LMS is not optimized for fast code
+generation, which might result in an overhead surpassing the HotSpot
+interpretation speed" for light kernels.  The standard mitigation is to
+cache compiled kernels under a structural hash of the staged graph, so
+re-staging an identical kernel (same intrinsics, same control structure,
+same immediates) reuses the compiled artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.lms.defs import Block, Stm
+from repro.lms.expr import Const, Exp, Sym
+from repro.lms.staging import StagedFunction
+
+
+def _exp_token(e: Exp) -> str:
+    if isinstance(e, Const):
+        return f"c:{e.tp.name}:{e.value!r}"
+    if isinstance(e, Sym):
+        return f"s:{e.id}"
+    return f"e:{id(e)}"
+
+
+def _stm_tokens(stm: Stm, out: list[str]) -> None:
+    rhs = stm.rhs
+    out.append(f"{stm.sym.id}={type(rhs).__name__}:{rhs.mnemonic}")
+    for arg in rhs.args:
+        out.append(_exp_token(arg) if isinstance(arg, Exp)
+                   else f"i:{arg!r}")
+    for block in rhs.blocks:
+        out.append("[")
+        _block_tokens(block, out)
+        out.append("]")
+
+
+def _block_tokens(block: Block, out: list[str]) -> None:
+    for stm in block.stms:
+        _stm_tokens(stm, out)
+    out.append(f"->{_exp_token(block.result)}")
+
+
+def graph_hash(staged: StagedFunction) -> str:
+    """A structural hash of a staged function.
+
+    Two stagings of the same kernel produce identical SSA numbering
+    (the builder is deterministic), so the hash is stable across
+    re-staging and across processes.
+    """
+    tokens: list[str] = [staged.name]
+    tokens += [f"p:{p.id}:{p.tp.name}" for p in staged.params]
+    _block_tokens(staged.body, tokens)
+    digest = hashlib.sha256("\n".join(tokens).encode()).hexdigest()
+    return digest[:24]
+
+
+class KernelCache:
+    """An in-process cache of compiled kernels.
+
+    Keys combine the structural graph hash with the requested backend,
+    so forcing the simulator does not serve a native kernel (or vice
+    versa).
+    """
+
+    def __init__(self) -> None:
+        self._kernels: dict[tuple[str, str], object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_for(self, staged: StagedFunction, backend: str):
+        key = (graph_hash(staged), backend)
+        kernel = self._kernels.get(key)
+        if kernel is not None:
+            self.hits += 1
+        return kernel
+
+    def put_for(self, staged: StagedFunction, backend: str,
+                kernel: object) -> None:
+        self.misses += 1
+        self._kernels[(graph_hash(staged), backend)] = kernel
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+
+default_cache = KernelCache()

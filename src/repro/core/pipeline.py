@@ -1,0 +1,214 @@
+"""The compile pipeline: stage, generate, compile, link, price.
+
+``compile_staged`` is the functional entry point; ``compile_kernel``
+plus ``native_placeholder`` mirror the paper's class-based workflow
+(Figure 4's ``NSaxpy``), including the automatic placeholder binding the
+paper implements with Scala macros and JVM reflection.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.codegen.cgen import emit_c_source
+from repro.codegen.compiler import CompileError, inspect_system
+from repro.codegen.native import (
+    NativeKernel,
+    NativeLinkError,
+    compile_to_native,
+    required_isas,
+)
+from repro.lms.staging import StagedFunction, stage_function
+from repro.lms.types import Type
+from repro.simd.machine import SimdMachine
+from repro.timing.kernelmodel import MachineKernel
+from repro.timing.model import CostModel, KernelCost
+from repro.timing.staged_lower import lower_staged, param_env
+
+
+class BackendKind(enum.Enum):
+    NATIVE = "native"       # real C -> gcc/clang -> ctypes
+    SIMULATED = "simulated"  # the bit-accurate SIMD machine
+
+
+class UnsatisfiedLinkError(RuntimeError):
+    """A ``@native`` placeholder was invoked before ``compile_kernel``."""
+
+
+@dataclass
+class CompiledKernel:
+    """A staged kernel, linked and priceable.
+
+    Calling the kernel dispatches to the selected backend; ``cost``
+    prices it on the Haswell model (in cycles) for given parameter
+    values and stream footprints.
+    """
+
+    staged: StagedFunction
+    backend: BackendKind
+    c_source: str
+    machine_kernel: MachineKernel = field(repr=False)
+    _native: NativeKernel | None = field(default=None, repr=False)
+    _machine: SimdMachine = field(default_factory=SimdMachine, repr=False)
+    fallback_reason: str | None = None
+    cost_model: CostModel = field(default_factory=CostModel, repr=False)
+
+    @property
+    def name(self) -> str:
+        return self.staged.name
+
+    def __call__(self, *args: Any) -> Any:
+        if self.backend == BackendKind.NATIVE and self._native is not None:
+            return self._native(*args)
+        return self._machine.run(self.staged, args)
+
+    def run_simulated(self, *args: Any) -> Any:
+        """Force the simulator backend (used to cross-check native)."""
+        return self._machine.run(self.staged, args)
+
+    def validate(self, *args: Any) -> Any:
+        """Run the bit-accurate simulator on ``args`` first, so invalid
+        SIMD code (out-of-bounds loads/stores) raises a Python
+        exception instead of faulting in native code — the safety net
+        the paper's Section 3.5 says LMS lacks ("it is the
+        responsibility of the developer to write valid SIMD code").
+        Returns the simulated result; call the kernel afterwards.
+        """
+        import copy
+
+        shadow = [a.copy() if hasattr(a, "copy") else a for a in args]
+        return self._machine.run(self.staged, shadow)
+
+    def cost(self, params: dict[str, float],
+             footprints: dict[str, float] | None = None,
+             calls: int = 1) -> KernelCost:
+        """Cycles for one (or ``calls``) invocation at the given sizes."""
+        env = param_env(self.staged, params)
+        return self.cost_model.cost(self.machine_kernel, env,
+                                    footprints=footprints, calls=calls)
+
+    def flops_per_cycle(self, flops: float, params: dict[str, float],
+                        footprints: dict[str, float] | None = None) -> float:
+        return self.cost(params, footprints).flops_per_cycle(flops)
+
+
+def _pick_backend(staged: StagedFunction, requested: str) -> tuple[
+        BackendKind, NativeKernel | None, str | None]:
+    if requested == "simulated":
+        return BackendKind.SIMULATED, None, None
+    system = inspect_system()
+    try:
+        native = compile_to_native(staged)
+        return BackendKind.NATIVE, native, None
+    except (NativeLinkError, CompileError) as exc:
+        if requested == "native":
+            raise
+        return BackendKind.SIMULATED, None, str(exc)
+
+
+def compile_staged(fn: Callable[..., object], arg_types: Sequence[Type],
+                   name: str | None = None,
+                   backend: str | None = None,
+                   use_cache: bool = True) -> CompiledKernel:
+    """Stage ``fn`` and link it (Figure 3's runtime path).
+
+    ``backend`` is ``"auto"`` (default), ``"native"`` or ``"simulated"``;
+    the ``REPRO_BACKEND`` environment variable overrides the default.
+    Identical kernels (by structural graph hash) are served from the
+    kernel cache, amortizing staging and native compilation (the
+    mitigation for the paper's Section 3.5 code-generation overhead).
+    """
+    requested = backend or os.environ.get("REPRO_BACKEND", "auto")
+    if requested not in ("auto", "native", "simulated"):
+        raise ValueError(f"unknown backend {requested!r}")
+    staged = stage_function(fn, arg_types, name)
+    if use_cache:
+        from repro.core.cache import default_cache
+        cached = default_cache.get_for(staged, requested)
+        if cached is not None:
+            return cached
+    kind, native, reason = _pick_backend(staged, requested)
+    c_source = native.c_source if native is not None else \
+        _try_emit_c(staged)
+    kernel = CompiledKernel(
+        staged=staged, backend=kind, c_source=c_source,
+        machine_kernel=lower_staged(staged), _native=native,
+        fallback_reason=reason,
+    )
+    if use_cache:
+        from repro.core.cache import default_cache
+        default_cache.put_for(staged, requested, kernel)
+    return kernel
+
+
+def _try_emit_c(staged: StagedFunction) -> str:
+    try:
+        return emit_c_source(staged)
+    except Exception as exc:  # noqa: BLE001 - C source is informative only
+        return f"/* C generation failed: {exc} */"
+
+
+@dataclass
+class NativePlaceholder:
+    """The ``@native def apply(...)`` marker of the paper's step 1.
+
+    Optionally carries the declared signature.  The paper lists the
+    missing isomorphism check between placeholder and staged function as
+    a limitation ("it is the responsibility of the developer to define
+    this isomorphic relation"); declaring ``arg_types`` here lets
+    :func:`compile_kernel` enforce it.
+    """
+
+    name: str = "apply"
+    arg_types: tuple[Type, ...] | None = None
+
+    def __call__(self, *args: Any) -> Any:
+        raise UnsatisfiedLinkError(
+            f"native method {self.name!r} has not been compiled yet; "
+            f"call compile_kernel(...) first (the paper's step 4)"
+        )
+
+
+def native_placeholder(name: str = "apply",
+                       arg_types: Sequence[Type] | None = None
+                       ) -> NativePlaceholder:
+    return NativePlaceholder(
+        name, tuple(arg_types) if arg_types is not None else None)
+
+
+class SignatureMismatchError(TypeError):
+    """Placeholder and staged function disagree (the isomorphism check
+    the paper leaves to the developer)."""
+
+
+def compile_kernel(staged_fn: Callable[..., object],
+                   arg_types: Sequence[Type], obj: Any,
+                   method_name: str, backend: str | None = None
+                   ) -> CompiledKernel:
+    """The paper's ``compile(saxpy_staged _, this, nameOf(apply _))``.
+
+    Stages and links ``staged_fn`` and rebinds ``obj.<method_name>`` —
+    which must currently be a :class:`NativePlaceholder` — to the
+    compiled kernel, giving the same refactoring-robust automatic
+    binding the paper builds from Scala macros.
+    """
+    current = getattr(obj, method_name, None)
+    if not isinstance(current, NativePlaceholder):
+        raise TypeError(
+            f"{type(obj).__name__}.{method_name} is not a native "
+            f"placeholder; declare it with native_placeholder()"
+        )
+    if current.arg_types is not None and \
+            tuple(current.arg_types) != tuple(arg_types):
+        raise SignatureMismatchError(
+            f"placeholder {method_name!r} declares "
+            f"{[str(t) for t in current.arg_types]} but the staged "
+            f"function is compiled with {[str(t) for t in arg_types]}"
+        )
+    kernel = compile_staged(staged_fn, arg_types, name=method_name,
+                            backend=backend)
+    setattr(obj, method_name, kernel)
+    return kernel

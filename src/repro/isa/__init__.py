@@ -1,0 +1,33 @@
+"""Automatically generated ISA-specific eDSLs.
+
+The paper's Figure 1 pipeline: parse the vendor XML specification, then
+generate — for every intrinsic — the four LMS building blocks:
+
+1. a *definition* class (``Def`` subclass, here :class:`IntrinsicsDef`);
+2. the *SSA conversion* (a constructor function reflecting the definition
+   into the current graph, with inferred effects);
+3. a *mirroring* entry (``remirror``, used by transformers);
+4. an *unparsing* entry (the C expression emitter).
+
+Mutability is inferred from the spec category exactly as in the paper:
+loads put a read effect on each memory argument, stores a write effect,
+and the heuristic extends to gathers, scatters, mask stores and the
+hardware RNG.
+
+Because the JVM limits methods to 64KB, the paper splits each ISA's
+generated code into subclasses that inherit each other; the analog here
+is splitting each generated eDSL module into fixed-size part files.
+"""
+
+from repro.isa.base import IntrinsicsDef
+from repro.isa.generator import generate_isa_source, generate_edsl_modules
+from repro.isa.registry import IntrinsicsNamespace, IntrinsicsIR, load_isas
+
+__all__ = [
+    "IntrinsicsDef",
+    "IntrinsicsIR",
+    "IntrinsicsNamespace",
+    "generate_edsl_modules",
+    "generate_isa_source",
+    "load_isas",
+]

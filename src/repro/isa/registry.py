@@ -1,0 +1,126 @@
+"""Loading and mixing generated eDSLs.
+
+``load_isas("AVX", "AVX2", "FMA")`` is the analog of the paper's step 2
+("create a DSL instance by instantiating one or mixing several
+ISA-specific eDSLs"): it generates (or reuses) the eDSL modules for the
+requested ISAs and exposes every constructor function as an attribute of
+one namespace object.  ``IntrinsicsIR`` mixes in everything — the class
+the paper's SAXPY example instantiates.
+"""
+
+from __future__ import annotations
+
+import sys
+import types
+from typing import Iterable
+
+from repro.isa.generator import GeneratedModule, generate_edsl_modules
+from repro.spec.catalog import all_entries
+from repro.spec.census import isa_memberships
+from repro.spec.model import IntrinsicSpec
+
+
+class IntrinsicsNamespace:
+    """A mixed set of eDSLs: intrinsic constructors as attributes."""
+
+    def __init__(self, isas: tuple[str, ...], version: str,
+                 functions: dict[str, object],
+                 classes: dict[str, type]):
+        self.isas = isas
+        self.version = version
+        self._functions = functions
+        self._classes = classes
+        for name, fn in functions.items():
+            setattr(self, name, fn)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def function(self, name: str):
+        """Look up an intrinsic constructor by its C name."""
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise AttributeError(
+                f"intrinsic {name} is not provided by ISAs {self.isas} "
+                f"(spec version {self.version})"
+            ) from None
+
+    def node_class(self, name: str) -> type:
+        return self._classes[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._functions)
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __repr__(self) -> str:
+        return (f"IntrinsicsNamespace(isas={self.isas}, "
+                f"intrinsics={len(self)})")
+
+
+_cache: dict[tuple[str, tuple[str, ...]], IntrinsicsNamespace] = {}
+
+
+def _entries_for(isas: Iterable[str], version: str) -> list[IntrinsicSpec]:
+    requested = set(isas)
+    out = []
+    for e in all_entries(version):
+        buckets = isa_memberships(e)
+        if buckets & requested:
+            out.append(e)
+            continue
+        # Small extensions (FP16C, RDRAND, ...) are requested by their
+        # CPUID name directly.
+        if requested & set(e.cpuids):
+            out.append(e)
+    return out
+
+
+def _exec_modules(modules: list[GeneratedModule]) -> tuple[dict, dict]:
+    functions: dict[str, object] = {}
+    classes: dict[str, type] = {}
+    for gm in modules:
+        module = types.ModuleType(gm.name)
+        module.__file__ = f"<generated {gm.name}>"
+        sys.modules[gm.name] = module
+        exec(compile(gm.source, module.__file__, "exec"), module.__dict__)
+        for name in gm.intrinsic_names:
+            fn = module.__dict__.get(name)
+            if fn is None:  # pragma: no cover - generator invariant
+                raise RuntimeError(f"generator did not emit {name}")
+            functions.setdefault(name, fn)
+            from repro.isa.generator import class_name_for
+            classes.setdefault(name,
+                               module.__dict__[class_name_for(name)])
+    return functions, classes
+
+
+def load_isas(*isas: str, version: str = "3.3.16") -> IntrinsicsNamespace:
+    """Generate and mix the eDSLs for the requested ISAs."""
+    if not isas:
+        raise ValueError("load_isas needs at least one ISA name")
+    key = (version, tuple(sorted(isas)))
+    if key in _cache:
+        return _cache[key]
+    entries = _entries_for(isas, version)
+    if not entries:
+        raise ValueError(f"no intrinsics found for ISAs {isas}")
+    per_isa = generate_edsl_modules(entries, version)
+    modules = [gm for mods in per_isa.values() for gm in mods]
+    functions, classes = _exec_modules(modules)
+    ns = IntrinsicsNamespace(tuple(sorted(isas)), version, functions, classes)
+    _cache[key] = ns
+    return ns
+
+
+_ALL_ISAS = ("MMX", "SSE", "SSE2", "SSE3", "SSSE3", "SSE4.1", "SSE4.2",
+             "AVX", "AVX2", "AVX-512", "FMA", "KNC", "SVML",
+             "FP16C", "RDRAND", "RDSEED", "AES", "SHA", "PCLMULQDQ",
+             "POPCNT", "LZCNT", "BMI1", "BMI2", "TSC")
+
+
+def IntrinsicsIR(version: str = "3.3.16") -> IntrinsicsNamespace:
+    """The paper's ``new IntrinsicsIR``: every ISA mixed into one eDSL."""
+    return load_isas(*_ALL_ISAS, version=version)

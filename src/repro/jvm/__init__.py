@@ -1,0 +1,47 @@
+"""MiniVM: the managed-runtime baseline (the HotSpot analog).
+
+The paper's baseline is the HotSpot Server VM: bytecode is interpreted
+with profiling, hot methods are compiled by the fast C1 compiler, then by
+the optimizing C2 compiler, whose only vectorizer is basic-block SLP
+(Larsen & Amarasinghe) — it packs groups of isomorphic instructions into
+SSE-width SIMD, cannot vectorize across loop iterations and cannot detect
+reduction idioms, and Java promotes sub-32-bit integers to ``int`` before
+arithmetic.
+
+MiniVM implements exactly those mechanisms: a Java-typed kernel AST with
+mandatory type promotion, a stack bytecode with an interpreter and
+invocation/backedge profiling, a tiered C1/C2 JIT, loop unrolling, and an
+SLP autovectorizer with the documented limits.  Compiled code is a
+structured machine-op kernel the Haswell cost model (:mod:`repro.timing`)
+prices, and the interpreter provides bit-exact Java execution semantics
+for correctness tests.
+"""
+
+from repro.jvm.jtypes import (
+    JBOOL, JBYTE, JCHAR, JDOUBLE, JFLOAT, JINT, JLONG, JSHORT, JType,
+)
+from repro.jvm.ast import (
+    ArrayLoad,
+    ArrayStore,
+    Assign,
+    Bin,
+    Block,
+    ConstExpr,
+    Conv,
+    For,
+    If,
+    KernelMethod,
+    Local,
+    Param,
+    Return,
+)
+from repro.jvm.disasm import disassemble, print_compiled, vector_widths
+from repro.jvm.vm import MiniVM, TieredState
+
+__all__ = [
+    "ArrayLoad", "ArrayStore", "Assign", "Bin", "Block", "ConstExpr",
+    "Conv", "For", "If", "JBOOL", "JBYTE", "JCHAR", "JDOUBLE", "JFLOAT",
+    "JINT", "JLONG", "JSHORT", "JType", "KernelMethod", "Local", "MiniVM",
+    "Param", "Return", "TieredState", "disassemble", "print_compiled",
+    "vector_widths",
+]

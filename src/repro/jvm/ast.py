@@ -1,0 +1,259 @@
+"""The Java-like kernel AST MiniVM methods are written in.
+
+This plays the role of Java source for the paper's baseline kernels
+(``JSaxpy``, the triple-loop and blocked MMM, the 32/16/8/4-bit dot
+products).  The type checker enforces JVM semantics — in particular the
+mandatory promotion of sub-``int`` integer arithmetic to 32 bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.jvm.jtypes import (
+    JBOOL, JBYTE, JCHAR, JDOUBLE, JFLOAT, JINT, JLONG, JSHORT, JType,
+    promote_pair,
+)
+
+_ARITH = {"+", "-", "*", "/", "%"}
+_BITWISE = {"&", "|", "^", "<<", ">>", ">>>"}
+_COMPARE = {"==", "!=", "<", "<=", ">", ">="}
+
+
+class JavaTypeError(TypeError):
+    """A kernel violates JVM typing rules."""
+
+
+@dataclass(frozen=True)
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class Local(Expr):
+    """Read of a local variable or parameter."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ConstExpr(Expr):
+    value: Union[int, float, bool]
+    jtype: JType
+
+
+@dataclass(frozen=True)
+class ArrayLoad(Expr):
+    array: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class Bin(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class Conv(Expr):
+    """Explicit cast, e.g. ``(byte)(x)``."""
+
+    expr: Expr
+    target: JType
+
+
+@dataclass(frozen=True)
+class Stmt:
+    pass
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    name: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class ArrayStore(Stmt):
+    array: str
+    index: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    stmts: tuple[Stmt, ...]
+
+    def __init__(self, stmts: Sequence[Stmt]):
+        object.__setattr__(self, "stmts", tuple(stmts))
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """``for (int var = start; var < end; var += step) body``"""
+
+    var: str
+    start: Expr
+    end: Expr
+    step: Expr
+    body: Block
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then_body: Block
+    else_body: Optional[Block] = None
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Param:
+    name: str
+    jtype: JType
+    is_array: bool = False
+
+
+@dataclass
+class KernelMethod:
+    """One method: signature, body, and its inferred static types."""
+
+    name: str
+    params: list[Param]
+    body: Block
+    return_type: Optional[JType] = None
+    # Filled by the checker: local name -> type, expr id -> type.
+    local_types: dict[str, JType] = field(default_factory=dict)
+    _expr_types: dict[int, JType] = field(default_factory=dict)
+
+    def expr_type(self, e: Expr) -> JType:
+        return self._expr_types[id(e)]
+
+
+class TypeChecker:
+    """Infers and validates Java types for a kernel method."""
+
+    def __init__(self, method: KernelMethod):
+        self.method = method
+        self.locals: dict[str, JType] = {}
+        self.arrays: dict[str, JType] = {}
+        for p in method.params:
+            if p.is_array:
+                self.arrays[p.name] = p.jtype
+            else:
+                self.locals[p.name] = p.jtype
+
+    def check(self) -> None:
+        self._stmt(self.method.body)
+        self.method.local_types = dict(self.locals)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _expr(self, e: Expr) -> JType:
+        t = self._expr_inner(e)
+        self.method._expr_types[id(e)] = t
+        return t
+
+    def _expr_inner(self, e: Expr) -> JType:
+        if isinstance(e, ConstExpr):
+            return e.jtype
+        if isinstance(e, Local):
+            if e.name in self.locals:
+                return self.locals[e.name]
+            if e.name in self.arrays:
+                raise JavaTypeError(
+                    f"{e.name} is an array; arrays can only be indexed")
+            raise JavaTypeError(f"unknown local {e.name!r}")
+        if isinstance(e, ArrayLoad):
+            if e.array not in self.arrays:
+                raise JavaTypeError(f"unknown array {e.array!r}")
+            idx_t = self._expr(e.index)
+            if idx_t.is_float or idx_t.bits > 32:
+                raise JavaTypeError("array index must be int")
+            return self.arrays[e.array]
+        if isinstance(e, Conv):
+            self._expr(e.expr)
+            return e.target
+        if isinstance(e, Bin):
+            lt = self._expr(e.lhs)
+            rt = self._expr(e.rhs)
+            if e.op in _COMPARE:
+                return JBOOL
+            if e.op in ("<<", ">>", ">>>"):
+                if lt.is_float:
+                    raise JavaTypeError("shift on float operand")
+                return lt.promoted
+            if e.op in _BITWISE:
+                if lt.is_float or rt.is_float:
+                    raise JavaTypeError(f"{e.op} on float operand")
+                return promote_pair(lt, rt)
+            if e.op in _ARITH:
+                # JLS 5.6.2: byte/short/char arithmetic is promoted to
+                # int; this is the promotion tax the paper measures.
+                return promote_pair(lt, rt)
+            raise JavaTypeError(f"unknown operator {e.op!r}")
+        raise JavaTypeError(f"unknown expression {e!r}")
+
+    # -- statements ---------------------------------------------------------------
+
+    def _stmt(self, s: Stmt) -> None:
+        if isinstance(s, Block):
+            for inner in s.stmts:
+                self._stmt(inner)
+        elif isinstance(s, Assign):
+            t = self._expr(s.expr)
+            prior = self.locals.get(s.name)
+            if prior is None:
+                self.locals[s.name] = t
+            elif prior != t:
+                # Java requires an explicit narrowing cast.
+                if (not prior.is_float and not t.is_float
+                        and t.bits > prior.bits):
+                    raise JavaTypeError(
+                        f"possible lossy conversion from {t} to {prior} in "
+                        f"assignment to {s.name!r}; insert a Conv")
+                if prior.is_float != t.is_float and not prior.is_float:
+                    raise JavaTypeError(
+                        f"cannot assign {t} to {prior} local {s.name!r}")
+        elif isinstance(s, ArrayStore):
+            if s.array not in self.arrays:
+                raise JavaTypeError(f"unknown array {s.array!r}")
+            self._expr(s.index)
+            vt = self._expr(s.value)
+            et = self.arrays[s.array]
+            if not vt.is_float and not et.is_float and vt.bits > et.bits:
+                raise JavaTypeError(
+                    f"possible lossy conversion from {vt} to {et}[] store; "
+                    f"insert a Conv")
+        elif isinstance(s, For):
+            self.locals[s.var] = JINT
+            self._expr(s.start)
+            self._expr(s.end)
+            self._expr(s.step)
+            self._stmt(s.body)
+        elif isinstance(s, If):
+            ct = self._expr(s.cond)
+            if ct != JBOOL:
+                raise JavaTypeError("if condition must be boolean")
+            self._stmt(s.then_body)
+            if s.else_body is not None:
+                self._stmt(s.else_body)
+        elif isinstance(s, Return):
+            if s.expr is not None:
+                t = self._expr(s.expr)
+                if self.method.return_type is None:
+                    self.method.return_type = t
+        else:
+            raise JavaTypeError(f"unknown statement {s!r}")
+
+
+def check_method(method: KernelMethod) -> KernelMethod:
+    """Type-check a method in place and return it."""
+    TypeChecker(method).check()
+    return method

@@ -1,0 +1,175 @@
+"""MiniVM stack bytecode and the AST-to-bytecode compiler.
+
+A deliberately JVM-shaped instruction set: typed arithmetic on an operand
+stack, slot-indexed locals, typed array accesses, conditional branches.
+Backward branches are what the profiler counts as loop backedges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.jvm.ast import (
+    ArrayLoad,
+    ArrayStore,
+    Assign,
+    Bin,
+    Block,
+    ConstExpr,
+    Conv,
+    Expr,
+    For,
+    If,
+    KernelMethod,
+    Local,
+    Return,
+    Stmt,
+    check_method,
+)
+from repro.jvm.jtypes import JBOOL, JINT, JType
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One bytecode instruction."""
+
+    op: str
+    a: object = None
+    b: object = None
+
+    def __repr__(self) -> str:
+        parts = [self.op]
+        if self.a is not None:
+            parts.append(str(self.a))
+        if self.b is not None:
+            parts.append(str(self.b))
+        return " ".join(parts)
+
+
+@dataclass
+class CompiledMethod:
+    """Bytecode plus metadata; the unit the interpreter and JIT consume."""
+
+    method: KernelMethod
+    code: list[Instr]
+    n_slots: int
+    slot_of: dict[str, int]
+    array_slots: dict[str, int]
+    # Profiling state (HotSpot-style counters).
+    invocations: int = 0
+    backedges: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.method.name
+
+
+class BytecodeCompiler:
+    """Lowers a type-checked kernel AST to stack bytecode."""
+
+    def __init__(self, method: KernelMethod):
+        self.method = method
+        self.code: list[Instr] = []
+        self.slot_of: dict[str, int] = {}
+        self.array_slots: dict[str, int] = {}
+        for p in method.params:
+            slot = len(self.slot_of) + len(self.array_slots)
+            if p.is_array:
+                self.array_slots[p.name] = slot
+            else:
+                self.slot_of[p.name] = slot
+
+    def compile(self) -> CompiledMethod:
+        self._stmt(self.method.body)
+        if not self.code or self.code[-1].op not in ("ret", "retval"):
+            self.code.append(Instr("ret"))
+        return CompiledMethod(
+            method=self.method, code=self.code,
+            n_slots=len(self.slot_of) + len(self.array_slots),
+            slot_of=dict(self.slot_of),
+            array_slots=dict(self.array_slots),
+        )
+
+    def _slot(self, name: str) -> int:
+        if name not in self.slot_of:
+            self.slot_of[name] = len(self.slot_of) + len(self.array_slots)
+        return self.slot_of[name]
+
+    # -- expressions ----------------------------------------------------------
+
+    def _expr(self, e: Expr) -> None:
+        if isinstance(e, ConstExpr):
+            self.code.append(Instr("push", e.value, e.jtype))
+        elif isinstance(e, Local):
+            self.code.append(Instr("load", self._slot(e.name)))
+        elif isinstance(e, ArrayLoad):
+            self._expr(e.index)
+            self.code.append(Instr("aload", self.array_slots[e.array]))
+        elif isinstance(e, Conv):
+            self._expr(e.expr)
+            self.code.append(Instr("conv", e.target))
+        elif isinstance(e, Bin):
+            self._expr(e.lhs)
+            self._expr(e.rhs)
+            t = self.method.expr_type(e)
+            self.code.append(Instr("bin", e.op, t))
+        else:
+            raise TypeError(f"cannot compile expression {e!r}")
+
+    # -- statements --------------------------------------------------------------
+
+    def _stmt(self, s: Stmt) -> None:
+        if isinstance(s, Block):
+            for inner in s.stmts:
+                self._stmt(inner)
+        elif isinstance(s, Assign):
+            self._expr(s.expr)
+            self.code.append(Instr("store", self._slot(s.name)))
+        elif isinstance(s, ArrayStore):
+            self._expr(s.index)
+            self._expr(s.value)
+            self.code.append(Instr("astore", self.array_slots[s.array]))
+        elif isinstance(s, For):
+            slot = self._slot(s.var)
+            self._expr(s.start)
+            self.code.append(Instr("store", slot))
+            loop_top = len(self.code)
+            self.code.append(Instr("load", slot))
+            self._expr(s.end)
+            self.code.append(Instr("bin", "<", JBOOL))
+            exit_jump = len(self.code)
+            self.code.append(Instr("jmpifnot", None))
+            self._stmt(s.body)
+            self.code.append(Instr("load", slot))
+            self._expr(s.step)
+            self.code.append(Instr("bin", "+", JINT))
+            self.code.append(Instr("store", slot))
+            self.code.append(Instr("jmp", loop_top))  # the backedge
+            self.code[exit_jump] = Instr("jmpifnot", len(self.code))
+        elif isinstance(s, If):
+            self._expr(s.cond)
+            else_jump = len(self.code)
+            self.code.append(Instr("jmpifnot", None))
+            self._stmt(s.then_body)
+            if s.else_body is not None:
+                end_jump = len(self.code)
+                self.code.append(Instr("jmp", None))
+                self.code[else_jump] = Instr("jmpifnot", len(self.code))
+                self._stmt(s.else_body)
+                self.code[end_jump] = Instr("jmp", len(self.code))
+            else:
+                self.code[else_jump] = Instr("jmpifnot", len(self.code))
+        elif isinstance(s, Return):
+            if s.expr is not None:
+                self._expr(s.expr)
+                self.code.append(Instr("retval"))
+            else:
+                self.code.append(Instr("ret"))
+        else:
+            raise TypeError(f"cannot compile statement {s!r}")
+
+
+def compile_method(method: KernelMethod) -> CompiledMethod:
+    """Type-check and lower a kernel method to bytecode."""
+    return BytecodeCompiler(check_method(method)).compile()

@@ -1,0 +1,106 @@
+"""Diagnostics: bytecode disassembly and compiled-code dumps.
+
+The paper inspects HotSpot's JIT output with
+``-XX:UnlockDiagnosticVMOptions -XX:CompileCommand=print`` to confirm
+which loops vectorized and at what width (Section 3.4's "assembly
+diagnostics").  MiniVM's analog: :func:`disassemble` pretty-prints a
+method's bytecode, and :func:`print_compiled` dumps the machine kernel
+of a compiled tier — loop structure, vector widths, dependency chains
+and the SLP decision log.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.jvm.bytecode import CompiledMethod
+from repro.timing.kernelmodel import (
+    KernelItem,
+    MachineKernel,
+    MachineLoop,
+    MachineOp,
+    SetupAssign,
+)
+
+
+def disassemble(cm: CompiledMethod) -> str:
+    """Human-readable bytecode listing with branch targets."""
+    out = StringIO()
+    targets = {ins.a for ins in cm.code if ins.op in ("jmp", "jmpifnot")}
+    out.write(f"method {cm.name} "
+              f"({len(cm.code)} instructions, {cm.n_slots} slots)\n")
+    slot_names = {v: k for k, v in cm.slot_of.items()}
+    slot_names.update({v: f"{k}[]" for k, v in cm.array_slots.items()})
+    for pc, ins in enumerate(cm.code):
+        label = "=>" if pc in targets else "  "
+        text = ins.op
+        if ins.op in ("load", "store", "aload", "astore"):
+            text += f" {slot_names.get(ins.a, ins.a)}"
+        elif ins.op == "push":
+            text += f" {ins.a!r}"
+        elif ins.op == "bin":
+            text += f" {ins.a} [{ins.b}]"
+        elif ins.op == "conv":
+            text += f" -> {ins.a}"
+        elif ins.op in ("jmp", "jmpifnot"):
+            arrow = "^" if isinstance(ins.a, int) and ins.a <= pc else "v"
+            text += f" {ins.a} {arrow}"
+        out.write(f"{label} {pc:4d}: {text}\n")
+    return out.getvalue()
+
+
+def _format_op(op: MachineOp) -> str:
+    width = f"{op.lanes}x{op.bits}b" if op.lanes > 1 else f"{op.bits}b"
+    parts = [f"{op.kind:8s} {width:8s}"]
+    if op.stream:
+        stride = "?" if op.stride_elems is None else op.stride_elems
+        parts.append(f"{op.stream}[+{op.offset_elems}, stride {stride}]")
+    if op.on_dep_chain:
+        parts.append("<loop-carried>")
+    if op.is_int:
+        parts.append("int")
+    return " ".join(parts)
+
+
+def _dump_items(items: list[KernelItem], out: StringIO,
+                depth: int) -> None:
+    pad = "    " * depth
+    for item in items:
+        if isinstance(item, MachineLoop):
+            out.write(f"{pad}loop {item.var} "
+                      f"[step {getattr(item.step, 'value', '?')}]\n")
+            _dump_items(item.body, out, depth + 1)
+        elif isinstance(item, SetupAssign):
+            out.write(f"{pad}{item.name} = <setup> "
+                      f"({len(item.ops)} ops)\n")
+        else:
+            out.write(f"{pad}{_format_op(item)}\n")
+
+
+def print_compiled(kernel: MachineKernel) -> str:
+    """The ``CompileCommand=print`` analog for a machine kernel."""
+    out = StringIO()
+    out.write(f"compiled {kernel.name} [tier {kernel.tier}]"
+              f" call overhead {kernel.call_overhead_cycles:.0f} cyc,"
+              f" inefficiency x{kernel.inefficiency:g}\n")
+    slp_log = getattr(kernel, "slp_log", None)
+    if slp_log:
+        for var, outcome in slp_log:
+            out.write(f"  SLP {var}: {outcome}\n")
+    _dump_items(kernel.body, out, 1)
+    return out.getvalue()
+
+
+def vector_widths(kernel: MachineKernel) -> set[int]:
+    """All SIMD widths (in bits) present in the compiled code."""
+    widths: set[int] = set()
+
+    def walk(items: list[KernelItem]) -> None:
+        for item in items:
+            if isinstance(item, MachineLoop):
+                walk(item.body)
+            elif isinstance(item, MachineOp) and item.lanes > 1:
+                widths.add(item.lanes * item.bits)
+
+    walk(kernel.body)
+    return widths

@@ -1,0 +1,165 @@
+"""The MiniVM bytecode interpreter with HotSpot-style profiling.
+
+Executes bytecode with exact Java arithmetic semantics (fixed-width
+wraparound, truncating integer division, explicit narrowing on casts)
+and counts invocations and loop backedges — the counters the tiered
+compilation policy in :mod:`repro.jvm.vm` watches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.jvm.bytecode import CompiledMethod, Instr
+from repro.jvm.jtypes import JBOOL, JType
+
+
+class JavaArithmeticError(ArithmeticError):
+    """Raised for division by zero, like the JVM's ArithmeticException."""
+
+
+def _coerce(t: JType, value: Any):
+    # Integer narrowing wraps (JLS 5.1.3); numpy 2.x raises on
+    # out-of-range Python ints, so wrap explicitly.
+    if not t.is_float and t.name != "boolean":
+        v = int(value) & ((1 << t.bits) - 1)
+        if t.name != "char" and v >= (1 << (t.bits - 1)):
+            v -= 1 << t.bits
+        return t.np_dtype.type(v)
+    with np.errstate(over="ignore"):
+        return t.np_dtype.type(value)
+
+
+def _binop(op: str, t: JType, a: Any, b: Any):
+    # Binary numeric promotion happens BEFORE the operation (JLS 5.6.2):
+    # byte * byte is computed at 32 bits, not 8.
+    if t is not JBOOL and op not in ("==", "!=", "<", "<=", ">", ">="):
+        a = _coerce(t, a)
+        b = _coerce(t, b)
+    with np.errstate(over="ignore"):
+        if op == "+":
+            return _coerce(t, a + b)
+        if op == "-":
+            return _coerce(t, a - b)
+        if op == "*":
+            return _coerce(t, a * b)
+        if op == "/":
+            if not t.is_float:
+                if int(b) == 0:
+                    raise JavaArithmeticError("/ by zero")
+                q = abs(int(a)) // abs(int(b))
+                return _coerce(t, q if (int(a) < 0) == (int(b) < 0) else -q)
+            return _coerce(t, a / b)
+        if op == "%":
+            if not t.is_float:
+                if int(b) == 0:
+                    raise JavaArithmeticError("% by zero")
+                ia, ib = int(a), int(b)
+                return _coerce(t, ia - (abs(ia) // abs(ib)) * abs(ib)
+                               * (1 if ia >= 0 else -1))
+            return _coerce(t, np.fmod(a, b))
+        if op == "&":
+            return _coerce(t, int(a) & int(b))
+        if op == "|":
+            return _coerce(t, int(a) | int(b))
+        if op == "^":
+            return _coerce(t, int(a) ^ int(b))
+        if op == "<<":
+            return _coerce(t, int(a) << (int(b) & (t.bits - 1)))
+        if op == ">>":
+            return _coerce(t, int(a) >> (int(b) & (t.bits - 1)))
+        if op == ">>>":
+            shift = int(b) & (t.bits - 1)
+            mask = (1 << t.bits) - 1
+            return _coerce(t, (int(a) & mask) >> shift)
+        if op == "==":
+            return bool(a == b)
+        if op == "!=":
+            return bool(a != b)
+        if op == "<":
+            return bool(a < b)
+        if op == "<=":
+            return bool(a <= b)
+        if op == ">":
+            return bool(a > b)
+        if op == ">=":
+            return bool(a >= b)
+    raise ValueError(f"unknown operator {op!r}")
+
+
+class Interpreter:
+    """Executes one compiled method per call; counts profile events."""
+
+    def __init__(self) -> None:
+        self.instructions_retired = 0
+
+    def run(self, cm: CompiledMethod, args: Sequence[Any]) -> Any:
+        cm.invocations += 1
+        method = cm.method
+        if len(args) != len(method.params):
+            raise TypeError(
+                f"{method.name} expects {len(method.params)} args, got "
+                f"{len(args)}"
+            )
+        slots: list[Any] = [None] * max(cm.n_slots, 64)
+        arrays: dict[int, np.ndarray] = {}
+        for p, value in zip(method.params, args):
+            if p.is_array:
+                if not isinstance(value, np.ndarray) or \
+                        value.dtype != p.jtype.np_dtype:
+                    raise TypeError(
+                        f"parameter {p.name} needs a numpy array of "
+                        f"{p.jtype.np_dtype}"
+                    )
+                arrays[cm.array_slots[p.name]] = value
+            else:
+                slots[cm.slot_of[p.name]] = _coerce(p.jtype, value)
+
+        code = cm.code
+        stack: list[Any] = []
+        pc = 0
+        while pc < len(code):
+            instr = code[pc]
+            self.instructions_retired += 1
+            op = instr.op
+            if op == "push":
+                stack.append(_coerce(instr.b, instr.a)
+                             if instr.b is not JBOOL else bool(instr.a))
+            elif op == "load":
+                stack.append(slots[instr.a])
+            elif op == "store":
+                slots[instr.a] = stack.pop()
+            elif op == "aload":
+                idx = int(stack.pop())
+                stack.append(arrays[instr.a][idx])
+            elif op == "astore":
+                value = stack.pop()
+                idx = int(stack.pop())
+                arr = arrays[instr.a]
+                with np.errstate(over="ignore"):
+                    arr[idx] = value
+            elif op == "bin":
+                b = stack.pop()
+                a = stack.pop()
+                stack.append(_binop(instr.a, instr.b, a, b))
+            elif op == "conv":
+                stack.append(_coerce(instr.a, stack.pop()))
+            elif op == "jmp":
+                if instr.a <= pc:
+                    cm.backedges += 1
+                pc = instr.a
+                continue
+            elif op == "jmpifnot":
+                if not stack.pop():
+                    pc = instr.a
+                    continue
+            elif op == "retval":
+                return stack.pop()
+            elif op == "ret":
+                return None
+            else:
+                raise ValueError(f"unknown opcode {instr!r}")
+            pc += 1
+        return None

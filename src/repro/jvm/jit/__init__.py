@@ -1,0 +1,6 @@
+"""The MiniVM tiered JIT: C1 (fast, lazy) and C2 (optimizing, SLP)."""
+
+from repro.jvm.jit.c1 import compile_c1
+from repro.jvm.jit.c2 import compile_c2
+
+__all__ = ["compile_c1", "compile_c2"]

@@ -1,0 +1,24 @@
+"""The C1 tier: a fast, lightly optimizing compiler.
+
+C1 lowers bytecode-shaped kernels straight to scalar machine code with
+no unrolling and no vectorization; its register allocation and code
+selection are deliberately lazy, modelled as a constant throughput
+inefficiency over C2 scalar code (HotSpot's C1 is typically 30–100%
+slower than C2 on numeric kernels).
+"""
+
+from __future__ import annotations
+
+from repro.jvm.ast import KernelMethod, check_method
+from repro.jvm.jit.lower import lower_method
+from repro.timing.kernelmodel import MachineKernel
+
+C1_INEFFICIENCY = 3.0
+
+
+def compile_c1(method: KernelMethod) -> MachineKernel:
+    """Compile at tier C1."""
+    kernel = lower_method(check_method(method))
+    kernel.tier = "c1"
+    kernel.inefficiency = C1_INEFFICIENCY
+    return kernel

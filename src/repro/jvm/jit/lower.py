@@ -1,0 +1,346 @@
+"""Lowering kernel ASTs to machine kernels.
+
+Shared by C1 and C2: walks the (type-checked) Java AST, emits machine
+ops for expressions, setup assignments for loop-invariant scalars, and
+nested :class:`MachineLoop` structures, annotating memory ops with their
+stream, affine stride and constant offset (SLP needs the last two) and
+marking loop-carried dependency chains (reductions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.jvm.ast import (
+    ArrayLoad,
+    ArrayStore,
+    Assign,
+    Bin,
+    Block,
+    ConstExpr,
+    Conv,
+    Expr,
+    For,
+    If,
+    KernelMethod,
+    Local,
+    Return,
+    Stmt,
+)
+from repro.jvm.jtypes import JType
+from repro.timing.kernelmodel import (
+    KernelItem,
+    MachineKernel,
+    MachineLoop,
+    MachineOp,
+    SetupAssign,
+)
+
+_OP_KIND = {
+    "+": "add", "-": "add", "*": "mul", "/": "div", "%": "div",
+    "&": "logic", "|": "logic", "^": "logic",
+    "<<": "shift", ">>": "shift", ">>>": "shift",
+    "==": "cmp", "!=": "cmp", "<": "cmp", "<=": "cmp", ">": "cmp",
+    ">=": "cmp",
+}
+
+
+@dataclass
+class Affine:
+    """index = sum(coeffs[var] * var) + const; coeff None = non-affine."""
+
+    coeffs: dict[str, int | None] = field(default_factory=dict)
+    const: int = 0
+    exact: bool = True
+
+    def coeff(self, var: str) -> int | None:
+        return self.coeffs.get(var, 0)
+
+
+def analyze_affine(expr: Expr, loop_vars: set[str]) -> Affine:
+    """Best-effort affine decomposition of an index expression."""
+    if isinstance(expr, ConstExpr):
+        return Affine(const=int(expr.value))
+    if isinstance(expr, Local):
+        if expr.name in loop_vars:
+            return Affine(coeffs={expr.name: 1})
+        # Loop-invariant symbol: treat as an unknown constant term.
+        return Affine(const=0, exact=False)
+    if isinstance(expr, Conv):
+        return analyze_affine(expr.expr, loop_vars)
+    if isinstance(expr, Bin):
+        a = analyze_affine(expr.lhs, loop_vars)
+        b = analyze_affine(expr.rhs, loop_vars)
+        if expr.op == "+" or expr.op == "-":
+            sign = 1 if expr.op == "+" else -1
+            coeffs: dict[str, int | None] = dict(a.coeffs)
+            for var, c in b.coeffs.items():
+                prior = coeffs.get(var, 0)
+                coeffs[var] = (None if prior is None or c is None
+                               else prior + sign * c)
+            return Affine(coeffs=coeffs, const=a.const + sign * b.const,
+                          exact=a.exact and b.exact)
+        if expr.op == "*":
+            # const * affine stays affine; symbol * loop var makes the
+            # coefficient symbolic ("large stride").
+            if not a.coeffs and a.exact:
+                scale = a.const
+                return Affine(
+                    coeffs={v: (None if c is None else c * scale)
+                            for v, c in b.coeffs.items()},
+                    const=b.const * scale, exact=b.exact)
+            if not b.coeffs and b.exact:
+                scale = b.const
+                return Affine(
+                    coeffs={v: (None if c is None else c * scale)
+                            for v, c in a.coeffs.items()},
+                    const=a.const * scale, exact=a.exact)
+            coeffs = {v: None for v in (set(a.coeffs) | set(b.coeffs))}
+            return Affine(coeffs=coeffs, const=0, exact=False)
+        if expr.op in ("<<",):
+            if not b.coeffs and b.exact:
+                scale = 1 << b.const
+                return Affine(
+                    coeffs={v: (None if c is None else c * scale)
+                            for v, c in a.coeffs.items()},
+                    const=a.const * scale, exact=a.exact)
+    # Anything else: unknown in every loop var mentioned.
+    mentioned = _vars_of(expr) & loop_vars
+    return Affine(coeffs={v: None for v in mentioned}, exact=False)
+
+
+def _index_vars(aff: Affine) -> tuple[str, ...]:
+    """Loop variables the affine index actually depends on."""
+    return tuple(sorted(v for v, c in aff.coeffs.items() if c != 0))
+
+
+def _addressable_index(expr: Expr) -> bool:
+    """True when the index folds into addressing modes / strength-reduced
+    induction variables: any arithmetic over loop variables, constants
+    and loop-invariant scalars (GVN + LICM + strength reduction).  Only
+    indirect indices (an array load inside the index) cost real ops."""
+
+    def has_aload(e: Expr) -> bool:
+        if isinstance(e, ArrayLoad):
+            return True
+        if isinstance(e, Bin):
+            return has_aload(e.lhs) or has_aload(e.rhs)
+        if isinstance(e, Conv):
+            return has_aload(e.expr)
+        return False
+
+    return not has_aload(expr)
+
+
+def _vars_of(expr: Expr) -> set[str]:
+    if isinstance(expr, Local):
+        return {expr.name}
+    if isinstance(expr, Bin):
+        return _vars_of(expr.lhs) | _vars_of(expr.rhs)
+    if isinstance(expr, Conv):
+        return _vars_of(expr.expr)
+    if isinstance(expr, ArrayLoad):
+        return _vars_of(expr.index)
+    return set()
+
+
+def _carried_locals(body: Block) -> set[str]:
+    """Loop-carried locals: written in the body and read *before* any
+    write (an upward-exposed use), i.e. true accumulators.  A temporary
+    defined before its uses within the same iteration is not carried."""
+    written: set[str] = set()
+    upward_exposed: set[str] = set()
+
+    def walk_expr(e: Expr) -> None:
+        if isinstance(e, Local):
+            if e.name not in written:
+                upward_exposed.add(e.name)
+        elif isinstance(e, Bin):
+            walk_expr(e.lhs)
+            walk_expr(e.rhs)
+        elif isinstance(e, Conv):
+            walk_expr(e.expr)
+        elif isinstance(e, ArrayLoad):
+            walk_expr(e.index)
+
+    def walk(s: Stmt) -> None:
+        if isinstance(s, Block):
+            for inner in s.stmts:
+                walk(inner)
+        elif isinstance(s, Assign):
+            walk_expr(s.expr)
+            written.add(s.name)
+        elif isinstance(s, ArrayStore):
+            walk_expr(s.index)
+            walk_expr(s.value)
+        elif isinstance(s, For):
+            walk(s.body)
+        elif isinstance(s, If):
+            walk_expr(s.cond)
+            walk(s.then_body)
+            if s.else_body is not None:
+                walk(s.else_body)
+
+    walk(body)
+    return written & upward_exposed
+
+
+class _Lowerer:
+    def __init__(self, method: KernelMethod):
+        self.method = method
+        self.array_types: dict[str, JType] = {
+            p.name: p.jtype for p in method.params if p.is_array}
+
+    def lower(self) -> MachineKernel:
+        items = self._stmts(self.method.body, loop_vars=set(),
+                            innermost_var=None, carried=set(),
+                            unroll_shift=0)
+        return MachineKernel(
+            name=self.method.name,
+            params=[p.name for p in self.method.params],
+            body=items,
+        )
+
+    # -- expression lowering: returns (ops, reads_carried) --------------------
+
+    def _expr_ops(self, e: Expr, loop_vars: set[str],
+                  innermost_var: str | None, carried: set[str],
+                  unroll_shift: int) -> tuple[list[MachineOp], bool]:
+        if isinstance(e, ConstExpr):
+            return [], False
+        if isinstance(e, Local):
+            return [], e.name in carried
+        if isinstance(e, Conv):
+            ops, on_chain = self._expr_ops(e.expr, loop_vars, innermost_var,
+                                           carried, unroll_shift)
+            src_t = self.method.expr_type(e.expr)
+            ops.append(MachineOp("cvt", bits=max(src_t.bits, e.target.bits),
+                                 is_int=not e.target.is_float,
+                                 on_dep_chain=on_chain))
+            return ops, on_chain
+        if isinstance(e, ArrayLoad):
+            aff = analyze_affine(e.index, loop_vars)
+            stride = aff.coeff(innermost_var) if innermost_var else 0
+            # Affine indices fold into x86 addressing modes
+            # ([base + idx*scale]); only indirect index math costs ops.
+            if _addressable_index(e.index):
+                idx_ops = []
+            else:
+                idx_ops, _ = self._expr_ops(e.index, loop_vars,
+                                            innermost_var, carried,
+                                            unroll_shift)
+            et = self.array_types[e.array]
+            idx_ops.append(MachineOp(
+                "load", bits=et.bits, stream=e.array,
+                stride_elems=stride,
+                offset_elems=(aff.const + unroll_shift
+                              * (stride if stride is not None else 0)),
+                index_vars=_index_vars(aff),
+                is_int=not et.is_float))
+            return idx_ops, False
+        if isinstance(e, Bin):
+            lops, lchain = self._expr_ops(e.lhs, loop_vars, innermost_var,
+                                          carried, unroll_shift)
+            rops, rchain = self._expr_ops(e.rhs, loop_vars, innermost_var,
+                                          carried, unroll_shift)
+            t = self.method.expr_type(e)
+            on_chain = lchain or rchain
+            kind = _OP_KIND[e.op]
+            if kind == "cmp":
+                on_chain = False
+            ops = lops + rops
+            ops.append(MachineOp(kind, bits=t.bits if t.bits >= 32 else 32,
+                                 is_int=not t.is_float,
+                                 on_dep_chain=on_chain))
+            return ops, on_chain
+        raise TypeError(f"cannot lower {e!r}")
+
+    # -- statement lowering ------------------------------------------------------
+
+    def _stmts(self, block: Block, loop_vars: set[str],
+               innermost_var: str | None, carried: set[str],
+               unroll_shift: int) -> list[KernelItem]:
+        items: list[KernelItem] = []
+        for s in block.stmts:
+            items.extend(self._stmt(s, loop_vars, innermost_var, carried,
+                                    unroll_shift))
+        return items
+
+    def _stmt(self, s: Stmt, loop_vars: set[str],
+              innermost_var: str | None, carried: set[str],
+              unroll_shift: int) -> list[KernelItem]:
+        if isinstance(s, Block):
+            return self._stmts(s, loop_vars, innermost_var, carried,
+                               unroll_shift)
+        if isinstance(s, Assign):
+            ops, _ = self._expr_ops(s.expr, loop_vars, innermost_var,
+                                    carried, unroll_shift)
+            if not loop_vars:
+                return [SetupAssign(name=s.name, expr=s.expr,
+                                    ops=tuple(ops))]
+            return list(ops)
+        if isinstance(s, ArrayStore):
+            aff = analyze_affine(s.index, loop_vars)
+            if _addressable_index(s.index):
+                idx_ops = []
+            else:
+                idx_ops, _ = self._expr_ops(s.index, loop_vars,
+                                            innermost_var, carried,
+                                            unroll_shift)
+            val_ops, _ = self._expr_ops(s.value, loop_vars, innermost_var,
+                                        carried, unroll_shift)
+            stride = aff.coeff(innermost_var) if innermost_var else 0
+            et = self.array_types[s.array]
+            store = MachineOp(
+                "store", bits=et.bits, stream=s.array,
+                stride_elems=stride,
+                offset_elems=(aff.const + unroll_shift
+                              * (stride if stride is not None else 0)),
+                index_vars=_index_vars(aff),
+                is_int=not et.is_float)
+            return idx_ops + val_ops + [store]
+        if isinstance(s, For):
+            inner_carried = _carried_locals(s.body)
+            body_items = self._stmts(
+                s.body, loop_vars | {s.var}, s.var, inner_carried, 0)
+            loop = MachineLoop(var=s.var, start=s.start, end=s.end,
+                               step=s.step, body=body_items)
+            return [loop]
+        if isinstance(s, If):
+            cond_ops, _ = self._expr_ops(s.cond, loop_vars, innermost_var,
+                                         carried, unroll_shift)
+            then_items = self._stmts(s.then_body, loop_vars, innermost_var,
+                                     carried, unroll_shift)
+            else_items = (self._stmts(s.else_body, loop_vars, innermost_var,
+                                      carried, unroll_shift)
+                          if s.else_body else [])
+            # Branchy cost model: both sides charged at half weight would
+            # need probabilities; charge the longer side plus the branch.
+            cond_ops.append(MachineOp("branch", is_int=True))
+            longer = then_items if len(then_items) >= len(else_items) \
+                else else_items
+            return list(cond_ops) + longer
+        if isinstance(s, Return):
+            if s.expr is None:
+                return []
+            ops, _ = self._expr_ops(s.expr, loop_vars, innermost_var,
+                                    carried, unroll_shift)
+            return list(ops)
+        raise TypeError(f"cannot lower statement {s!r}")
+
+
+def lower_method(method: KernelMethod) -> MachineKernel:
+    """Lower a type-checked kernel method to a scalar machine kernel."""
+    return _Lowerer(method).lower()
+
+
+def unroll_loop(lowerer_method: KernelMethod, loop: For,
+                loop_vars: set[str], factor: int) -> list[KernelItem]:
+    """Lower ``factor`` copies of a loop body with shifted indices."""
+    lw = _Lowerer(lowerer_method)
+    carried = _carried_locals(loop.body)
+    items: list[KernelItem] = []
+    for u in range(factor):
+        items.extend(lw._stmts(loop.body, loop_vars | {loop.var}, loop.var,
+                               carried, u))
+    return items

@@ -1,0 +1,94 @@
+"""The SLP autovectorizer (Larsen & Amarasinghe, PLDI 2000), as HotSpot
+C2 implements it — with its documented limits.
+
+SLP packs groups of isomorphic scalar instructions from unrolled loop
+bodies into SSE-width (128-bit) vector instructions.  The limits the
+paper leans on (Sections 2.2, 3.4, 4.2):
+
+* basic blocks only — no cross-iteration vectorization beyond what the
+  unroller exposes;
+* no reduction idioms — packs that lie on a loop-carried dependency
+  chain are rejected;
+* conversions (the sub-``int`` promotion traffic of quantized Java code)
+  defeat pack formation;
+* memory packs need adjacent, unit-stride accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.timing.kernelmodel import MachineOp
+
+VECTOR_BITS = 128  # HotSpot emits SSE-width packs (paper, Section 3.4).
+
+_PACKABLE_KINDS = {"load", "store", "add", "mul", "div"}
+# int ops of these kinds are assumed to be addressing arithmetic and
+# are folded into the vector addressing mode when packing succeeds.
+_ADDRESSING_KINDS = {"add", "mul", "shift", "logic"}
+
+
+@dataclass
+class SlpResult:
+    """Outcome of one SLP attempt."""
+
+    success: bool
+    reason: str
+    vector_ops: list[MachineOp] | None = None
+
+
+def _is_addressing(op: MachineOp) -> bool:
+    return op.is_int and op.kind in _ADDRESSING_KINDS and \
+        not op.on_dep_chain
+
+
+def attempt_slp(unrolled: list[MachineOp], factor: int) -> SlpResult:
+    """Try to pack an unrolled innermost-loop body.
+
+    ``unrolled`` holds ``factor`` isomorphic copies of the original body
+    (the unroller guarantees isomorphism); copy ``u`` occupies positions
+    ``[u*L, (u+1)*L)``.
+    """
+    if factor < 2 or len(unrolled) % factor != 0:
+        return SlpResult(False, "unroll factor does not divide body")
+    body_len = len(unrolled) // factor
+
+    vector_ops: list[MachineOp] = []
+    for p in range(body_len):
+        group = [unrolled[u * body_len + p] for u in range(factor)]
+        first = group[0]
+        if not all(g.kind == first.kind and g.bits == first.bits
+                   and g.is_int == first.is_int
+                   and g.stream == first.stream for g in group):
+            return SlpResult(False, f"non-isomorphic group at {p}")
+        if _is_addressing(first) and first.stream is None:
+            continue  # folded into vector addressing
+        if first.kind == "branch" or first.kind == "cmp":
+            return SlpResult(False, "control flow in block")
+        if first.on_dep_chain:
+            # The reduction idiom HotSpot SLP cannot detect.
+            return SlpResult(False, "loop-carried dependency (reduction)")
+        if first.kind == "cvt":
+            return SlpResult(False, "type conversion defeats packing")
+        if first.kind not in _PACKABLE_KINDS:
+            return SlpResult(False, f"unpackable op kind {first.kind}")
+        if first.is_memory:
+            if first.stride_elems != 1:
+                return SlpResult(
+                    False, f"non-unit stride on stream {first.stream}")
+            offsets = sorted(g.offset_elems for g in group)
+            if offsets != list(range(offsets[0], offsets[0] + factor)):
+                return SlpResult(
+                    False, f"non-adjacent accesses on {first.stream}")
+        lanes = VECTOR_BITS // first.bits
+        if lanes < 2 or factor % lanes != 0:
+            return SlpResult(False, f"cannot tile {first.bits}-bit lanes")
+        for v in range(factor // lanes):
+            vector_ops.append(MachineOp(
+                kind=first.kind, bits=first.bits, lanes=lanes,
+                stream=first.stream, stride_elems=first.stride_elems,
+                offset_elems=first.offset_elems + v * lanes,
+                index_vars=first.index_vars, is_int=first.is_int))
+    if not any(op.lanes > 1 for op in vector_ops):
+        return SlpResult(False, "nothing packed")
+    return SlpResult(True, "packed", vector_ops)

@@ -1,0 +1,31 @@
+"""The paper's benchmark kernels.
+
+Staged (LMS) kernels built on the generated SIMD eDSLs, and their Java
+baselines as MiniVM kernel methods:
+
+* SAXPY — Figure 4 of the paper (AVX + FMA, with the scalar tail loop)
+  vs the ``JSaxpy`` Java loop;
+* MMM — Figure 5 (blocked, with the 8x8 register transpose) vs the Java
+  triple loop and the Java blocked version;
+* the variable-precision dots live in :mod:`repro.quant`.
+"""
+
+from repro.kernels.saxpy import (
+    java_saxpy_method,
+    make_staged_saxpy,
+    make_staged_saxpy512_masked,
+)
+from repro.kernels.mmm import (
+    java_mmm_blocked_method,
+    java_mmm_triple_method,
+    make_staged_mmm,
+)
+
+__all__ = [
+    "java_mmm_blocked_method",
+    "java_mmm_triple_method",
+    "java_saxpy_method",
+    "make_staged_mmm",
+    "make_staged_saxpy",
+    "make_staged_saxpy512_masked",
+]

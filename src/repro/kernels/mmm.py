@@ -1,0 +1,175 @@
+"""Matrix-matrix multiplication, paper Figure 5.
+
+Three versions, exactly as evaluated in Section 3.4:
+
+* the staged blocked MMM using AVX intrinsics, with the 8x8 register
+  transpose built from ``unpacklo/unpackhi``, ``shuffle_ps`` and
+  ``permute2f128`` — a direct port of Figure 5, including the Scala
+  collection combinators (``grouped``/``flatMap``/``zip``) which here
+  become list comprehensions: the host language as a macro system;
+* a Java triple loop (the baseline);
+* a Java blocked version with block size 8.
+
+All versions assume ``n == 8k``, as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.isa.registry import IntrinsicsNamespace, load_isas
+from repro.jvm import ast as jast
+from repro.jvm.jtypes import JFLOAT, JINT
+from repro.lms import forloop, stage_function
+from repro.lms.expr import Exp
+from repro.lms.ops import reflect_mutable
+from repro.lms.staging import StagedFunction
+from repro.lms.types import FLOAT, INT32, array_of
+
+MMM_ISAS = ("SSE", "AVX", "AVX2", "FMA")
+
+
+def transpose(cir: IntrinsicsNamespace,
+              row: Sequence[Exp]) -> list[Exp]:
+    """Transpose 8 ``__m256`` values (Figure 5's ``transpose``).
+
+    The ``grouped(2)``/``grouped(4)``/``zip`` structure of the Scala
+    original maps onto Python comprehensions one-for-one.
+    """
+    if len(row) != 8:
+        raise ValueError("transpose expects 8 vectors")
+    pairs = [row[i: i + 2] for i in range(0, 8, 2)]
+    stage1 = [v for a, b in pairs
+              for v in (cir._mm256_unpacklo_ps(a, b),
+                        cir._mm256_unpackhi_ps(a, b))]
+    quads = [stage1[i: i + 4] for i in range(0, 8, 4)]
+    stage2 = [v for a, b, c, d in quads
+              for v in (cir._mm256_shuffle_ps(a, c, 68),
+                        cir._mm256_shuffle_ps(a, c, 238),
+                        cir._mm256_shuffle_ps(b, d, 68),
+                        cir._mm256_shuffle_ps(b, d, 238))]
+    zipped = list(zip(stage2[:4], stage2[4:]))
+    f = cir._mm256_permute2f128_ps
+    return ([f(a, b, 0x20) for a, b in zipped]
+            + [f(a, b, 0x31) for a, b in zipped])
+
+
+def _tree_add(cir: IntrinsicsNamespace, vals: Sequence[Exp]) -> Exp:
+    """Figure 5's recursive pairwise sum (the closure ``f``)."""
+    if len(vals) == 1:
+        return vals[0]
+    half = len(vals) // 2
+    return cir._mm256_add_ps(_tree_add(cir, vals[:half]),
+                             _tree_add(cir, vals[half:]))
+
+
+def make_staged_mmm(cir: IntrinsicsNamespace | None = None
+                    ) -> StagedFunction:
+    """Stage the blocked MMM of Figure 5 (``c += a * b``, n == 8k)."""
+    cir = cir if cir is not None else load_isas(*MMM_ISAS)
+
+    def staged_mmm_blocked(a, b, c, n):
+        reflect_mutable(c)
+
+        def kk_body(kk):
+            def jj_body(jj):
+                # Load the block of matrix B and transpose it.
+                block_b = transpose(cir, [
+                    cir._mm256_loadu_ps(b, (kk + i) * n + jj)
+                    for i in range(8)
+                ])
+
+                def i_body(i):
+                    row_a = cir._mm256_loadu_ps(a, i * n + kk)
+                    mul_ab = transpose(
+                        cir, [cir._mm256_mul_ps(row_a, bb)
+                              for bb in block_b])
+                    row_c = cir._mm256_loadu_ps(c, i * n + jj)
+                    acc_c = cir._mm256_add_ps(_tree_add(cir, mul_ab),
+                                              row_c)
+                    cir._mm256_storeu_ps(c, acc_c, i * n + jj)
+
+                forloop(0, n, step=1, body=i_body)
+
+            forloop(0, n, step=8, body=jj_body)
+
+        forloop(0, n, step=8, body=kk_body)
+
+    return stage_function(
+        staged_mmm_blocked,
+        [array_of(FLOAT), array_of(FLOAT), array_of(FLOAT), INT32],
+        name="mmm_blocked",
+        param_names=["a", "b", "c", "n"],
+    )
+
+
+def java_mmm_triple_method() -> jast.KernelMethod:
+    """The standard Java triple loop: ``c[i][j] += a[i][k] * b[k][j]``."""
+    L, C, B, A = jast.Local, jast.ConstExpr, jast.Bin, jast.ArrayLoad
+
+    def idx(r, c_):
+        return B("+", B("*", L(r), L("n")), L(c_))
+
+    return jast.KernelMethod(
+        name="jmmm_triple",
+        params=[jast.Param("a", JFLOAT, True), jast.Param("b", JFLOAT, True),
+                jast.Param("c", JFLOAT, True), jast.Param("n", JINT)],
+        body=jast.Block([
+            jast.For("i", C(0, JINT), L("n"), C(1, JINT), jast.Block([
+                jast.For("j", C(0, JINT), L("n"), C(1, JINT), jast.Block([
+                    jast.Assign("acc", A("c", idx("i", "j"))),
+                    jast.For("k", C(0, JINT), L("n"), C(1, JINT),
+                             jast.Block([
+                                 jast.Assign("acc", B(
+                                     "+", L("acc"),
+                                     B("*", A("a", idx("i", "k")),
+                                       A("b", idx("k", "j"))))),
+                             ])),
+                    jast.ArrayStore("c", idx("i", "j"), L("acc")),
+                ])),
+            ])),
+        ]))
+
+
+def java_mmm_blocked_method(block: int = 8) -> jast.KernelMethod:
+    """Java blocked MMM (the paper's middle version, block size 8).
+
+    ``block`` parameterizes the tile edge for the block-size ablation.
+    """
+    L, C, B, A = jast.Local, jast.ConstExpr, jast.Bin, jast.ArrayLoad
+
+    def pl(x, y):
+        return B("+", x, y)
+
+    def idx(r_expr, c_expr):
+        return pl(B("*", r_expr, L("n")), c_expr)
+
+    inner = jast.For(
+        "j", C(0, JINT), C(block, JINT), C(1, JINT), jast.Block([
+            jast.Assign("acc", A("c", idx(L("i"), pl(L("jj"), L("j"))))),
+            jast.For("k", C(0, JINT), C(block, JINT), C(1, JINT),
+                     jast.Block([
+                jast.Assign("acc", B(
+                    "+", L("acc"),
+                    B("*",
+                      A("a", idx(L("i"), pl(L("kk"), L("k")))),
+                      A("b", idx(pl(L("kk"), L("k")),
+                                 pl(L("jj"), L("j"))))))),
+            ])),
+            jast.ArrayStore("c", idx(L("i"), pl(L("jj"), L("j"))),
+                            L("acc")),
+        ]))
+
+    return jast.KernelMethod(
+        name=f"jmmm_blocked" if block == 8 else f"jmmm_blocked{block}",
+        params=[jast.Param("a", JFLOAT, True), jast.Param("b", JFLOAT, True),
+                jast.Param("c", JFLOAT, True), jast.Param("n", JINT)],
+        body=jast.Block([
+            jast.For("kk", C(0, JINT), L("n"), C(block, JINT), jast.Block([
+                jast.For("jj", C(0, JINT), L("n"), C(block, JINT),
+                         jast.Block([
+                             jast.For("i", C(0, JINT), L("n"), C(1, JINT),
+                                      jast.Block([inner])),
+                         ])),
+            ])),
+        ]))

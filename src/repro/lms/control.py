@@ -1,0 +1,84 @@
+"""Staged control flow: ``forloop``, ``if_then_else`` and ``while_loop``.
+
+``forloop`` mirrors the paper's construct of the same name: it creates a
+staged counted loop in the computation graph, with a bound index symbol
+and a stride — e.g. a stride of 8 for an AVX loop over floats plus a
+stride-1 scalar tail loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.lms.defs import Block, ForLoop, IfThenElse, WhileLoop
+from repro.lms.expr import Const, Exp, Sym, lift
+from repro.lms.graph import current_builder
+from repro.lms.types import BOOL, INT32, VOID
+
+
+def forloop(start: Any, end: Any, index: Sym | None = None,
+            step: Any = 1, body: Callable[[Sym], Any] | None = None) -> Exp:
+    """Stage a counted loop ``for (i = start; i < end; i += step) body(i)``.
+
+    Mirrors the paper's ``forloop(0, n0, fresh[Int], 8, i => ...)``; the
+    ``index`` argument may be omitted, in which case a fresh ``Int``
+    symbol is allocated.
+    """
+    if body is None:
+        raise TypeError("forloop requires a body function")
+    builder = current_builder()
+    start = lift(start)
+    end = lift(end)
+    step = lift(step)
+    idx = index if index is not None else builder.fresh(INT32)
+
+    with builder.block(bound=(idx,)) as frame:
+        body(idx)
+        block, summary = builder.close_block(frame, Const(None, VOID))
+
+    node = ForLoop(start, end, step, idx, block, VOID)
+    return builder.reflect_effect(node, summary)
+
+
+def if_then_else(cond: Exp, then_branch: Callable[[], Any],
+                 else_branch: Callable[[], Any] | None = None) -> Exp:
+    """Stage a conditional; returns the merged result expression."""
+    builder = current_builder()
+    if not isinstance(cond, Exp) or cond.tp != BOOL:
+        raise TypeError("if_then_else requires a staged Boolean condition")
+
+    with builder.block() as frame:
+        then_res = then_branch()
+        then_res = lift(then_res) if then_res is not None else Const(None, VOID)
+        then_block, then_eff = builder.close_block(frame, then_res)
+
+    with builder.block() as frame:
+        else_res = else_branch() if else_branch is not None else None
+        else_res = lift(else_res) if else_res is not None else Const(None, VOID)
+        else_block, else_eff = builder.close_block(frame, else_res)
+
+    if then_block.result.tp != else_block.result.tp:
+        raise TypeError(
+            "if_then_else branches must produce the same type, got "
+            f"{then_block.result.tp} and {else_block.result.tp}"
+        )
+    node = IfThenElse(cond, then_block, else_block, then_block.result.tp)
+    return builder.reflect_effect(node, then_eff.merge(else_eff))
+
+
+def while_loop(cond: Callable[[], Exp], body: Callable[[], Any]) -> Exp:
+    """Stage a while loop with a staged condition block."""
+    builder = current_builder()
+
+    with builder.block() as frame:
+        cond_res = cond()
+        if not isinstance(cond_res, Exp) or cond_res.tp != BOOL:
+            raise TypeError("while_loop condition must produce a staged Boolean")
+        cond_block, cond_eff = builder.close_block(frame, cond_res)
+
+    with builder.block() as frame:
+        body()
+        body_block, body_eff = builder.close_block(frame, Const(None, VOID))
+
+    node = WhileLoop(cond_block, body_block, VOID)
+    return builder.reflect_effect(node, cond_eff.merge(body_eff))

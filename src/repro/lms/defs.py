@@ -1,0 +1,330 @@
+"""Graph nodes (``Def``), statements and blocks of the staged IR.
+
+``Def`` subclasses represent individual computations, e.g. ``BinaryOp`` or a
+generated intrinsic such as ``MM256_ADD_PD``.  A ``Stm`` binds a ``Sym`` to a
+``Def`` (the SSA form the paper relies on), and a ``Block`` is a sequence of
+statements with a result expression — the body of a staged function or of a
+staged control-flow construct.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.lms.expr import Const, Exp, Sym
+from repro.lms.types import Type
+
+
+class Def:
+    """A computation-graph node.
+
+    ``args`` holds every operand in order; staged operands are ``Exp``
+    while immediate operands (e.g. a shuffle control byte that must be a
+    compile-time constant in C) may be plain Python values.  ``blocks``
+    holds nested blocks for control-flow nodes.
+    """
+
+    mnemonic: str = "def"
+
+    def __init__(self, tp: Type, args: Sequence[object] = ()):
+        self.tp = tp
+        self.args: tuple[object, ...] = tuple(args)
+
+    @property
+    def exp_args(self) -> tuple[Exp, ...]:
+        return tuple(a for a in self.args if isinstance(a, Exp))
+
+    @property
+    def blocks(self) -> tuple["Block", ...]:
+        return ()
+
+    def structural_key(self) -> tuple:
+        """A hashable key identifying this node up to operand identity.
+
+        Used for common-subexpression elimination of pure nodes.
+        """
+        parts: list[object] = [type(self).__name__, self.tp.name, self.mnemonic]
+        for a in self.args:
+            if isinstance(a, (Sym, Const)):
+                parts.append(a._key())
+            elif isinstance(a, Exp):
+                parts.append(("exp", id(a)))
+            else:
+                parts.append(("imm", repr(a)))
+        return tuple(parts)
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        return f"{type(self).__name__}({args})"
+
+
+class Stm:
+    """A single SSA statement ``sym = rhs`` with its effect summary."""
+
+    __slots__ = ("sym", "rhs", "effects")
+
+    def __init__(self, sym: Sym, rhs: Def, effects: "object"):
+        self.sym = sym
+        self.rhs = rhs
+        self.effects = effects
+
+    def __repr__(self) -> str:
+        return f"{self.sym!r} = {self.rhs!r}"
+
+
+class Block:
+    """A sequence of statements producing ``result``.
+
+    ``bound`` lists the symbols bound by the enclosing construct (e.g. a
+    loop index), which scheduling must not hoist above the construct.
+    """
+
+    __slots__ = ("stms", "result", "bound")
+
+    def __init__(self, stms: list[Stm], result: Exp, bound: Sequence[Sym] = ()):
+        self.stms = stms
+        self.result = result
+        self.bound = tuple(bound)
+
+    def __iter__(self) -> Iterator[Stm]:
+        return iter(self.stms)
+
+    def __len__(self) -> int:
+        return len(self.stms)
+
+    def symbols(self) -> dict[int, Stm]:
+        """Map every sym id defined in this block (recursively) to its Stm."""
+        table: dict[int, Stm] = {}
+        for stm in self.stms:
+            table[stm.sym.id] = stm
+            for inner in stm.rhs.blocks:
+                table.update(inner.symbols())
+        return table
+
+
+# ---------------------------------------------------------------------------
+# Core scalar / array / control-flow node classes.
+# ---------------------------------------------------------------------------
+
+
+class BinaryOp(Def):
+    """A scalar binary operation: arithmetic, bitwise, shift or compare."""
+
+    def __init__(self, op: str, lhs: Exp, rhs: Exp, tp: Type):
+        super().__init__(tp, (lhs, rhs))
+        self.op = op
+        self.mnemonic = f"bin{op}"
+
+    @property
+    def lhs(self) -> Exp:
+        return self.args[0]  # type: ignore[return-value]
+
+    @property
+    def rhs(self) -> Exp:
+        return self.args[1]  # type: ignore[return-value]
+
+
+class UnaryOp(Def):
+    """A scalar unary operation (negate, bitwise not, abs, sqrt...)."""
+
+    def __init__(self, op: str, operand: Exp, tp: Type):
+        super().__init__(tp, (operand,))
+        self.op = op
+        self.mnemonic = f"un{op}"
+
+    @property
+    def operand(self) -> Exp:
+        return self.args[0]  # type: ignore[return-value]
+
+
+class Convert(Def):
+    """A scalar conversion (C cast) between primitive types."""
+
+    mnemonic = "convert"
+
+    def __init__(self, operand: Exp, tp: Type):
+        super().__init__(tp, (operand,))
+
+    @property
+    def operand(self) -> Exp:
+        return self.args[0]  # type: ignore[return-value]
+
+
+class Select(Def):
+    """A scalar select ``cond ? then : else`` (both sides evaluated)."""
+
+    mnemonic = "select"
+
+    def __init__(self, cond: Exp, then_val: Exp, else_val: Exp, tp: Type):
+        super().__init__(tp, (cond, then_val, else_val))
+
+
+class ArrayApply(Def):
+    """An array read ``arr[idx]``."""
+
+    mnemonic = "aload"
+
+    def __init__(self, arr: Exp, idx: Exp, tp: Type):
+        super().__init__(tp, (arr, idx))
+
+    @property
+    def array(self) -> Exp:
+        return self.args[0]  # type: ignore[return-value]
+
+    @property
+    def index(self) -> Exp:
+        return self.args[1]  # type: ignore[return-value]
+
+
+class ArrayUpdate(Def):
+    """An array write ``arr[idx] = value``."""
+
+    mnemonic = "astore"
+
+    def __init__(self, arr: Exp, idx: Exp, value: Exp, tp: Type):
+        super().__init__(tp, (arr, idx, value))
+
+    @property
+    def array(self) -> Exp:
+        return self.args[0]  # type: ignore[return-value]
+
+    @property
+    def index(self) -> Exp:
+        return self.args[1]  # type: ignore[return-value]
+
+    @property
+    def value(self) -> Exp:
+        return self.args[2]  # type: ignore[return-value]
+
+
+class ForLoop(Def):
+    """A staged counted loop with a stride, mirroring the paper's
+    ``forloop(start, end, fresh[Int], step, body)``."""
+
+    mnemonic = "for"
+
+    def __init__(self, start: Exp, end: Exp, step: Exp, index: Sym,
+                 body: Block, tp: Type):
+        super().__init__(tp, (start, end, step))
+        self.index = index
+        self.body = body
+
+    @property
+    def start(self) -> Exp:
+        return self.args[0]  # type: ignore[return-value]
+
+    @property
+    def end(self) -> Exp:
+        return self.args[1]  # type: ignore[return-value]
+
+    @property
+    def step(self) -> Exp:
+        return self.args[2]  # type: ignore[return-value]
+
+    @property
+    def blocks(self) -> tuple[Block, ...]:
+        return (self.body,)
+
+
+class IfThenElse(Def):
+    """A staged conditional with two branch blocks."""
+
+    mnemonic = "if"
+
+    def __init__(self, cond: Exp, then_block: Block, else_block: Block,
+                 tp: Type):
+        super().__init__(tp, (cond,))
+        self.then_block = then_block
+        self.else_block = else_block
+
+    @property
+    def cond(self) -> Exp:
+        return self.args[0]  # type: ignore[return-value]
+
+    @property
+    def blocks(self) -> tuple[Block, ...]:
+        return (self.then_block, self.else_block)
+
+
+class WhileLoop(Def):
+    """A staged while loop: condition block + body block."""
+
+    mnemonic = "while"
+
+    def __init__(self, cond_block: Block, body: Block, tp: Type):
+        super().__init__(tp, ())
+        self.cond_block = cond_block
+        self.body = body
+
+    @property
+    def blocks(self) -> tuple[Block, ...]:
+        return (self.cond_block, self.body)
+
+
+class VarDecl(Def):
+    """Declaration of a mutable staged variable with an initial value."""
+
+    mnemonic = "vardecl"
+
+    def __init__(self, init: Exp, tp: Type):
+        super().__init__(tp, (init,))
+
+    @property
+    def init(self) -> Exp:
+        return self.args[0]  # type: ignore[return-value]
+
+
+class VarRead(Def):
+    """Read of a mutable staged variable."""
+
+    mnemonic = "varread"
+
+    def __init__(self, var: Sym, tp: Type):
+        super().__init__(tp, (var,))
+
+    @property
+    def var(self) -> Sym:
+        return self.args[0]  # type: ignore[return-value]
+
+
+class VarAssign(Def):
+    """Assignment to a mutable staged variable."""
+
+    mnemonic = "varassign"
+
+    def __init__(self, var: Sym, value: Exp, tp: Type):
+        super().__init__(tp, (var, value))
+
+    @property
+    def var(self) -> Sym:
+        return self.args[0]  # type: ignore[return-value]
+
+    @property
+    def value(self) -> Exp:
+        return self.args[1]  # type: ignore[return-value]
+
+
+class ReflectMutable(Def):
+    """Marks an argument symbol as mutable (the paper's
+    ``reflectMutableSym``); identity operation with a write capability."""
+
+    mnemonic = "mutable"
+
+    def __init__(self, source: Exp, tp: Type):
+        super().__init__(tp, (source,))
+
+    @property
+    def source(self) -> Exp:
+        return self.args[0]  # type: ignore[return-value]
+
+
+def iter_defs(block: Block) -> Iterable[tuple[Stm, int]]:
+    """Yield every statement in ``block`` (recursively) with its depth."""
+
+    def walk(b: Block, depth: int) -> Iterable[tuple[Stm, int]]:
+        for stm in b.stms:
+            yield stm, depth
+            for inner in stm.rhs.blocks:
+                yield from walk(inner, depth + 1)
+
+    return walk(block, 0)

@@ -1,0 +1,114 @@
+"""The LMS effect system.
+
+Effect summaries record which memory *containers* (arrays, mutable
+variables) a node reads or writes.  As in the paper, intrinsics inferred to
+be loads carry a read effect on each memory argument, and intrinsics
+inferred to be stores carry a write effect — these summaries are what makes
+scheduling of the DSL sound.
+
+Serialization discipline (classic LMS):
+
+* a read of container ``c`` must follow the last write to ``c``;
+* a write to ``c`` must follow the last write *and* every read since it;
+* a global effect (e.g. ``_rdrand16_step``) is a full barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Effects:
+    """An effect summary for one node or one block."""
+
+    reads: frozenset[int] = frozenset()
+    writes: frozenset[int] = frozenset()
+    is_global: bool = False
+    # Dependencies on earlier effectful statements, filled in at reflect
+    # time by the IRBuilder; sym ids this statement must be scheduled after.
+    deps: frozenset[int] = frozenset()
+
+    @property
+    def pure(self) -> bool:
+        return not (self.reads or self.writes or self.is_global)
+
+    @property
+    def effectful(self) -> bool:
+        return not self.pure
+
+    def merge(self, other: "Effects") -> "Effects":
+        return Effects(
+            reads=self.reads | other.reads,
+            writes=self.writes | other.writes,
+            is_global=self.is_global or other.is_global,
+            deps=self.deps | other.deps,
+        )
+
+    def without_containers(self, local: frozenset[int]) -> "Effects":
+        """Drop effects on containers local to a block (e.g. inner vars)."""
+        return Effects(
+            reads=self.reads - local,
+            writes=self.writes - local,
+            is_global=self.is_global,
+            deps=frozenset(),
+        )
+
+
+PURE = Effects()
+
+
+def read(*containers: int) -> Effects:
+    return Effects(reads=frozenset(containers))
+
+
+def write(*containers: int) -> Effects:
+    return Effects(writes=frozenset(containers))
+
+
+def global_effect() -> Effects:
+    return Effects(is_global=True)
+
+
+@dataclass
+class EffectContext:
+    """Per-block bookkeeping used to serialize effectful statements."""
+
+    last_write: dict[int, int] = field(default_factory=dict)
+    reads_since_write: dict[int, list[int]] = field(default_factory=dict)
+    last_global: int | None = None
+    # Every effectful stm since the last global barrier.
+    effectful_since_global: list[int] = field(default_factory=list)
+    # Containers declared in this block (local mutable variables).
+    local_containers: set[int] = field(default_factory=set)
+
+    def dependencies_for(self, eff: Effects) -> frozenset[int]:
+        """Compute the sym ids the new effectful statement must follow."""
+        deps: set[int] = set()
+        if self.last_global is not None:
+            deps.add(self.last_global)
+        if eff.is_global:
+            deps.update(self.effectful_since_global)
+        for c in eff.reads:
+            if c in self.last_write:
+                deps.add(self.last_write[c])
+        for c in eff.writes:
+            if c in self.last_write:
+                deps.add(self.last_write[c])
+            deps.update(self.reads_since_write.get(c, ()))
+        return frozenset(deps)
+
+    def record(self, sym_id: int, eff: Effects) -> None:
+        """Update the bookkeeping after reflecting an effectful statement."""
+        if eff.is_global:
+            self.last_global = sym_id
+            self.effectful_since_global = []
+            self.last_write = {}
+            self.reads_since_write = {}
+            return
+        self.effectful_since_global.append(sym_id)
+        for c in eff.reads:
+            self.reads_since_write.setdefault(c, []).append(sym_id)
+        for c in eff.writes:
+            self.last_write[c] = sym_id
+            self.reads_since_write[c] = []

@@ -1,0 +1,216 @@
+"""Staged expressions: the ``Exp[T]`` hierarchy.
+
+An ``Exp`` is either a ``Const`` (a literal lifted into the staged program)
+or a ``Sym`` (a symbolic reference to a graph node by numeric index).  As in
+LMS, arithmetic on staged expressions does not compute values — it reflects
+new ``Def`` nodes into the current computation graph, so that ``a + b`` on
+two staged ``Int`` expressions builds the staged addition ``a' + b'``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lms.types import (
+    BOOL,
+    DOUBLE,
+    FLOAT,
+    INT32,
+    INT64,
+    ScalarType,
+    Type,
+)
+
+
+class Exp:
+    """A staged expression of some staged type ``tp``."""
+
+    __slots__ = ("tp",)
+
+    def __init__(self, tp: Type):
+        self.tp = tp
+
+    # -- staged arithmetic -------------------------------------------------
+    # The imports are local to break the Exp <-> ops cycle; ops constructs
+    # Def nodes which reference Exp.
+
+    def _binop(self, op: str, other: Any, reverse: bool = False) -> "Exp":
+        from repro.lms import ops
+        lhs, rhs = (other, self) if reverse else (self, other)
+        return ops.binary(op, lhs, rhs)
+
+    def __add__(self, other: Any) -> "Exp":
+        return self._binop("+", other)
+
+    def __radd__(self, other: Any) -> "Exp":
+        return self._binop("+", other, reverse=True)
+
+    def __sub__(self, other: Any) -> "Exp":
+        return self._binop("-", other)
+
+    def __rsub__(self, other: Any) -> "Exp":
+        return self._binop("-", other, reverse=True)
+
+    def __mul__(self, other: Any) -> "Exp":
+        return self._binop("*", other)
+
+    def __rmul__(self, other: Any) -> "Exp":
+        return self._binop("*", other, reverse=True)
+
+    def __truediv__(self, other: Any) -> "Exp":
+        return self._binop("/", other)
+
+    def __rtruediv__(self, other: Any) -> "Exp":
+        return self._binop("/", other, reverse=True)
+
+    def __mod__(self, other: Any) -> "Exp":
+        return self._binop("%", other)
+
+    def __rmod__(self, other: Any) -> "Exp":
+        return self._binop("%", other, reverse=True)
+
+    def __and__(self, other: Any) -> "Exp":
+        return self._binop("&", other)
+
+    def __rand__(self, other: Any) -> "Exp":
+        return self._binop("&", other, reverse=True)
+
+    def __or__(self, other: Any) -> "Exp":
+        return self._binop("|", other)
+
+    def __ror__(self, other: Any) -> "Exp":
+        return self._binop("|", other, reverse=True)
+
+    def __xor__(self, other: Any) -> "Exp":
+        return self._binop("^", other)
+
+    def __rxor__(self, other: Any) -> "Exp":
+        return self._binop("^", other, reverse=True)
+
+    def __lshift__(self, other: Any) -> "Exp":
+        return self._binop("<<", other)
+
+    def __rlshift__(self, other: Any) -> "Exp":
+        return self._binop("<<", other, reverse=True)
+
+    def __rshift__(self, other: Any) -> "Exp":
+        return self._binop(">>", other)
+
+    def __rrshift__(self, other: Any) -> "Exp":
+        return self._binop(">>", other, reverse=True)
+
+    def __neg__(self) -> "Exp":
+        from repro.lms import ops
+        return ops.negate(self)
+
+    def __invert__(self) -> "Exp":
+        from repro.lms import ops
+        return ops.bitwise_not(self)
+
+    # Comparisons produce staged Boolean expressions.  Note: this makes
+    # Exp unhashable by identity unless we restore __hash__, which we do,
+    # because Exps are used as dict keys throughout the graph machinery.
+
+    def __eq__(self, other: Any) -> "Exp":  # type: ignore[override]
+        return self._binop("==", other)
+
+    def __ne__(self, other: Any) -> "Exp":  # type: ignore[override]
+        return self._binop("!=", other)
+
+    def __lt__(self, other: Any) -> "Exp":
+        return self._binop("<", other)
+
+    def __le__(self, other: Any) -> "Exp":
+        return self._binop("<=", other)
+
+    def __gt__(self, other: Any) -> "Exp":
+        return self._binop(">", other)
+
+    def __ge__(self, other: Any) -> "Exp":
+        return self._binop(">=", other)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def same(self, other: Any) -> bool:
+        """Structural identity check (``__eq__`` is staged equality)."""
+        return self is other
+
+
+class Const(Exp):
+    """A literal value lifted into the staged program."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any, tp: Type):
+        super().__init__(tp)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r}: {self.tp})"
+
+    def same(self, other: Any) -> bool:
+        return (
+            isinstance(other, Const)
+            and other.tp == self.tp
+            and other.value == self.value
+        )
+
+    def _key(self) -> tuple:
+        return ("const", self.tp.name, self.value)
+
+
+class Sym(Exp):
+    """A symbolic reference to a graph node through a numeric index."""
+
+    __slots__ = ("id",)
+
+    def __init__(self, sym_id: int, tp: Type):
+        super().__init__(tp)
+        self.id = sym_id
+
+    def __repr__(self) -> str:
+        return f"x{self.id}: {self.tp}"
+
+    def same(self, other: Any) -> bool:
+        return isinstance(other, Sym) and other.id == self.id
+
+    def _key(self) -> tuple:
+        return ("sym", self.id)
+
+
+def const(value: Any, tp: ScalarType | None = None) -> Const:
+    """Lift a Python literal into a staged constant.
+
+    Without an explicit type, ``bool`` maps to ``Boolean``, ``int`` to
+    ``Int`` (or ``Long`` when out of 32-bit range) and ``float`` to
+    ``Double``.
+    """
+    if tp is None:
+        if isinstance(value, bool):
+            tp = BOOL
+        elif isinstance(value, int):
+            tp = INT32 if INT32.min_value() <= value <= INT32.max_value() else INT64
+        elif isinstance(value, float):
+            tp = DOUBLE
+        else:
+            raise TypeError(f"cannot lift {value!r} into a staged constant")
+    return Const(value, tp)
+
+
+def lift(value: Any, like: Exp | None = None) -> Exp:
+    """Return ``value`` unchanged if staged, else lift it as a constant.
+
+    When ``like`` is given and is a float expression, integer literals are
+    lifted at the matching float type so mixed arithmetic stays typed.
+    """
+    if isinstance(value, Exp):
+        return value
+    if like is not None and isinstance(like.tp, ScalarType):
+        if like.tp.is_float and isinstance(value, (int, float)):
+            return Const(float(value), like.tp)
+        if like.tp.is_integer and isinstance(value, int):
+            return Const(value, like.tp)
+    if isinstance(value, float) and like is None:
+        return Const(value, FLOAT if abs(value) < 3.4e38 else DOUBLE)
+    return const(value)

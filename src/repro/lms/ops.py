@@ -1,0 +1,241 @@
+"""Staged scalar and array operations.
+
+These are the "auxiliary scalar operations" the paper interleaves with
+intrinsic invocations inside a staged kernel: arithmetic, comparisons,
+conversions, array reads/writes and mutable variables.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lms import effects as fx
+from repro.lms.defs import (
+    ArrayApply,
+    ArrayUpdate,
+    BinaryOp,
+    Convert,
+    ReflectMutable,
+    Select,
+    UnaryOp,
+    VarAssign,
+    VarDecl,
+    VarRead,
+)
+from repro.lms.expr import Const, Exp, Sym, lift
+from repro.lms.graph import current_builder
+from repro.lms.types import (
+    ArrayType,
+    BOOL,
+    ScalarType,
+    Type,
+)
+
+_COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}
+_INT_ONLY = {"%", "&", "|", "^", "<<", ">>"}
+
+
+def promote(a: ScalarType, b: ScalarType) -> ScalarType:
+    """C usual arithmetic conversions between two scalar types.
+
+    Sub-``int`` integer operands undergo integer promotion to 32 bits
+    first (C11 6.3.1.1) — the same rule the JVM applies, and the reason
+    the paper's 8-bit Java baselines pay a promotion tax.
+    """
+    if a.is_float or b.is_float:
+        floats = [t for t in (a, b) if t.is_float]
+        return max(floats, key=lambda t: t.bits)
+    from repro.lms.types import INT32 as _INT32
+    if a.is_integer and a.bits < 32:
+        a = _INT32
+    if b.is_integer and b.bits < 32:
+        b = _INT32
+    if a == b:
+        return a
+    wider = a if a.bits > b.bits else b
+    if a.bits == b.bits:
+        # Unsigned wins at equal width, as in C.
+        wider = a if not a.signed else b
+    return wider
+
+
+def binary(op: str, lhs: Any, rhs: Any) -> Exp:
+    """Reflect a scalar binary operation with C-like type promotion."""
+    like = lhs if isinstance(lhs, Exp) else rhs if isinstance(rhs, Exp) else None
+    lhs = lift(lhs, like if isinstance(like, Exp) else None)
+    rhs = lift(rhs, like if isinstance(like, Exp) else None)
+    if not isinstance(lhs.tp, ScalarType) or not isinstance(rhs.tp, ScalarType):
+        raise TypeError(
+            f"binary {op!r} requires scalar operands, got {lhs.tp} and {rhs.tp}"
+        )
+    if op in _INT_ONLY and (lhs.tp.is_float or rhs.tp.is_float):
+        raise TypeError(f"operator {op!r} is not defined on float operands")
+    if op in _COMPARISONS:
+        out = BOOL
+    elif op in ("<<", ">>"):
+        out = lhs.tp
+    else:
+        out = promote(lhs.tp, rhs.tp)
+    # Constant folding keeps staged index arithmetic readable in the
+    # generated C and in the graph.
+    if isinstance(lhs, Const) and isinstance(rhs, Const):
+        folded = _fold(op, lhs.value, rhs.value, out)
+        if folded is not None:
+            return folded
+    return current_builder().reflect_pure(BinaryOp(op, lhs, rhs, out))
+
+
+def _fold(op: str, a: Any, b: Any, out: ScalarType) -> Const | None:
+    try:
+        table = {
+            "+": lambda: a + b,
+            "-": lambda: a - b,
+            "*": lambda: a * b,
+            "/": lambda: (a // b if out.is_integer else a / b),
+            "%": lambda: a % b,
+            "&": lambda: a & b,
+            "|": lambda: a | b,
+            "^": lambda: a ^ b,
+            "<<": lambda: a << b,
+            ">>": lambda: a >> b,
+            "==": lambda: a == b,
+            "!=": lambda: a != b,
+            "<": lambda: a < b,
+            "<=": lambda: a <= b,
+            ">": lambda: a > b,
+            ">=": lambda: a >= b,
+        }
+        if op not in table:
+            return None
+        value = table[op]()
+    except (ZeroDivisionError, TypeError):
+        return None
+    return Const(value, out)
+
+
+def negate(operand: Exp) -> Exp:
+    if isinstance(operand, Const):
+        return Const(-operand.value, operand.tp)
+    return current_builder().reflect_pure(UnaryOp("neg", operand, operand.tp))
+
+
+def bitwise_not(operand: Exp) -> Exp:
+    if not isinstance(operand.tp, ScalarType) or not operand.tp.is_integer:
+        raise TypeError("bitwise not requires an integer operand")
+    return current_builder().reflect_pure(UnaryOp("not", operand, operand.tp))
+
+
+def convert(operand: Any, tp: ScalarType) -> Exp:
+    """Reflect a scalar conversion (cast) to ``tp``."""
+    operand = lift(operand)
+    if operand.tp == tp:
+        return operand
+    if isinstance(operand, Const):
+        value = operand.value
+        if tp.is_float:
+            return Const(float(value), tp)
+        return Const(int(value), tp)
+    return current_builder().reflect_pure(Convert(operand, tp))
+
+
+def select(cond: Exp, then_val: Any, else_val: Any) -> Exp:
+    """Reflect a scalar select; both sides are evaluated (like C's ?:
+    after hoisting), so it must only be used on pure operands."""
+    then_val = lift(then_val)
+    else_val = lift(else_val, then_val)
+    tp = then_val.tp
+    if isinstance(tp, ScalarType) and isinstance(else_val.tp, ScalarType):
+        tp = promote(then_val.tp, else_val.tp)
+    return current_builder().reflect_pure(Select(cond, then_val, else_val, tp))
+
+
+def staged_min(a: Exp, b: Any) -> Exp:
+    return select(binary("<", a, b), a, b)
+
+
+def staged_max(a: Exp, b: Any) -> Exp:
+    return select(binary(">", a, b), a, b)
+
+
+def fresh(tp: Type) -> Sym:
+    """Allocate a fresh bound symbol (the paper's ``fresh[Int]``)."""
+    return current_builder().fresh(tp)
+
+
+# -- arrays -----------------------------------------------------------------
+
+
+def _array_elem(arr: Exp) -> ScalarType:
+    if not isinstance(arr.tp, ArrayType):
+        raise TypeError(f"expected a staged array, got {arr.tp}")
+    return arr.tp.elem
+
+
+def _container_id(arr: Exp) -> int:
+    if not isinstance(arr, Sym):
+        raise TypeError("array container must be a symbol")
+    return arr.id
+
+
+def array_apply(arr: Exp, idx: Any) -> Exp:
+    """Staged array read ``arr(idx)`` with a read effect on ``arr``."""
+    elem = _array_elem(arr)
+    idx = lift(idx)
+    node = ArrayApply(arr, idx, elem)
+    return current_builder().reflect_effect(node, fx.read(_container_id(arr)))
+
+
+def array_update(arr: Exp, idx: Any, value: Any) -> Exp:
+    """Staged array write ``arr(idx) = value`` with a write effect."""
+    elem = _array_elem(arr)
+    idx = lift(idx)
+    value = lift(value, Const(0, elem) if not isinstance(value, Exp) else None)
+    if isinstance(value, Exp) and isinstance(value.tp, ScalarType) and value.tp != elem:
+        value = convert(value, elem)
+    from repro.lms.types import VOID
+    node = ArrayUpdate(arr, idx, value, VOID)
+    return current_builder().reflect_effect(node, fx.write(_container_id(arr)))
+
+
+def reflect_mutable(arr: Exp) -> Exp:
+    """Mark a staged argument as mutable, the analog of the paper's
+    ``reflectMutableSym`` used to make output arrays writable."""
+    builder = current_builder()
+    if isinstance(arr, Sym):
+        builder.mark_mutable(arr)
+        return arr
+    raise TypeError("only argument symbols can be marked mutable")
+
+
+# -- mutable staged variables -------------------------------------------------
+
+
+class Variable:
+    """A staged mutable variable (the analog of ``var acc = ...``).
+
+    Reads and writes reflect effectful nodes against the variable's own
+    container id, so loop-carried accumulators are ordered correctly.
+    """
+
+    def __init__(self, init: Any):
+        init = lift(init)
+        builder = current_builder()
+        self.sym = builder.reflect_var_decl(VarDecl(init, init.tp))
+        self.tp = init.tp
+
+    def get(self) -> Exp:
+        builder = current_builder()
+        return builder.reflect_effect(
+            VarRead(self.sym, self.tp), fx.read(self.sym.id)
+        )
+
+    def set(self, value: Any) -> None:
+        value = lift(value)
+        if isinstance(value.tp, ScalarType) and isinstance(self.tp, ScalarType):
+            if value.tp != self.tp:
+                value = convert(value, self.tp)
+        builder = current_builder()
+        from repro.lms.types import VOID
+        builder.reflect_effect(
+            VarAssign(self.sym, value, VOID), fx.write(self.sym.id)
+        )

@@ -1,0 +1,124 @@
+"""Graph rewriting passes built on the transformer machinery.
+
+LMS supports "DSL transformations by substitution" (paper Section 3.2):
+once a substitution is defined, mirroring rebuilds the rest of the graph
+around it.  This module uses that machinery for a classic cleanup pass —
+algebraic simplification with constant propagation — applied to a staged
+function before code generation:
+
+* ``x + 0``, ``x - 0``, ``x * 1``, ``x / 1``, ``x << 0``, ``x >> 0``,
+  ``x | 0``, ``x ^ 0`` → ``x``
+* ``x * 0``, ``x & 0`` → ``0`` (integers only: ``0.0 * x`` is not a
+  float identity under NaN/inf)
+* ``x * 2^k`` → ``x << k`` (integer strength reduction)
+* constant folding happens on reflection already; the pass re-triggers
+  it for operands that become constant after substitution.
+
+The pass is semantics-preserving by construction: it only ever replaces
+a pure node with an equivalent expression, and effectful statements are
+re-reflected in order by the transformer.
+"""
+
+from __future__ import annotations
+
+from repro.lms.defs import BinaryOp, Stm
+from repro.lms.expr import Const, Exp
+from repro.lms.graph import IRBuilder, finish_root_block, staging_scope
+from repro.lms.staging import StagedFunction
+from repro.lms.transform import Transformer
+from repro.lms.types import ScalarType
+
+
+def _is_const(e: Exp, value) -> bool:
+    return isinstance(e, Const) and e.value == value
+
+
+def _power_of_two(e: Exp) -> int | None:
+    if isinstance(e, Const) and isinstance(e.value, int) and \
+            e.value > 1 and (e.value & (e.value - 1)) == 0:
+        return e.value.bit_length() - 1
+    return None
+
+
+class SimplifyTransformer(Transformer):
+    """Mirroring transformer with algebraic rewrite rules."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.rewrites = 0
+
+    def mirror(self, rhs, stm: Stm) -> Exp:
+        if isinstance(rhs, BinaryOp):
+            lhs = self(rhs.lhs)
+            rval = self(rhs.rhs)
+            simplified = self._simplify(rhs, lhs, rval)
+            if simplified is not None:
+                self.rewrites += 1
+                return simplified
+        return super().mirror(rhs, stm)
+
+    def _simplify(self, node: BinaryOp, a: Exp, b: Exp) -> Exp | None:
+        op = node.op
+        tp = node.tp
+        is_int = isinstance(tp, ScalarType) and tp.is_integer
+
+        if op == "+":
+            if _is_const(b, 0) or _is_const(b, 0.0):
+                return a
+            if _is_const(a, 0) or _is_const(a, 0.0):
+                return b
+        elif op == "-":
+            if _is_const(b, 0) or _is_const(b, 0.0):
+                return a
+        elif op == "*":
+            if _is_const(b, 1) or _is_const(b, 1.0):
+                return a
+            if _is_const(a, 1) or _is_const(a, 1.0):
+                return b
+            if is_int and (_is_const(b, 0) or _is_const(a, 0)):
+                return Const(0, tp)
+            if is_int:
+                k = _power_of_two(b)
+                if k is not None:
+                    from repro.lms.ops import binary
+                    return binary("<<", a, Const(k, node.rhs.tp))
+        elif op == "/":
+            if _is_const(b, 1) or _is_const(b, 1.0):
+                return a
+        elif op in ("<<", ">>"):
+            if _is_const(b, 0):
+                return a
+        elif op == "|" or op == "^":
+            if _is_const(b, 0):
+                return a
+            if _is_const(a, 0):
+                return b
+        elif op == "&":
+            if _is_const(b, 0) or _is_const(a, 0):
+                return Const(0, tp)
+        return None
+
+
+def simplify(staged: StagedFunction) -> tuple[StagedFunction, int]:
+    """Run the simplification pass; returns (new function, #rewrites)."""
+    builder = IRBuilder()
+    t = SimplifyTransformer()
+    with staging_scope(builder):
+        new_params = [builder.fresh(p.tp) for p in staged.params]
+        for old, new in zip(staged.params, new_params):
+            t.register(old, new)
+        for sym_id in staged.builder.mutable_syms:
+            # Mutability marks carry over to the mirrored params.
+            for old, new in zip(staged.params, new_params):
+                if old.id == sym_id:
+                    builder.mark_mutable(new)
+        t.transform_statements(staged.body)
+        result = t(staged.body.result)
+        body, effects = finish_root_block(
+            builder, result if not isinstance(result, Const)
+            or result.value is not None else None)
+    simplified = StagedFunction(
+        name=staged.name, params=new_params,
+        param_names=list(staged.param_names), body=body,
+        effects=effects, builder=builder)
+    return simplified, t.rewrites

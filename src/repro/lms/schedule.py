@@ -1,0 +1,92 @@
+"""Scheduling: dead-code elimination over SSA blocks.
+
+Statements are reflected in program order and effectful statements carry
+explicit serialization dependencies, so a schedule is the original
+statement order restricted to *live* statements: every effectful
+statement, plus the pure statements transitively required by live
+statements or by the block result.
+"""
+
+from __future__ import annotations
+
+from repro.lms.defs import Block, Stm
+from repro.lms.expr import Exp, Sym
+
+
+def _needed_syms(exp: Exp, needed: set[int]) -> None:
+    if isinstance(exp, Sym):
+        needed.add(exp.id)
+
+
+def _block_free_syms(block: Block) -> set[int]:
+    """Sym ids referenced in ``block`` but not defined or bound in it."""
+    defined = {stm.sym.id for stm in block.stms}
+    defined.update(s.id for s in block.bound)
+    free: set[int] = set()
+    for stm in block.stms:
+        for arg in stm.rhs.exp_args:
+            if isinstance(arg, Sym) and arg.id not in defined:
+                free.add(arg.id)
+        for inner in stm.rhs.blocks:
+            inner_defined = defined | {s.id for s in inner.bound}
+            for sym_id in _block_free_syms(inner):
+                if sym_id not in inner_defined:
+                    free.add(sym_id)
+    if isinstance(block.result, Sym) and block.result.id not in defined:
+        free.add(block.result.id)
+    return free
+
+
+def schedule_block(block: Block) -> Block:
+    """Return ``block`` with dead pure statements removed, recursively."""
+    needed: set[int] = set()
+    _needed_syms(block.result, needed)
+
+    # First pass (reverse): decide liveness.  Effectful statements are
+    # always live; a pure statement is live if a later live statement or
+    # the result needs its symbol.
+    live: list[Stm] = []
+    for stm in reversed(block.stms):
+        is_live = stm.effects.effectful or stm.sym.id in needed
+        if not is_live:
+            continue
+        live.append(stm)
+        for arg in stm.rhs.exp_args:
+            _needed_syms(arg, needed)
+        needed.update(stm.effects.deps)
+        for inner in stm.rhs.blocks:
+            needed.update(_block_free_syms(inner))
+    live.reverse()
+
+    # Second pass: recurse into nested blocks of live statements.
+    scheduled: list[Stm] = []
+    for stm in live:
+        rhs = stm.rhs
+        if rhs.blocks:
+            _schedule_nested(rhs)
+        scheduled.append(stm)
+    return Block(scheduled, block.result, block.bound)
+
+
+def _schedule_nested(rhs) -> None:
+    """Schedule nested blocks of a control-flow node in place."""
+    from repro.lms.defs import ForLoop, IfThenElse, WhileLoop
+
+    if isinstance(rhs, ForLoop):
+        rhs.body = schedule_block(rhs.body)
+    elif isinstance(rhs, IfThenElse):
+        rhs.then_block = schedule_block(rhs.then_block)
+        rhs.else_block = schedule_block(rhs.else_block)
+    elif isinstance(rhs, WhileLoop):
+        rhs.cond_block = schedule_block(rhs.cond_block)
+        rhs.body = schedule_block(rhs.body)
+
+
+def count_statements(block: Block) -> int:
+    """Total number of statements in ``block`` including nested blocks."""
+    total = 0
+    for stm in block.stms:
+        total += 1
+        for inner in stm.rhs.blocks:
+            total += count_statements(inner)
+    return total

@@ -1,0 +1,215 @@
+"""Staged type system: JVM primitives, C types, and SIMD vector types.
+
+This module encodes Table 2 of the paper (the 12-primitive mapping between
+JVM types and C/C++ types, including the unsigned types that the JVM lacks
+natively) and the ten SIMD vector types (``__m64`` ... ``__m512i``) that the
+paper introduces as abstract classes marking DSL expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class for all staged types."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def c_name(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ScalarType(Type):
+    """A primitive type with a JVM name, a C name and a numpy dtype.
+
+    ``jvm_name`` and ``c_type`` reproduce Table 2 of the paper.
+    """
+
+    jvm_name: str
+    c_type: str
+    dtype: str
+    bits: int
+    signed: bool
+    is_float: bool
+
+    @property
+    def c_name(self) -> str:
+        return self.c_type
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)
+
+    @property
+    def is_integer(self) -> bool:
+        return not self.is_float and self.name != "Boolean"
+
+    def min_value(self) -> int:
+        if self.is_float:
+            raise ValueError(f"{self.name} is not an integer type")
+        if not self.signed:
+            return 0
+        return -(1 << (self.bits - 1))
+
+    def max_value(self) -> int:
+        if self.is_float:
+            raise ValueError(f"{self.name} is not an integer type")
+        if not self.signed:
+            return (1 << self.bits) - 1
+        return (1 << (self.bits - 1)) - 1
+
+
+@dataclass(frozen=True)
+class VectorType(Type):
+    """A SIMD register type such as ``__m256d``.
+
+    ``kind`` is one of ``"float"``, ``"double"``, ``"int"`` or ``"mask"``;
+    integer vectors are reinterpretable at any lane width, which is why
+    (like the hardware) they carry no fixed element type.
+    """
+
+    bits: int
+    kind: str
+
+    @property
+    def c_name(self) -> str:
+        return self.name
+
+    @property
+    def default_lane_bits(self) -> int:
+        return {"float": 32, "double": 64, "int": 32, "mask": 1}[self.kind]
+
+    def lanes(self, lane_bits: int | None = None) -> int:
+        width = lane_bits if lane_bits is not None else self.default_lane_bits
+        return self.bits // width
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """An array of primitives; maps to a pointer ``T*`` in generated C."""
+
+    elem: ScalarType = field(default=None)  # type: ignore[assignment]
+
+    @property
+    def c_name(self) -> str:
+        return f"{self.elem.c_type}*"
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    @property
+    def c_name(self) -> str:
+        return "void"
+
+
+def _scalar(name: str, jvm: str, c: str, dtype: str, bits: int, signed: bool,
+            is_float: bool) -> ScalarType:
+    return ScalarType(name=name, jvm_name=jvm, c_type=c, dtype=dtype,
+                      bits=bits, signed=signed, is_float=is_float)
+
+
+# Table 2: type mappings between JVM and C/C++ types.
+FLOAT = _scalar("Float", "Float", "float", "float32", 32, True, True)
+DOUBLE = _scalar("Double", "Double", "double", "float64", 64, True, True)
+INT8 = _scalar("Byte", "Byte", "int8_t", "int8", 8, True, False)
+INT16 = _scalar("Short", "Short", "int16_t", "int16", 16, True, False)
+INT32 = _scalar("Int", "Int", "int32_t", "int32", 32, True, False)
+INT64 = _scalar("Long", "Long", "int64_t", "int64", 64, True, False)
+# JVM Char maps to int16_t to support UTF-8 (paper, Table 2).
+CHAR = _scalar("Char", "Char", "int16_t", "uint16", 16, False, False)
+BOOL = _scalar("Boolean", "Boolean", "bool", "bool", 8, False, False)
+UINT8 = _scalar("UByte", "UByte", "uint8_t", "uint8", 8, False, False)
+UINT16 = _scalar("UShort", "UShort", "uint16_t", "uint16", 16, False, False)
+UINT32 = _scalar("UInt", "UInt", "uint32_t", "uint32", 32, False, False)
+UINT64 = _scalar("ULong", "ULong", "uint64_t", "uint64", 64, False, False)
+
+VOID = VoidType("Unit")
+
+# SIMD vector types (Section 3.1 of the paper).
+M64 = VectorType("__m64", 64, "int")
+M128 = VectorType("__m128", 128, "float")
+M128D = VectorType("__m128d", 128, "double")
+M128I = VectorType("__m128i", 128, "int")
+M256 = VectorType("__m256", 256, "float")
+M256D = VectorType("__m256d", 256, "double")
+M256I = VectorType("__m256i", 256, "int")
+M512 = VectorType("__m512", 512, "float")
+M512D = VectorType("__m512d", 512, "double")
+M512I = VectorType("__m512i", 512, "int")
+MASK8 = VectorType("__mmask8", 8, "mask")
+MASK16 = VectorType("__mmask16", 16, "mask")
+
+SCALAR_TYPES: tuple[ScalarType, ...] = (
+    FLOAT, DOUBLE, INT8, INT16, INT32, INT64,
+    CHAR, BOOL, UINT8, UINT16, UINT32, UINT64,
+)
+
+VECTOR_TYPES: tuple[VectorType, ...] = (
+    M64, M128, M128D, M128I, M256, M256D, M256I, M512, M512D, M512I,
+    MASK8, MASK16,
+)
+
+_BY_C_NAME: dict[str, ScalarType] = {}
+for _t in SCALAR_TYPES:
+    # First declaration wins: Short and Char both map to int16_t in
+    # Table 2, and C-side lookups resolve to the signed Short.
+    _BY_C_NAME.setdefault(_t.c_type, _t)
+_BY_NAME: dict[str, Type] = {t.name: t for t in SCALAR_TYPES}
+_BY_NAME.update({t.name: t for t in VECTOR_TYPES})
+_BY_NAME["Unit"] = VOID
+
+
+def scalar_for_c_type(c_type: str) -> ScalarType:
+    """Look up the scalar type for a C type name such as ``int32_t``.
+
+    Aliases used by the vendor XML (``int``, ``unsigned int``,
+    ``__int64`` ...) are normalized first.
+    """
+    aliases = {
+        "int": "int32_t",
+        "unsigned int": "uint32_t",
+        "unsigned": "uint32_t",
+        "char": "int8_t",
+        "unsigned char": "uint8_t",
+        "short": "int16_t",
+        "unsigned short": "uint16_t",
+        "long long": "int64_t",
+        "__int64": "int64_t",
+        "unsigned __int64": "uint64_t",
+        "unsigned long long": "uint64_t",
+        "size_t": "uint64_t",
+        "const int": "int32_t",
+    }
+    key = aliases.get(c_type, c_type)
+    if key not in _BY_C_NAME:
+        raise KeyError(f"no scalar type for C type {c_type!r}")
+    return _BY_C_NAME[key]
+
+
+def type_named(name: str) -> Type:
+    """Look up a staged type by its canonical name (``Float``, ``__m256d``)."""
+    if name not in _BY_NAME:
+        raise KeyError(f"unknown staged type {name!r}")
+    return _BY_NAME[name]
+
+
+def array_of(elem: ScalarType) -> ArrayType:
+    """The staged array type with element type ``elem``."""
+    return ArrayType(name=f"Array[{elem.name}]", elem=elem)
+
+
+def vector_type_for_bits(bits: int, kind: str) -> VectorType:
+    """The vector register type of the given width and element kind."""
+    for vt in VECTOR_TYPES:
+        if vt.bits == bits and vt.kind == kind:
+            return vt
+    raise KeyError(f"no vector type with {bits} bits of kind {kind!r}")

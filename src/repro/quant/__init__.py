@@ -1,0 +1,42 @@
+"""Variable-precision arithmetic: the paper's "build your own virtual
+ISA" use case (Section 4).
+
+Provides stochastic quantization into 16/8/4-bit formats and the
+two-function virtual ISA the paper defines on top of the SIMD eDSLs::
+
+    int    dot_ps_step (int bits);
+    __m256 dot_ps      (int bits, void* x, void* y);
+
+with staged AVX2/FMA/FP16C implementations for 32/16/8/4 bits and the
+matching Java baselines (which pay the JVM's sub-``int`` promotion tax).
+"""
+
+from repro.quant.quantize import (
+    QuantizedArray,
+    dequantize,
+    pack_nibbles,
+    quantize_stochastic,
+    scale_factor,
+    unpack_nibbles,
+)
+from repro.quant.dot import (
+    DOT_BITS,
+    dot_ps_step,
+    java_dot_method,
+    make_staged_dot,
+    reference_dot,
+)
+
+__all__ = [
+    "DOT_BITS",
+    "QuantizedArray",
+    "dequantize",
+    "dot_ps_step",
+    "java_dot_method",
+    "make_staged_dot",
+    "pack_nibbles",
+    "quantize_stochastic",
+    "reference_dot",
+    "scale_factor",
+    "unpack_nibbles",
+]

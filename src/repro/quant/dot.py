@@ -1,0 +1,315 @@
+"""The variable-precision dot product: a virtual ISA (paper Section 4).
+
+The virtual ISA abstracts precision behind two functions::
+
+    int    dot_ps_step (int bits);   # elements consumed per invocation
+    __m256 dot_ps      (int bits, void* x, void* y);
+
+``dot_ps_step`` is 32 for the 32/16/8-bit formats and 128 for 4-bit,
+exactly as in the paper.  :func:`make_staged_dot` builds the full staged
+dot kernel: a loop with stride ``dot_ps_step(bits)`` whose body is the
+``dot_ps`` expansion for that precision, an ``acc`` accumulator, and a
+final sum reduction of the 8 float lanes.
+
+The Java baselines accumulate into ``int`` and block the loop only to
+the extent plain Java allows — sub-``int`` operands are still promoted
+to 32 bits before every multiply, which is the promotion tax the paper
+measures (up to 40x for the 4-bit format).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.isa.registry import IntrinsicsNamespace, load_isas
+from repro.jvm import ast as jast
+from repro.jvm.jtypes import JBYTE, JFLOAT, JINT, JLONG, JSHORT
+from repro.lms import forloop, stage_function
+from repro.lms.expr import Exp
+from repro.lms.ops import Variable, array_apply, convert
+from repro.lms.staging import StagedFunction
+from repro.lms.types import FLOAT, INT16, INT32, INT8, array_of
+from repro.quant.quantize import QuantizedArray, unpack_nibbles
+
+DOT_BITS = (32, 16, 8, 4)
+
+_DOT_ISAS = ("SSE", "SSE2", "SSE3", "SSSE3", "SSE4.1", "AVX", "AVX2",
+             "FMA", "FP16C")
+
+
+def dot_ps_step(bits: int) -> int:
+    """Elements consumed per ``dot_ps`` invocation (the paper's table)."""
+    if bits in (32, 16, 8):
+        return 32
+    if bits == 4:
+        return 128
+    raise ValueError(f"unsupported precision: {bits} bits")
+
+
+def _reduce_ps(cir: IntrinsicsNamespace, v: Exp) -> Exp:
+    """Sum-reduce 8 float lanes to one float (the paper's reduce_sum)."""
+    hi = cir._mm256_extractf128_ps(v, 1)
+    lo = cir._mm256_castps256_ps128(v)
+    s = cir._mm_add_ps(hi, lo)
+    s = cir._mm_hadd_ps(s, s)
+    s = cir._mm_hadd_ps(s, s)
+    return cir._mm_cvtss_f32(s)
+
+
+def _reduce_epi32(cir: IntrinsicsNamespace, v: Exp) -> Exp:
+    """Sum-reduce 8 int32 lanes to one float."""
+    return _reduce_ps(cir, cir._mm256_cvtepi32_ps(v))
+
+
+# ---------------------------------------------------------------------------
+# dot_ps bodies per precision (each consumes dot_ps_step(bits) elements).
+# ---------------------------------------------------------------------------
+
+
+def _dot_ps_32(cir, acc: Variable, a: Exp, b: Exp, i: Exp) -> None:
+    partial = None
+    for u in range(4):
+        va = cir._mm256_loadu_ps(a, i + 8 * u)
+        vb = cir._mm256_loadu_ps(b, i + 8 * u)
+        partial = cir._mm256_fmadd_ps(va, vb, partial) if partial is not None \
+            else cir._mm256_mul_ps(va, vb)
+    acc.set(cir._mm256_add_ps(acc.get(), partial))
+
+
+def _dot_ps_16(cir, acc: Variable, a: Exp, b: Exp, i: Exp) -> None:
+    """Half-precision: FP16C converts on load, math stays in fp32."""
+    partial = None
+    for u in range(4):
+        ha = cir._mm_loadu_si128(a, i + 8 * u)
+        hb = cir._mm_loadu_si128(b, i + 8 * u)
+        va = cir._mm256_cvtph_ps(ha)
+        vb = cir._mm256_cvtph_ps(hb)
+        partial = cir._mm256_fmadd_ps(va, vb, partial) if partial is not None \
+            else cir._mm256_mul_ps(va, vb)
+    acc.set(cir._mm256_add_ps(acc.get(), partial))
+
+
+def _dot_ps_8(cir, iacc: Variable, a: Exp, b: Exp, i: Exp,
+              ones16: Exp) -> None:
+    """8-bit two's complement (Buckwild!): abs/sign + maddubs + madd."""
+    va = cir._mm256_loadu_si256(a, i)
+    vb = cir._mm256_loadu_si256(b, i)
+    abs_a = cir._mm256_abs_epi8(va)
+    sgn_b = cir._mm256_sign_epi8(vb, va)
+    p16 = cir._mm256_maddubs_epi16(abs_a, sgn_b)
+    p32 = cir._mm256_madd_epi16(p16, ones16)
+    iacc.set(cir._mm256_add_epi32(iacc.get(), p32))
+
+
+def _dot_ps_4(cir, iacc: Variable, a: Exp, b: Exp, ib: Exp,
+              consts: dict[str, Exp]) -> None:
+    """4-bit sign-magnitude (ZipML): bit-extract both nibbles, apply the
+    combined sign to one magnitude, then the maddubs/madd pipeline."""
+    mask0f, mask07, mask08, ones16 = (consts["m0f"], consts["m07"],
+                                      consts["m08"], consts["ones16"])
+    for half in range(2):  # 64 values per 32-byte load, two loads = 128
+        va = cir._mm256_loadu_si256(a, ib + 32 * half)
+        vb = cir._mm256_loadu_si256(b, ib + 32 * half)
+        for nib in range(2):
+            if nib == 0:
+                na = cir._mm256_and_si256(va, mask0f)
+                nb = cir._mm256_and_si256(vb, mask0f)
+            else:
+                na = cir._mm256_and_si256(
+                    cir._mm256_srli_epi16(va, 4), mask0f)
+                nb = cir._mm256_and_si256(
+                    cir._mm256_srli_epi16(vb, 4), mask0f)
+            mag_a = cir._mm256_and_si256(na, mask07)
+            mag_b = cir._mm256_and_si256(nb, mask07)
+            # Combined sign: negate b's magnitude where exactly one of
+            # the two sign bits is set ((na ^ nb) & 8), via the two's
+            # complement identity (x ^ m) - m with m = 0 or -1.
+            m = cir._mm256_cmpeq_epi8(
+                cir._mm256_and_si256(cir._mm256_xor_si256(na, nb), mask08),
+                mask08)
+            signed_b = cir._mm256_sub_epi8(
+                cir._mm256_xor_si256(mag_b, m), m)
+            p16 = cir._mm256_maddubs_epi16(mag_a, signed_b)
+            p32 = cir._mm256_madd_epi16(p16, ones16)
+            iacc.set(cir._mm256_add_epi32(iacc.get(), p32))
+
+
+# ---------------------------------------------------------------------------
+# Full staged kernels.
+# ---------------------------------------------------------------------------
+
+
+def make_staged_dot(bits: int,
+                    cir: IntrinsicsNamespace | None = None
+                    ) -> StagedFunction:
+    """Stage the variable-precision dot kernel for one precision.
+
+    Signatures (arrays padded to ``dot_ps_step(bits)``):
+
+    * 32: ``(a: float[], b: float[], n) -> float``
+    * 16: ``(a: short[] fp16 bits, b, n) -> float``
+    * 8:  ``(a: byte[], b: byte[], inv_scale: float, n) -> float``
+    * 4:  ``(a: byte[] packed, b, inv_scale: float, n) -> float``
+      (``n`` counts values; bytes hold two each)
+    """
+    cir = cir if cir is not None else load_isas(*_DOT_ISAS)
+    step = dot_ps_step(bits)
+
+    if bits == 32:
+        def dot32(a, b, n):
+            acc = Variable(cir._mm256_setzero_ps())
+            forloop(0, n, step=step,
+                    body=lambda i: _dot_ps_32(cir, acc, a, b, i))
+            return _reduce_ps(cir, acc.get())
+
+        return stage_function(
+            dot32, [array_of(FLOAT), array_of(FLOAT), INT32], "dot32_staged")
+
+    if bits == 16:
+        def dot16(a, b, n):
+            acc = Variable(cir._mm256_setzero_ps())
+            forloop(0, n, step=step,
+                    body=lambda i: _dot_ps_16(cir, acc, a, b, i))
+            return _reduce_ps(cir, acc.get())
+
+        return stage_function(
+            dot16, [array_of(INT16), array_of(INT16), INT32], "dot16_staged")
+
+    if bits == 8:
+        def dot8(a, b, inv_scale, n):
+            iacc = Variable(cir._mm256_setzero_si256())
+            ones16 = cir._mm256_set1_epi16(1)
+            forloop(0, n, step=step,
+                    body=lambda i: _dot_ps_8(cir, iacc, a, b, i, ones16))
+            return _reduce_epi32(cir, iacc.get()) * inv_scale
+
+        return stage_function(
+            dot8, [array_of(INT8), array_of(INT8), FLOAT, INT32],
+            "dot8_staged")
+
+    if bits == 4:
+        def dot4(a, b, inv_scale, n):
+            iacc = Variable(cir._mm256_setzero_si256())
+            consts = {
+                "m0f": cir._mm256_set1_epi8(0x0F),
+                "m07": cir._mm256_set1_epi8(0x07),
+                "m08": cir._mm256_set1_epi8(0x08),
+                "ones16": cir._mm256_set1_epi16(1),
+            }
+            nbytes = n >> 1
+            forloop(0, nbytes, step=step >> 1,
+                    body=lambda ib: _dot_ps_4(cir, iacc, a, b, ib, consts))
+            return _reduce_epi32(cir, iacc.get()) * inv_scale
+
+        return stage_function(
+            dot4, [array_of(INT8), array_of(INT8), FLOAT, INT32],
+            "dot4_staged")
+
+    raise ValueError(f"unsupported precision: {bits} bits")
+
+
+# ---------------------------------------------------------------------------
+# Java baselines.
+# ---------------------------------------------------------------------------
+
+
+def java_dot_method(bits: int) -> jast.KernelMethod:
+    """The Java implementation of one precision (paper Section 4.1)."""
+    L, C, B, A = jast.Local, jast.ConstExpr, jast.Bin, jast.ArrayLoad
+
+    if bits == 32:
+        return jast.KernelMethod(
+            name="jdot32",
+            params=[jast.Param("a", JFLOAT, True),
+                    jast.Param("b", JFLOAT, True), jast.Param("n", JINT)],
+            body=jast.Block([
+                jast.Assign("acc", C(0.0, JFLOAT)),
+                jast.For("i", C(0, JINT), L("n"), C(1, JINT), jast.Block([
+                    jast.Assign("acc", B("+", L("acc"),
+                                         B("*", A("a", L("i")),
+                                           A("b", L("i"))))),
+                ])),
+                jast.Return(L("acc")),
+            ]))
+
+    if bits in (16, 8):
+        elem = JSHORT if bits == 16 else JBYTE
+        # The 16-bit products are up to 2^30; a 32-bit accumulator would
+        # overflow on realistic sizes, so Java needs a long accumulator
+        # (one more width-widening the LMS version avoids).
+        acc_t = JLONG if bits == 16 else JINT
+        return jast.KernelMethod(
+            name=f"jdot{bits}",
+            params=[jast.Param("a", elem, True),
+                    jast.Param("b", elem, True),
+                    jast.Param("inv_scale", JFLOAT), jast.Param("n", JINT)],
+            body=jast.Block([
+                jast.Assign("acc", C(0, acc_t)),
+                jast.For("i", C(0, JINT), L("n"), C(1, JINT), jast.Block([
+                    # byte/short operands are promoted to int here: the
+                    # unavoidable JVM promotion tax.
+                    jast.Assign("acc", B("+", L("acc"),
+                                         B("*", A("a", L("i")),
+                                           A("b", L("i"))))),
+                ])),
+                jast.Return(B("*", jast.Conv(L("acc"), JFLOAT),
+                              L("inv_scale"))),
+            ]))
+
+    if bits == 4:
+        def nibble_val(arr: str, which: str):
+            # lo: v & 15; hi: (v >>> 4) & 15
+            raw = A(arr, L("ib"))
+            nib = B("&", raw, C(15, JINT)) if which == "lo" else \
+                B("&", B(">>>", raw, C(4, JINT)), C(15, JINT))
+            return nib
+
+        def signed(name: str):
+            # value = mag * (1 - ((nib & 8) >> 2))  -> mag or -mag
+            mag = B("&", L(name), C(7, JINT))
+            sgn = B("-", C(1, JINT),
+                    B(">>", B("&", L(name), C(8, JINT)), C(2, JINT)))
+            return B("*", mag, sgn)
+
+        body = []
+        for which in ("lo", "hi"):
+            body.append(jast.Assign(f"na_{which}", nibble_val("a", which)))
+            body.append(jast.Assign(f"nb_{which}", nibble_val("b", which)))
+            body.append(jast.Assign(
+                "acc", B("+", L("acc"), B("*", signed(f"na_{which}"),
+                                          signed(f"nb_{which}")))))
+        return jast.KernelMethod(
+            name="jdot4",
+            params=[jast.Param("a", JBYTE, True),
+                    jast.Param("b", JBYTE, True),
+                    jast.Param("inv_scale", JFLOAT), jast.Param("n", JINT)],
+            body=jast.Block([
+                jast.Assign("acc", C(0, JINT)),
+                jast.Assign("nb2", B(">>", L("n"), C(1, JINT))),
+                jast.For("ib", C(0, JINT), L("nb2"), C(1, JINT),
+                         jast.Block(body)),
+                jast.Return(B("*", jast.Conv(L("acc"), JFLOAT),
+                              L("inv_scale"))),
+            ]))
+
+    raise ValueError(f"unsupported precision: {bits} bits")
+
+
+def reference_dot(qa: QuantizedArray, qb: QuantizedArray) -> float:
+    """Numpy reference over the quantized representations."""
+    if qa.bits != qb.bits:
+        raise ValueError("precision mismatch")
+    if qa.bits == 32:
+        return float(np.dot(qa.data.astype(np.float64),
+                            qb.data.astype(np.float64)))
+    if qa.bits == 16:
+        return float(np.dot(qa.data.astype(np.float32),
+                            qb.data.astype(np.float32)))
+    if qa.bits == 8:
+        acc = int(np.dot(qa.data.astype(np.int64), qb.data.astype(np.int64)))
+        return acc / (qa.scale * qb.scale)
+    va = unpack_nibbles(qa.data, qa.n).astype(np.int64)
+    vb = unpack_nibbles(qb.data, qb.n).astype(np.int64)
+    return float(np.dot(va, vb)) / (qa.scale * qb.scale)

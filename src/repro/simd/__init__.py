@@ -1,0 +1,23 @@
+"""The SIMD machine: bit-accurate vector values and executable semantics.
+
+This package is the "simulated native" backend.  A staged kernel's
+computation graph can be executed here with bit-accurate Intel semantics
+(wraparound, saturation, lane crossing rules), which
+
+* guarantees staged kernels run on any host, with or without a C
+  toolchain or AVX hardware, and
+* provides the reference against which the real gcc/clang backend is
+  validated.
+"""
+
+from repro.simd.vector import VecValue, MaskValue
+from repro.simd.machine import SimdMachine, execute_staged
+from repro.simd.semantics import registry as semantics_registry
+
+__all__ = [
+    "MaskValue",
+    "SimdMachine",
+    "VecValue",
+    "execute_staged",
+    "semantics_registry",
+]

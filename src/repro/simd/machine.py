@@ -1,0 +1,266 @@
+"""The SIMD machine: executes staged computation graphs bit-accurately.
+
+This is the "simulated native" backend: the same computation graph that
+the C backend unparses and compiles is interpreted here against the
+executable intrinsic semantics, with C scalar semantics for the auxiliary
+operations (fixed-width wraparound, truncating division).  Arrays are
+numpy arrays, playing the role of pinned JVM primitive arrays.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.lms.defs import (
+    ArrayApply,
+    ArrayUpdate,
+    BinaryOp,
+    Block,
+    Convert,
+    ForLoop,
+    IfThenElse,
+    ReflectMutable,
+    Select,
+    Stm,
+    UnaryOp,
+    VarAssign,
+    VarDecl,
+    VarRead,
+    WhileLoop,
+)
+from repro.lms.expr import Const, Exp, Sym
+from repro.lms.schedule import schedule_block
+from repro.lms.staging import StagedFunction
+from repro.lms.types import ArrayType, ScalarType
+from repro.simd.semantics import lookup
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a staged graph cannot be executed."""
+
+
+def _as_scalar(tp: ScalarType, value: Any):
+    """Coerce a runtime value to the numpy scalar type of ``tp``.
+
+    Integer coercion wraps two's-complement style (C semantics with
+    ``-fwrapv``); numpy 2.x would raise on out-of-range Python ints.
+    """
+    if not tp.is_float and tp.name != "Boolean":
+        v = int(value) & ((1 << tp.bits) - 1)
+        if tp.signed and v >= (1 << (tp.bits - 1)):
+            v -= 1 << tp.bits
+        return tp.np_dtype.type(v)
+    with np.errstate(over="ignore"):
+        return tp.np_dtype.type(value)
+
+
+class SimdMachine:
+    """Interprets staged functions over numpy memory."""
+
+    def __init__(self, seed: int = 0x5EED):
+        self.rng = random.Random(seed)
+        self.tsc = 0
+        self.op_counts: Counter[str] = Counter()
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, staged: StagedFunction, args: Sequence[Any]) -> Any:
+        """Execute ``staged`` on concrete arguments.
+
+        Array parameters must be numpy arrays with the dtype of the staged
+        array type; scalars are coerced to their staged type.
+        """
+        if len(args) != len(staged.params):
+            raise ExecutionError(
+                f"{staged.name} expects {len(staged.params)} arguments, "
+                f"got {len(args)}"
+            )
+        env: dict[int, Any] = {}
+        for param, value in zip(staged.params, args):
+            env[param.id] = self._check_arg(param, value)
+        body = schedule_block(staged.body)
+        self._exec_block(body, env)
+        return self._eval(body.result, env)
+
+    # -- argument checking -----------------------------------------------------
+
+    def _check_arg(self, param: Sym, value: Any) -> Any:
+        if isinstance(param.tp, ArrayType):
+            if not isinstance(value, np.ndarray):
+                raise ExecutionError(
+                    f"parameter {param!r} needs a numpy array"
+                )
+            expected = param.tp.elem.np_dtype
+            if value.dtype != expected:
+                raise ExecutionError(
+                    f"parameter {param!r} needs dtype {expected}, got "
+                    f"{value.dtype}"
+                )
+            return value
+        if isinstance(param.tp, ScalarType):
+            return _as_scalar(param.tp, value)
+        return value
+
+    # -- evaluation -------------------------------------------------------------
+
+    def _eval(self, exp: Exp, env: dict[int, Any]) -> Any:
+        if isinstance(exp, Const):
+            if exp.value is None:
+                return None
+            if isinstance(exp.tp, ScalarType):
+                return _as_scalar(exp.tp, exp.value)
+            return exp.value
+        if isinstance(exp, Sym):
+            if exp.id not in env:
+                raise ExecutionError(f"unbound symbol {exp!r}")
+            return env[exp.id]
+        raise ExecutionError(f"cannot evaluate {exp!r}")
+
+    def _exec_block(self, block: Block, env: dict[int, Any]) -> Any:
+        for stm in block.stms:
+            env[stm.sym.id] = self._exec_stm(stm, env)
+        return self._eval(block.result, env)
+
+    def _exec_stm(self, stm: Stm, env: dict[int, Any]) -> Any:
+        rhs = stm.rhs
+        ev = lambda e: self._eval(e, env)
+
+        if isinstance(rhs, BinaryOp):
+            self.op_counts["scalar." + rhs.op] += 1
+            return self._binop(rhs, ev(rhs.lhs), ev(rhs.rhs))
+        if isinstance(rhs, UnaryOp):
+            self.op_counts["scalar." + rhs.op] += 1
+            operand = ev(rhs.operand)
+            if rhs.op == "neg":
+                with np.errstate(over="ignore"):
+                    return -operand
+            if rhs.op == "not":
+                return ~operand
+            raise ExecutionError(f"unknown unary op {rhs.op}")
+        if isinstance(rhs, Convert):
+            value = ev(rhs.operand)
+            return _as_scalar(rhs.tp, value)  # type: ignore[arg-type]
+        if isinstance(rhs, Select):
+            cond, a, b = (ev(x) for x in rhs.exp_args)
+            return a if cond else b
+        if isinstance(rhs, ArrayApply):
+            arr = ev(rhs.array)
+            return arr[int(ev(rhs.index))]
+        if isinstance(rhs, ArrayUpdate):
+            arr = ev(rhs.array)
+            idx = int(ev(rhs.index))
+            with np.errstate(over="ignore"):
+                arr[idx] = ev(rhs.value)
+            return None
+        if isinstance(rhs, VarDecl):
+            return _Box(ev(rhs.init))
+        if isinstance(rhs, VarRead):
+            box = env[rhs.var.id]
+            return box.value
+        if isinstance(rhs, VarAssign):
+            box = env[rhs.var.id]
+            box.value = ev(rhs.value)
+            return None
+        if isinstance(rhs, ReflectMutable):
+            return ev(rhs.source)
+        if isinstance(rhs, ForLoop):
+            start = int(ev(rhs.start))
+            end = int(ev(rhs.end))
+            step = int(ev(rhs.step))
+            if step <= 0:
+                raise ExecutionError("forloop step must be positive")
+            for i in range(start, end, step):
+                env[rhs.index.id] = np.int32(i)
+                self._exec_block(rhs.body, env)
+            return None
+        if isinstance(rhs, IfThenElse):
+            if bool(ev(rhs.cond)):
+                return self._exec_block(rhs.then_block, env)
+            return self._exec_block(rhs.else_block, env)
+        if isinstance(rhs, WhileLoop):
+            while bool(self._exec_block(rhs.cond_block, env)):
+                self._exec_block(rhs.body, env)
+            return None
+
+        name = getattr(rhs, "intrinsic_name", None)
+        if name is not None:
+            self.op_counts["simd." + name] += 1
+            fn = lookup(name)
+            values = [a if not isinstance(a, Exp) else ev(a)
+                      for a in rhs.args]
+            return fn(self, *values)
+        raise ExecutionError(f"cannot execute node {type(rhs).__name__}")
+
+    def _binop(self, rhs: BinaryOp, a: Any, b: Any) -> Any:
+        op = rhs.op
+        tp = rhs.tp
+        # C usual arithmetic conversions happen before the operation.
+        if isinstance(tp, ScalarType) and tp.name != "Boolean" and \
+                op not in ("==", "!=", "<", "<=", ">", ">="):
+            a = _as_scalar(tp, a)
+            b = _as_scalar(tp, b)
+        with np.errstate(over="ignore", divide="ignore",
+                        invalid="ignore"):
+            if op == "+":
+                out = a + b
+            elif op == "-":
+                out = a - b
+            elif op == "*":
+                out = a * b
+            elif op == "/":
+                if isinstance(tp, ScalarType) and tp.is_integer:
+                    # C semantics: truncation toward zero.
+                    q = abs(int(a)) // abs(int(b))
+                    out = q if (int(a) < 0) == (int(b) < 0) else -q
+                else:
+                    out = a / b
+            elif op == "%":
+                ia, ib = int(a), int(b)
+                out = ia - (abs(ia) // abs(ib)) * abs(ib) * \
+                    (1 if ia >= 0 else -1)
+            elif op == "&":
+                out = a & b
+            elif op == "|":
+                out = a | b
+            elif op == "^":
+                out = a ^ b
+            elif op == "<<":
+                out = int(a) << int(b)
+            elif op == ">>":
+                out = int(a) >> int(b)
+            elif op == "==":
+                return bool(a == b)
+            elif op == "!=":
+                return bool(a != b)
+            elif op == "<":
+                return bool(a < b)
+            elif op == "<=":
+                return bool(a <= b)
+            elif op == ">":
+                return bool(a > b)
+            elif op == ">=":
+                return bool(a >= b)
+            else:
+                raise ExecutionError(f"unknown binary op {op}")
+        if isinstance(tp, ScalarType):
+            return _as_scalar(tp, out)
+        return out
+
+
+class _Box:
+    """Mutable cell backing a staged variable."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+
+def execute_staged(staged: StagedFunction, args: Sequence[Any],
+                   seed: int = 0x5EED) -> Any:
+    """Convenience wrapper: run ``staged`` on a fresh machine."""
+    return SimdMachine(seed=seed).run(staged, args)

@@ -1,0 +1,88 @@
+"""Executable semantics for the curated intrinsic core.
+
+``registry`` maps an intrinsic name (e.g. ``"_mm256_fmadd_ps"``) to a
+callable ``fn(ctx, *args)`` where ``ctx`` is the executing
+:class:`~repro.simd.machine.SimdMachine` (used for the hardware RNG and
+the cycle counter) and ``args`` are runtime values: :class:`VecValue`,
+:class:`MaskValue`, numpy scalars, or — for memory intrinsics — a numpy
+array followed (at the end of the argument list) by an integer element
+offset, matching the eDSL's ``(mem_addr, offset)`` container convention.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+registry: dict[str, Callable] = {}
+
+_catalog_names_cache: set[str] | None = None
+
+
+def _catalog_names() -> set[str]:
+    global _catalog_names_cache
+    if _catalog_names_cache is None:
+        from repro.spec.catalog import all_entries
+        _catalog_names_cache = {e.name for e in all_entries("3.4")}
+    return _catalog_names_cache
+
+
+class UnimplementedIntrinsic(NotImplementedError):
+    """The intrinsic exists in the catalog but has no executable model."""
+
+
+def register(name: str):
+    """Decorator registering a semantic function under an intrinsic name.
+
+    The name must exist in the spec catalog — semantics for intrinsics
+    that were never specified would be unreachable from the eDSLs.
+    """
+
+    def deco(fn: Callable) -> Callable:
+        if name in registry:
+            raise ValueError(f"duplicate semantics for {name}")
+        if name not in _catalog_names():
+            raise ValueError(f"semantics for unknown intrinsic {name}")
+        registry[name] = fn
+        return fn
+
+    return deco
+
+
+def register_as(name: str, fn: Callable) -> None:
+    """Register ``fn`` under ``name`` when the catalog specifies it.
+
+    Used by the systematic loops (e.g. the same lane-wise op across three
+    vector widths): combinations absent from the catalog are skipped, so
+    the registry is always a subset of the specification.
+    """
+    if name in _catalog_names() and name not in registry:
+        registry[name] = fn
+
+
+def lookup(name: str) -> Callable:
+    if name not in registry:
+        raise UnimplementedIntrinsic(
+            f"intrinsic {name} has no executable semantics in the SIMD "
+            f"machine; it can still be emitted by the C backend"
+        )
+    return registry[name]
+
+
+def _load_all() -> None:
+    # Import order matters only for readability; each module registers
+    # its names on import.
+    from repro.simd.semantics import (  # noqa: F401
+        arith,
+        convert,
+        families,
+        logic_shift,
+        memory,
+        mmx,
+        scalar,
+        shuffle,
+        string_crypto,
+        svml,
+    )
+
+
+_load_all()

@@ -1,0 +1,375 @@
+"""Arithmetic semantics: float suites, FMA, integer arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simd.semantics import register, register_as
+from repro.simd.semantics.util import (
+    DTYPE_BY_SUFFIX,
+    cmp_mask,
+    lane_binop,
+    lane_unop,
+    result,
+    saturate,
+    wrap_add,
+    wrap_mul,
+    wrap_sub,
+)
+from repro.simd.vector import VecValue
+
+_PREFIXES = ("_mm", "_mm256", "_mm512")
+
+
+def _float_ops() -> None:
+    for suffix in ("ps", "pd"):
+        dt = DTYPE_BY_SUFFIX[suffix]
+        for prefix in _PREFIXES:
+            register_as(f"{prefix}_add_{suffix}", lane_binop(dt, wrap_add))
+            register_as(f"{prefix}_sub_{suffix}", lane_binop(dt, wrap_sub))
+            register_as(f"{prefix}_mul_{suffix}", lane_binop(dt, wrap_mul))
+            register_as(f"{prefix}_div_{suffix}",
+                        lane_binop(dt, lambda a, b: a / b))
+            register_as(f"{prefix}_min_{suffix}",
+                        lane_binop(dt, np.minimum))
+            register_as(f"{prefix}_max_{suffix}",
+                        lane_binop(dt, np.maximum))
+            register_as(f"{prefix}_sqrt_{suffix}", lane_unop(dt, np.sqrt))
+
+            def hadd(ctx, a, b, _dt=dt):
+                va, vb = a.view(_dt), b.view(_dt)
+                per_lane = 16 // _dt.itemsize
+                out = np.empty_like(va)
+                for ln in range(va.size * _dt.itemsize // 16):
+                    base = ln * per_lane
+                    sa = va[base: base + per_lane]
+                    sb = vb[base: base + per_lane]
+                    h = per_lane // 2
+                    out[base: base + h] = sa[0::2] + sa[1::2]
+                    out[base + h: base + per_lane] = sb[0::2] + sb[1::2]
+                return result(a.vt, _dt, out)
+
+            def hsub(ctx, a, b, _dt=dt):
+                va, vb = a.view(_dt), b.view(_dt)
+                per_lane = 16 // _dt.itemsize
+                out = np.empty_like(va)
+                for ln in range(va.size * _dt.itemsize // 16):
+                    base = ln * per_lane
+                    sa = va[base: base + per_lane]
+                    sb = vb[base: base + per_lane]
+                    h = per_lane // 2
+                    out[base: base + h] = sa[0::2] - sa[1::2]
+                    out[base + h: base + per_lane] = sb[0::2] - sb[1::2]
+                return result(a.vt, _dt, out)
+
+            register_as(f"{prefix}_hadd_{suffix}", hadd)
+            register_as(f"{prefix}_hsub_{suffix}", hsub)
+
+            def addsub(ctx, a, b, _dt=dt):
+                va, vb = a.view(_dt), b.view(_dt)
+                out = va.copy()
+                out[0::2] = va[0::2] - vb[0::2]
+                out[1::2] = va[1::2] + vb[1::2]
+                return result(a.vt, _dt, out)
+
+            register_as(f"{prefix}_addsub_{suffix}", addsub)
+        register_as(f"_mm_rcp_{suffix}",
+                    lane_unop(dt, lambda a: (1.0 / a).astype(a.dtype)))
+        register_as(f"_mm_rsqrt_{suffix}",
+                    lane_unop(dt, lambda a: (1.0 / np.sqrt(a)).astype(a.dtype)))
+
+
+def _fma_ops() -> None:
+    kinds = {
+        "fmadd": lambda a, b, c: a * b + c,
+        "fmsub": lambda a, b, c: a * b - c,
+        "fnmadd": lambda a, b, c: -(a * b) + c,
+        "fnmsub": lambda a, b, c: -(a * b) - c,
+    }
+    for kind, fn in kinds.items():
+        for suffix in ("ps", "pd"):
+            dt = DTYPE_BY_SUFFIX[suffix]
+            for prefix in _PREFIXES:
+                def fma(ctx, a, b, c, _fn=fn, _dt=dt):
+                    # numpy evaluates a*b in the full dtype then adds — for
+                    # float32 this differs from a true fused op by at most
+                    # one rounding; compute in float64 and round once to
+                    # model the fused behaviour.
+                    wa = a.view(_dt).astype(np.float64)
+                    wb = b.view(_dt).astype(np.float64)
+                    wc = c.view(_dt).astype(np.float64)
+                    return result(a.vt, _dt, _fn(wa, wb, wc).astype(_dt))
+
+                register_as(f"{prefix}_{kind}_{suffix}", fma)
+        for suffix in ("ss", "sd"):
+            dt = np.dtype(np.float32 if suffix == "ss" else np.float64)
+
+            def fma_s(ctx, a, b, c, _fn=fn, _dt=dt):
+                va = a.view(_dt).copy()
+                va[0] = _fn(np.float64(va[0]),
+                            np.float64(b.view(_dt)[0]),
+                            np.float64(c.view(_dt)[0]))
+                return result(a.vt, _dt, va)
+
+            register_as(f"_mm_{kind}_{suffix}", fma_s)
+    for kind, even_fn, odd_fn in (
+            ("fmaddsub", lambda a, b, c: a * b - c, lambda a, b, c: a * b + c),
+            ("fmsubadd", lambda a, b, c: a * b + c, lambda a, b, c: a * b - c)):
+        for suffix in ("ps", "pd"):
+            dt = DTYPE_BY_SUFFIX[suffix]
+            for prefix in ("_mm", "_mm256"):
+                def fmas(ctx, a, b, c, _e=even_fn, _o=odd_fn, _dt=dt):
+                    wa = a.view(_dt).astype(np.float64)
+                    wb = b.view(_dt).astype(np.float64)
+                    wc = c.view(_dt).astype(np.float64)
+                    out = np.empty_like(wa)
+                    out[0::2] = _e(wa[0::2], wb[0::2], wc[0::2])
+                    out[1::2] = _o(wa[1::2], wb[1::2], wc[1::2])
+                    return result(a.vt, _dt, out.astype(_dt))
+
+                register_as(f"{prefix}_{kind}_{suffix}", fmas)
+
+
+def _int_add_sub() -> None:
+    for bits in (8, 16, 32, 64):
+        dt = DTYPE_BY_SUFFIX[f"epi{bits}"]
+        for prefix in _PREFIXES:
+            register_as(f"{prefix}_add_epi{bits}", lane_binop(dt, wrap_add))
+            register_as(f"{prefix}_sub_epi{bits}", lane_binop(dt, wrap_sub))
+    for bits in (8, 16, 32):
+        dt = DTYPE_BY_SUFFIX[f"pi{bits}"]
+        register_as(f"_mm_add_pi{bits}", lane_binop(dt, wrap_add))
+        register_as(f"_mm_sub_pi{bits}", lane_binop(dt, wrap_sub))
+    for sfx in ("epi8", "epi16", "epu8", "epu16", "pu8", "pu16"):
+        dt = DTYPE_BY_SUFFIX[sfx]
+
+        def adds(ctx, a, b, _dt=dt):
+            wide = a.view(_dt).astype(np.int32) + b.view(_dt).astype(np.int32)
+            return result(a.vt, _dt, saturate(wide, _dt))
+
+        def subs(ctx, a, b, _dt=dt):
+            wide = a.view(_dt).astype(np.int32) - b.view(_dt).astype(np.int32)
+            return result(a.vt, _dt, saturate(wide, _dt))
+
+        prefixes = _PREFIXES if sfx.startswith("ep") else ("_mm",)
+        sfx_names = (sfx,) if sfx.startswith("ep") else (sfx, "pi" + sfx[2:])
+        for prefix in prefixes:
+            for name_sfx in sfx_names:
+                register_as(f"{prefix}_adds_{name_sfx}", adds)
+                register_as(f"{prefix}_subs_{name_sfx}", subs)
+
+
+def _int_mul_madd() -> None:
+    for prefix in _PREFIXES:
+        def mullo16(ctx, a, b):
+            wide = a.view(np.int16).astype(np.int32) * \
+                b.view(np.int16).astype(np.int32)
+            return result(a.vt, np.dtype(np.int16), wide.astype(np.int16))
+
+        def mulhi16(ctx, a, b):
+            wide = a.view(np.int16).astype(np.int32) * \
+                b.view(np.int16).astype(np.int32)
+            return result(a.vt, np.dtype(np.int16),
+                          (wide >> 16).astype(np.int16))
+
+        def mullo32(ctx, a, b):
+            wide = a.view(np.int32).astype(np.int64) * \
+                b.view(np.int32).astype(np.int64)
+            return result(a.vt, np.dtype(np.int32), wide.astype(np.int32))
+
+        def madd16(ctx, a, b):
+            wide = a.view(np.int16).astype(np.int32) * \
+                b.view(np.int16).astype(np.int32)
+            return result(a.vt, np.dtype(np.int32), wide[0::2] + wide[1::2])
+
+        def maddubs(ctx, a, b):
+            ua = a.view(np.uint8).astype(np.int32)
+            sb = b.view(np.int8).astype(np.int32)
+            prod = ua * sb
+            return result(a.vt, np.dtype(np.int16),
+                          saturate(prod[0::2] + prod[1::2],
+                                   np.dtype(np.int16)))
+
+        def mulhrs(ctx, a, b):
+            wide = a.view(np.int16).astype(np.int32) * \
+                b.view(np.int16).astype(np.int32)
+            return result(a.vt, np.dtype(np.int16),
+                          (((wide >> 14) + 1) >> 1).astype(np.int16))
+
+        def mul_epi32(ctx, a, b):
+            lo_a = a.view(np.int32).astype(np.int64)[0::2]
+            lo_b = b.view(np.int32).astype(np.int64)[0::2]
+            with np.errstate(over="ignore"):
+                return result(a.vt, np.dtype(np.int64), lo_a * lo_b)
+
+        register_as(f"{prefix}_mullo_epi16", mullo16)
+        register_as(f"{prefix}_mulhi_epi16", mulhi16)
+        register_as(f"{prefix}_mullo_epi32", mullo32)
+        register_as(f"{prefix}_madd_epi16", madd16)
+        register_as(f"{prefix}_maddubs_epi16", maddubs)
+        register_as(f"{prefix}_mulhrs_epi16", mulhrs)
+        register_as(f"{prefix}_mul_epi32", mul_epi32)
+    register_as("_mm_mullo_pi16", lambda ctx, a, b: result(
+        a.vt, np.dtype(np.int16),
+        (a.view(np.int16).astype(np.int32)
+         * b.view(np.int16).astype(np.int32)).astype(np.int16)))
+    register_as("_mm_mulhi_pi16", lambda ctx, a, b: result(
+        a.vt, np.dtype(np.int16),
+        ((a.view(np.int16).astype(np.int32)
+          * b.view(np.int16).astype(np.int32)) >> 16).astype(np.int16)))
+    register_as("_mm_madd_pi16", lambda ctx, a, b: result(
+        a.vt, np.dtype(np.int32),
+        (lambda w: w[0::2] + w[1::2])(
+            a.view(np.int16).astype(np.int32)
+            * b.view(np.int16).astype(np.int32))))
+
+
+def _int_misc() -> None:
+    for prefix in _PREFIXES:
+        for sfx in ("epu8", "epu16"):
+            dt = DTYPE_BY_SUFFIX[sfx]
+            register_as(f"{prefix}_avg_{sfx}", lane_binop(
+                dt, lambda a, b: ((a.astype(np.uint32) + b.astype(np.uint32)
+                                   + 1) >> 1).astype(a.dtype)))
+        for bits in (8, 16, 32):
+            dt = DTYPE_BY_SUFFIX[f"epi{bits}"]
+            register_as(f"{prefix}_abs_epi{bits}", lane_unop(
+                dt, lambda a: np.abs(a)))
+
+            def sign(ctx, a, b, _dt=dt):
+                va, vb = a.view(_dt), b.view(_dt)
+                with np.errstate(over="ignore"):
+                    out = np.where(vb < 0, -va, np.where(vb == 0, 0, va))
+                return result(a.vt, _dt, out.astype(_dt))
+
+            register_as(f"{prefix}_sign_epi{bits}", sign)
+        for bits, sfx in ((16, "epi16"), (32, "epi32")):
+            dt = DTYPE_BY_SUFFIX[sfx]
+
+            def ihadd(ctx, a, b, _dt=dt):
+                va, vb = a.view(_dt), b.view(_dt)
+                per_lane = 16 // _dt.itemsize
+                out = np.empty_like(va)
+                with np.errstate(over="ignore"):
+                    for ln in range(va.size * _dt.itemsize // 16):
+                        base = ln * per_lane
+                        sa = va[base: base + per_lane]
+                        sb = vb[base: base + per_lane]
+                        h = per_lane // 2
+                        out[base: base + h] = sa[0::2] + sa[1::2]
+                        out[base + h: base + per_lane] = sb[0::2] + sb[1::2]
+                return result(a.vt, _dt, out)
+
+            register_as(f"{prefix}_hadd_{sfx}", ihadd)
+        def sad(ctx, a, b):
+            da = a.view(np.uint8).astype(np.int32)
+            db = b.view(np.uint8).astype(np.int32)
+            diff = np.abs(da - db)
+            groups = diff.reshape(-1, 8).sum(axis=1)
+            out = np.zeros(a.vt.bits // 64, dtype=np.int64)
+            out[:] = groups
+            return result(a.vt, np.dtype(np.int64), out)
+
+        register_as(f"{prefix}_sad_epu8", sad)
+    # Integer min/max across curated widths.
+    for mm, fn in (("min", np.minimum), ("max", np.maximum)):
+        for sfx in ("epi8", "epi16", "epi32", "epu8", "epu16", "epu32"):
+            dt = DTYPE_BY_SUFFIX[sfx]
+            for prefix in _PREFIXES:
+                register_as(f"{prefix}_{mm}_{sfx}", lane_binop(dt, fn))
+
+
+def _compare_ops() -> None:
+    for sfx, pairs in (("ps", (("cmpeq", np.equal), ("cmplt", np.less),
+                               ("cmple", np.less_equal),
+                               ("cmpgt", np.greater),
+                               ("cmpge", np.greater_equal),
+                               ("cmpneq", np.not_equal))),
+                       ("pd", (("cmpeq", np.equal), ("cmplt", np.less),
+                               ("cmple", np.less_equal),
+                               ("cmpgt", np.greater),
+                               ("cmpge", np.greater_equal),
+                               ("cmpneq", np.not_equal)))):
+        dt = DTYPE_BY_SUFFIX[sfx]
+        for name, fn in pairs:
+            register_as(f"_mm_{name}_{sfx}", lane_binop(
+                dt, lambda a, b, _fn=fn, _dt=dt: cmp_mask(_dt, _fn(a, b))))
+    for bits in (8, 16, 32, 64):
+        dt = DTYPE_BY_SUFFIX[f"epi{bits}"]
+        for prefix in ("_mm", "_mm256"):
+            register_as(f"{prefix}_cmpeq_epi{bits}", lane_binop(
+                dt, lambda a, b, _dt=dt: cmp_mask(_dt, a == b)))
+            register_as(f"{prefix}_cmpgt_epi{bits}", lane_binop(
+                dt, lambda a, b, _dt=dt: cmp_mask(_dt, a > b)))
+    # AVX cmp with predicate immediate (subset of predicates).
+    _AVX_PREDS = {0: np.equal, 1: np.less, 2: np.less_equal,
+                  4: np.not_equal, 13: np.greater_equal, 14: np.greater,
+                  17: np.less, 18: np.less_equal, 29: np.greater_equal,
+                  30: np.greater}
+
+    for sfx in ("ps", "pd"):
+        dt = DTYPE_BY_SUFFIX[sfx]
+
+        def cmp_imm(ctx, a, b, imm8, _dt=dt):
+            imm = int(imm8)
+            if imm not in _AVX_PREDS:
+                raise NotImplementedError(
+                    f"_mm256_cmp predicate {imm} not modelled")
+            return result(a.vt, _dt,
+                          cmp_mask(_dt, _AVX_PREDS[imm](a.view(_dt),
+                                                        b.view(_dt))))
+
+        register_as(f"_mm256_cmp_{sfx}", cmp_imm)
+
+
+def _scalar_float_ops() -> None:
+    for sfx, dt in (("ss", np.dtype(np.float32)), ("sd", np.dtype(np.float64))):
+        for op, fn in (("add", np.add), ("sub", np.subtract),
+                       ("mul", np.multiply), ("div", np.divide),
+                       ("min", np.minimum), ("max", np.maximum)):
+            def scalar_op(ctx, a, b, _fn=fn, _dt=dt):
+                va = a.view(_dt).copy()
+                va[0] = _fn(va[0], b.view(_dt)[0])
+                return result(a.vt, _dt, va)
+
+            register_as(f"_mm_{op}_{sfx}", scalar_op)
+
+        def scalar_sqrt(ctx, a, _dt=dt):
+            va = a.view(_dt).copy()
+            va[0] = np.sqrt(va[0])
+            return result(a.vt, _dt, va)
+
+        register_as(f"_mm_sqrt_{sfx}", scalar_sqrt)
+
+
+def _avx512_extras() -> None:
+    @register("_mm512_mask_add_ps")
+    def mask_add_ps(ctx, src, k, a, b):
+        va = a.view(np.float32)
+        vb = b.view(np.float32)
+        vs = src.view(np.float32)
+        sel = np.array([k.test(i) for i in range(16)])
+        return result(a.vt, np.dtype(np.float32),
+                      np.where(sel, va + vb, vs))
+
+    @register("_mm512_reduce_add_ps")
+    def reduce_add_ps(ctx, a):
+        return np.float32(a.view(np.float32).sum(dtype=np.float64))
+
+    @register("_mm512_rol_epi32")
+    def rol_epi32(ctx, a, imm8):
+        imm = int(imm8) & 31
+        u = a.view(np.uint32)
+        return result(a.vt, np.dtype(np.int32),
+                      ((u << np.uint32(imm)) | (u >> np.uint32(32 - imm)))
+                      .astype(np.uint32).view(np.int32))
+
+
+_float_ops()
+_fma_ops()
+_int_add_sub()
+_int_mul_madd()
+_int_misc()
+_compare_ops()
+_scalar_float_ops()
+_avx512_extras()

@@ -1,0 +1,188 @@
+"""Conversion and cast semantics, including FP16C half-precision."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lms.types import (
+    M128, M128D, M128I, M256, M256D, M256I, M512, M512D, M512I,
+)
+from repro.simd.semantics import register, register_as
+from repro.simd.semantics.util import VT_BY_NAME, result
+from repro.simd.vector import VecValue
+
+
+def _register_casts() -> None:
+    casts = (
+        ("_mm_castps_pd", M128D), ("_mm_castpd_ps", M128),
+        ("_mm_castps_si128", M128I), ("_mm_castsi128_ps", M128),
+        ("_mm256_castps_pd", M256D), ("_mm256_castpd_ps", M256),
+        ("_mm256_castps_si256", M256I), ("_mm256_castsi256_ps", M256),
+    )
+    for name, vt in casts:
+        def cast(ctx, a, _vt=vt):
+            return a.cast(_vt)
+
+        register_as(name, cast)
+
+    @register("_mm256_castps256_ps128")
+    def castps256_ps128(ctx, a):
+        return a.low_half(M128)
+
+    @register("_mm256_castps128_ps256")
+    def castps128_ps256(ctx, a):
+        # Upper bits are undefined in the ISA; we zero them for determinism.
+        return VecValue(M256, np.concatenate(
+            [a.data, np.zeros(16, dtype=np.uint8)]))
+
+
+def _register_int_float() -> None:
+    pairs = (("_mm_cvtepi32_ps", M128), ("_mm256_cvtepi32_ps", M256))
+    for name, vt in pairs:
+        def cvt_i2f(ctx, a, _vt=vt):
+            return result(_vt, np.dtype(np.float32),
+                          a.view(np.int32).astype(np.float32))
+
+        register_as(name, cvt_i2f)
+
+    for name, vt in (("_mm_cvtps_epi32", M128I), ("_mm256_cvtps_epi32", M256I)):
+        def cvt_f2i(ctx, a, _vt=vt):
+            # Round to nearest even, as the hardware does by default.
+            return result(_vt, np.dtype(np.int32),
+                          np.rint(a.view(np.float32)).astype(np.int32))
+
+        register_as(name, cvt_f2i)
+
+    @register("_mm_cvttps_epi32")
+    def cvttps(ctx, a):
+        return result(M128I, np.dtype(np.int32),
+                      np.trunc(a.view(np.float32)).astype(np.int32))
+
+    @register("_mm_cvtss_f32")
+    def cvtss_f32(ctx, a):
+        return a.view(np.float32)[0].copy()
+
+    @register("_mm_cvtsd_f64")
+    def cvtsd_f64(ctx, a):
+        return a.view(np.float64)[0].copy()
+
+    @register("_mm_cvtsi128_si32")
+    def cvtsi128_si32(ctx, a):
+        return a.view(np.int32)[0].copy()
+
+    @register("_mm_cvtsi128_si64")
+    def cvtsi128_si64(ctx, a):
+        return a.view(np.int64)[0].copy()
+
+    @register("_mm_cvtsi32_si128")
+    def cvtsi32_si128(ctx, a):
+        out = np.zeros(4, dtype=np.int32)
+        out[0] = np.array(a).astype(np.int32)
+        return VecValue.from_lanes(M128I, np.int32, out)
+
+    @register("_mm_cvtsi64_si128")
+    def cvtsi64_si128(ctx, a):
+        out = np.zeros(2, dtype=np.int64)
+        out[0] = np.array(a).astype(np.int64)
+        return VecValue.from_lanes(M128I, np.int64, out)
+
+
+def _register_fp16() -> None:
+    @register("_mm_cvtph_ps")
+    def cvtph_ps(ctx, a):
+        halves = a.view(np.float16)[:4]
+        return result(M128, np.dtype(np.float32), halves.astype(np.float32))
+
+    @register("_mm256_cvtph_ps")
+    def cvtph_ps256(ctx, a):
+        halves = a.view(np.float16)[:8]
+        return result(M256, np.dtype(np.float32), halves.astype(np.float32))
+
+    @register("_mm_cvtps_ph")
+    def cvtps_ph(ctx, a, rounding):
+        halves = a.view(np.float32).astype(np.float16)
+        out = np.zeros(8, dtype=np.float16)
+        out[:4] = halves
+        return VecValue.from_lanes(M128I, np.float16, out)
+
+    @register("_mm256_cvtps_ph")
+    def cvtps_ph256(ctx, a, rounding):
+        halves = a.view(np.float32).astype(np.float16)
+        return VecValue.from_lanes(M128I, np.float16, halves)
+
+
+def _register_extends() -> None:
+    extends = (
+        ("_mm_cvtepi8_epi16", np.int8, np.int16, M128I, 8),
+        ("_mm_cvtepi8_epi32", np.int8, np.int32, M128I, 4),
+        ("_mm_cvtepi8_epi64", np.int8, np.int64, M128I, 2),
+        ("_mm_cvtepi16_epi32", np.int16, np.int32, M128I, 4),
+        ("_mm_cvtepi16_epi64", np.int16, np.int64, M128I, 2),
+        ("_mm_cvtepi32_epi64", np.int32, np.int64, M128I, 2),
+        ("_mm_cvtepu8_epi16", np.uint8, np.int16, M128I, 8),
+        ("_mm_cvtepu8_epi32", np.uint8, np.int32, M128I, 4),
+        ("_mm_cvtepu16_epi32", np.uint16, np.int32, M128I, 4),
+        ("_mm_cvtepu16_epi64", np.uint16, np.int64, M128I, 2),
+        ("_mm_cvtepu32_epi64", np.uint32, np.int64, M128I, 2),
+        ("_mm256_cvtepi8_epi16", np.int8, np.int16, M256I, 16),
+        ("_mm256_cvtepi16_epi32", np.int16, np.int32, M256I, 8),
+        ("_mm256_cvtepu8_epi16", np.uint8, np.int16, M256I, 16),
+    )
+    for name, src_dt, dst_dt, vt, count in extends:
+        def extend(ctx, a, _s=np.dtype(src_dt), _d=np.dtype(dst_dt), _vt=vt,
+                   _n=count):
+            lanes = a.view(_s)[:_n].astype(_d)
+            return VecValue.from_lanes(_vt, _d, lanes)
+
+        register_as(name, extend)
+
+
+def _register_rounding() -> None:
+    for name, dt, fn in (
+            ("_mm_ceil_ps", np.float32, np.ceil),
+            ("_mm_ceil_pd", np.float64, np.ceil),
+            ("_mm_floor_ps", np.float32, np.floor),
+            ("_mm_floor_pd", np.float64, np.floor),
+            ("_mm256_floor_ps", np.float32, np.floor),
+            ("_mm256_ceil_ps", np.float32, np.ceil),
+            ("_mm256_ceil_pd", np.float64, np.ceil),
+            ("_mm256_floor_pd", np.float64, np.floor)):
+        def rnd(ctx, a, _dt=np.dtype(dt), _fn=fn):
+            return result(a.vt, _dt, _fn(a.view(_dt)).astype(_dt))
+
+        register_as(name, rnd)
+
+    _ROUND_FNS = {0: np.rint, 1: np.floor, 2: np.ceil, 3: np.trunc,
+                  8: np.rint, 9: np.floor, 10: np.ceil, 11: np.trunc}
+
+    for name, dt in (("_mm_round_ps", np.float32),
+                     ("_mm_round_pd", np.float64),
+                     ("_mm256_round_ps", np.float32)):
+        def rnd_imm(ctx, a, rounding, _dt=np.dtype(dt)):
+            fn = _ROUND_FNS.get(int(rounding) & 0xB, np.rint)
+            return result(a.vt, _dt, fn(a.view(_dt)).astype(_dt))
+
+        register_as(name, rnd_imm)
+
+
+def _register_mmx_moves() -> None:
+    @register("_mm_cvtm64_si64")
+    def cvtm64(ctx, a):
+        return a.view(np.int64)[0].copy()
+
+    @register("_mm_cvtsi64_m64")
+    def cvtsi64(ctx, a):
+        from repro.lms.types import M64
+        return VecValue.from_lanes(M64, np.int64, [np.int64(a)])
+
+    @register("_m_empty")
+    def m_empty(ctx):
+        return None
+
+
+_register_casts()
+_register_int_float()
+_register_fp16()
+_register_extends()
+_register_rounding()
+_register_mmx_moves()

@@ -1,0 +1,296 @@
+"""Auto-generated semantics for the systematic AVX-512 families.
+
+The mask/maskz structure of AVX-512 is uniform, so executable models for
+a large slice of the family entries can be derived mechanically: the
+plain op computes lanes, the ``mask`` variant merges with ``src`` and the
+``maskz`` variant merges with zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simd.semantics import register_as
+from repro.simd.semantics.util import DTYPE_BY_SUFFIX, result
+from repro.simd.vector import MaskValue, VecValue
+
+_PREFIXES = {"_mm": 128, "_mm256": 256, "_mm512": 512}
+
+_LANE_OPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a / b,
+    "mullo": lambda a, b: a * b,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+_LANE_UNOPS = {
+    "abs": np.abs,
+    "mov": lambda a: a,
+    "sqrt": np.sqrt,
+    "rcp14": lambda a: (1.0 / a),
+    "rsqrt14": lambda a: (1.0 / np.sqrt(a)),
+}
+
+_INT_OK_UNOPS = {"abs", "mov"}
+
+
+def _mask_select(k: MaskValue, computed: np.ndarray,
+                 fallback: np.ndarray) -> np.ndarray:
+    sel = np.array([k.test(i) for i in range(computed.size)])
+    return np.where(sel, computed, fallback)
+
+
+def _register_masked_families() -> None:
+    suffixes = ("epi8", "epi16", "epi32", "epi64", "ps", "pd")
+    for op, fn in _LANE_OPS.items():
+        for suffix in suffixes:
+            dt = DTYPE_BY_SUFFIX[suffix]
+            if op in ("mul", "div") and not np.issubdtype(dt, np.floating):
+                continue
+            for prefix in _PREFIXES:
+                def plain(ctx, a, b, _fn=fn, _dt=dt):
+                    with np.errstate(over="ignore"):
+                        return result(a.vt, _dt,
+                                      np.asarray(_fn(a.view(_dt),
+                                                     b.view(_dt))).astype(_dt))
+
+                def masked(ctx, src, k, a, b, _fn=fn, _dt=dt):
+                    with np.errstate(over="ignore"):
+                        computed = np.asarray(
+                            _fn(a.view(_dt), b.view(_dt))).astype(_dt)
+                    return result(a.vt, _dt,
+                                  _mask_select(k, computed, src.view(_dt)))
+
+                def maskz(ctx, k, a, b, _fn=fn, _dt=dt):
+                    with np.errstate(over="ignore"):
+                        computed = np.asarray(
+                            _fn(a.view(_dt), b.view(_dt))).astype(_dt)
+                    return result(a.vt, _dt,
+                                  _mask_select(k, computed,
+                                               np.zeros_like(computed)))
+
+                register_as(f"{prefix}_{op}_{suffix}", plain)
+                register_as(f"{prefix}_mask_{op}_{suffix}", masked)
+                register_as(f"{prefix}_maskz_{op}_{suffix}", maskz)
+    for op, fn in _LANE_UNOPS.items():
+        for suffix in suffixes:
+            dt = DTYPE_BY_SUFFIX[suffix]
+            if op not in _INT_OK_UNOPS and \
+                    not np.issubdtype(dt, np.floating):
+                continue
+            for prefix in _PREFIXES:
+                def plain1(ctx, a, _fn=fn, _dt=dt):
+                    with np.errstate(all="ignore"):
+                        return result(a.vt, _dt,
+                                      np.asarray(_fn(a.view(_dt))).astype(_dt))
+
+                def masked1(ctx, src, k, a, _fn=fn, _dt=dt):
+                    with np.errstate(all="ignore"):
+                        computed = np.asarray(_fn(a.view(_dt))).astype(_dt)
+                    return result(a.vt, _dt,
+                                  _mask_select(k, computed, src.view(_dt)))
+
+                def maskz1(ctx, k, a, _fn=fn, _dt=dt):
+                    with np.errstate(all="ignore"):
+                        computed = np.asarray(_fn(a.view(_dt))).astype(_dt)
+                    return result(a.vt, _dt,
+                                  _mask_select(k, computed,
+                                               np.zeros_like(computed)))
+
+                register_as(f"{prefix}_{op}_{suffix}", plain1)
+                register_as(f"{prefix}_mask_{op}_{suffix}", masked1)
+                register_as(f"{prefix}_maskz_{op}_{suffix}", maskz1)
+
+
+def _register_cmp_masks() -> None:
+    _PREDS = {0: np.equal, 1: np.less, 2: np.less_equal, 4: np.not_equal,
+              5: np.greater_equal, 6: np.greater}
+    for suffix in ("epi8", "epi16", "epi32", "epi64", "ps", "pd"):
+        dt = DTYPE_BY_SUFFIX[suffix]
+        for prefix, bits in _PREFIXES.items():
+            lanes = bits // (dt.itemsize * 8)
+
+            def cmp(ctx, a, b, imm8, _dt=dt, _lanes=lanes):
+                pred = _PREDS.get(int(imm8) & 7)
+                if pred is None:
+                    raise NotImplementedError(
+                        f"cmp predicate {int(imm8)} not modelled")
+                cond = pred(a.view(_dt), b.view(_dt))
+                value = sum(int(c) << i for i, c in enumerate(cond))
+                return MaskValue(max(8, _lanes), value)
+
+            register_as(f"{prefix}_cmp_{suffix}_mask", cmp)
+
+
+def _register_mask_register_ops() -> None:
+    ops = {"kand": lambda a, b: a & b, "kor": lambda a, b: a | b,
+           "kxor": lambda a, b: a ^ b, "kandn": lambda a, b: ~a & b,
+           "kxnor": lambda a, b: ~(a ^ b)}
+    for bits in (8, 16, 32, 64):
+        for op, fn in ops.items():
+            def kop(ctx, a, b, _fn=fn, _bits=bits):
+                return MaskValue(_bits, _fn(a.value, b.value))
+
+            register_as(f"_{op}_mask{bits}", kop)
+
+        def knot(ctx, a, _bits=bits):
+            return MaskValue(_bits, ~a.value)
+
+        register_as(f"_knot_mask{bits}", knot)
+
+
+def _register_rotates_and_masked_memory() -> None:
+    from repro.lms.types import M128I, M256I, M512I
+    from repro.simd.semantics.memory import read_vec, write_vec
+
+    vts = {"_mm": M128I, "_mm256": M256I, "_mm512": M512I}
+    for bits_ in (16, 32, 64):
+        udt = np.dtype(f"uint{bits_}")
+        dt = np.dtype(f"int{bits_}")
+        for prefix in _PREFIXES:
+            def rol(ctx, a, imm8, _udt=udt, _dt=dt, _w=bits_):
+                r = int(imm8) % _w
+                u = a.view(_udt)
+                out = (u << _udt.type(r)) | (u >> _udt.type((_w - r) % _w))                     if r else u
+                return result(a.vt, _dt, np.asarray(out).astype(_udt)
+                              .view(_dt))
+
+            def ror(ctx, a, imm8, _udt=udt, _dt=dt, _w=bits_):
+                r = int(imm8) % _w
+                u = a.view(_udt)
+                out = (u >> _udt.type(r)) | (u << _udt.type((_w - r) % _w))                     if r else u
+                return result(a.vt, _dt, np.asarray(out).astype(_udt)
+                              .view(_dt))
+
+            register_as(f"{prefix}_rol_epi{bits_}", rol)
+            register_as(f"{prefix}_ror_epi{bits_}", ror)
+
+    # Masked loads/stores across widths: lane-masked memory movement.
+    from repro.lms.types import (
+        M128, M128D, M256, M256D, M512, M512D,
+    )
+    float_vts = {("_mm", "ps"): (M128, np.float32),
+                 ("_mm256", "ps"): (M256, np.float32),
+                 ("_mm512", "ps"): (M512, np.float32),
+                 ("_mm", "pd"): (M128D, np.float64),
+                 ("_mm256", "pd"): (M256D, np.float64),
+                 ("_mm512", "pd"): (M512D, np.float64)}
+    int_vts = {("_mm", "epi32"): (M128I, np.int32),
+               ("_mm256", "epi32"): (M256I, np.int32),
+               ("_mm512", "epi32"): (M512I, np.int32),
+               ("_mm", "epi64"): (M128I, np.int64),
+               ("_mm256", "epi64"): (M256I, np.int64),
+               ("_mm512", "epi64"): (M512I, np.int64)}
+    for (prefix, suffix), (vt, dt) in {**float_vts, **int_vts}.items():
+        lanes = vt.bits // (np.dtype(dt).itemsize * 8)
+
+        # AVX-512 masked memory ops suppress faults on masked-off
+        # lanes, so a masked tail may legally hang off the end of the
+        # array: only selected lanes are touched, per-lane.
+
+        def _lane_view(arr, _dt):
+            flat = arr.view(np.uint8)
+            usable = flat.size // np.dtype(_dt).itemsize
+            return flat[: usable * np.dtype(_dt).itemsize].view(_dt)
+
+        def mask_loadu(ctx, src, k, arr, offset, _vt=vt, _dt=dt,
+                       _lanes=lanes):
+            lanes_out = src.view(_dt).copy()
+            data = _lane_view(arr, _dt)
+            base = int(offset)
+            for i in range(_lanes):
+                if k.test(i):
+                    lanes_out[i] = data[base + i]
+            return VecValue.from_lanes(_vt, _dt, lanes_out)
+
+        def maskz_loadu(ctx, k, arr, offset, _vt=vt, _dt=dt,
+                        _lanes=lanes):
+            lanes_out = np.zeros(_lanes, dtype=_dt)
+            data = _lane_view(arr, _dt)
+            base = int(offset)
+            for i in range(_lanes):
+                if k.test(i):
+                    lanes_out[i] = data[base + i]
+            return VecValue.from_lanes(_vt, _dt, lanes_out)
+
+        def mask_storeu(ctx, arr, k, a, offset, _vt=vt, _dt=dt,
+                        _lanes=lanes):
+            data = _lane_view(arr, _dt)
+            lanes_in = a.view(_dt)
+            base = int(offset)
+            for i in range(_lanes):
+                if k.test(i):
+                    data[base + i] = lanes_in[i]
+
+        register_as(f"{prefix}_mask_loadu_{suffix}", mask_loadu)
+        register_as(f"{prefix}_maskz_loadu_{suffix}", maskz_loadu)
+        register_as(f"{prefix}_mask_storeu_{suffix}", mask_storeu)
+
+
+def _register_mask_conversions() -> None:
+    from repro.simd.semantics import register
+
+    @register("_cvtu32_mask16")
+    def cvtu32_mask16(ctx, a):
+        return MaskValue(16, int(a))
+
+    @register("_cvtmask16_u32")
+    def cvtmask16_u32(ctx, a):
+        return np.uint32(a.value)
+
+    @register("_cvtu32_mask8")
+    def cvtu32_mask8(ctx, a):
+        return MaskValue(8, int(a))
+
+
+def _register_512_memory_reduce() -> None:
+    from repro.lms.types import M512, M512D, M512I
+    from repro.simd.semantics.memory import read_vec, write_vec
+
+    for suffix, vt in (("pd", M512D), ("si512", M512I)):
+        def load(ctx, arr, offset, _vt=vt):
+            return read_vec(_vt, arr, offset)
+
+        def store(ctx, arr, value, offset):
+            write_vec(arr, offset, value)
+
+        register_as(f"_mm512_loadu_{suffix}", load)
+        register_as(f"_mm512_storeu_{suffix}", store)
+
+    for suffix, dt, vt in (("pd", np.float64, M512D),
+                           ("epi8", np.int8, M512I),
+                           ("epi16", np.int16, M512I),
+                           ("epi32", np.int32, M512I),
+                           ("epi64", np.int64, M512I)):
+        def set1(ctx, a, _dt=dt, _vt=vt):
+            with np.errstate(over="ignore"):
+                value = np.array(a).astype(_dt)
+            return VecValue.broadcast(_vt, _dt, value)
+
+        register_as(f"_mm512_set1_{suffix}", set1)
+
+    reducers = {"add": np.add.reduce, "mul": np.multiply.reduce,
+                "min": np.minimum.reduce, "max": np.maximum.reduce,
+                "and": np.bitwise_and.reduce, "or": np.bitwise_or.reduce}
+    for red, fn in reducers.items():
+        for suffix in ("epi32", "epi64", "ps", "pd"):
+            dt = DTYPE_BY_SUFFIX[suffix]
+            if red in ("and", "or") and np.issubdtype(dt, np.floating):
+                continue
+
+            def reduce(ctx, a, _fn=fn, _dt=dt):
+                with np.errstate(over="ignore"):
+                    return _dt.type(_fn(a.view(_dt)))
+
+            register_as(f"_mm512_reduce_{red}_{suffix}", reduce)
+
+
+_register_masked_families()
+_register_cmp_masks()
+_register_mask_register_ops()
+_register_rotates_and_masked_memory()
+_register_mask_conversions()
+_register_512_memory_reduce()

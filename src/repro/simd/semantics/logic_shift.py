@@ -1,0 +1,140 @@
+"""Logical and shift semantics (bitwise ops operate on raw bytes)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simd.semantics import register, register_as
+from repro.simd.semantics.util import DTYPE_BY_SUFFIX, result
+from repro.simd.vector import VecValue
+
+_PREFIXES = ("_mm", "_mm256", "_mm512")
+
+
+def _bitwise(fn):
+    def sem(ctx, a: VecValue, b: VecValue) -> VecValue:
+        return VecValue(a.vt, fn(a.data, b.data))
+
+    return sem
+
+
+def _register_bitwise() -> None:
+    ops = (("and", lambda a, b: a & b),
+           ("or", lambda a, b: a | b),
+           ("xor", lambda a, b: a ^ b),
+           ("andnot", lambda a, b: ~a & b))
+    for op, fn in ops:
+        for suffix in ("ps", "pd"):
+            for prefix in _PREFIXES:
+                register_as(f"{prefix}_{op}_{suffix}", _bitwise(fn))
+        register_as(f"_mm_{op}_si128", _bitwise(fn))
+        register_as(f"_mm256_{op}_si256", _bitwise(fn))
+        register_as(f"_mm_{op}_si64", _bitwise(fn))
+        for bits in (8, 16, 32, 64):
+            register_as(f"_mm512_{op}_epi{bits}", _bitwise(fn))
+
+    @register("_mm_testz_si128")
+    def testz(ctx, a, b):
+        return np.int32(0 if np.any(a.data & b.data) else 1)
+
+    @register("_mm_testc_si128")
+    def testc(ctx, a, b):
+        return np.int32(0 if np.any(~a.data & b.data) else 1)
+
+    @register("_mm_testnzc_si128")
+    def testnzc(ctx, a, b):
+        zf = not np.any(a.data & b.data)
+        cf = not np.any(~a.data & b.data)
+        return np.int32(0 if (zf or cf) else 1)
+
+
+def _register_shifts() -> None:
+    for bits in (16, 32, 64):
+        dt = DTYPE_BY_SUFFIX[f"epi{bits}"]
+        udt = DTYPE_BY_SUFFIX[f"epu{bits}"]
+        for prefix in _PREFIXES:
+            def slli(ctx, a, imm8, _udt=udt, _dt=dt, _bits=bits):
+                imm = int(imm8)
+                if imm >= _bits:
+                    return VecValue.zero(a.vt)
+                return result(a.vt, _dt,
+                              (a.view(_udt) << _udt.type(imm)).view(_dt))
+
+            def srli(ctx, a, imm8, _udt=udt, _dt=dt, _bits=bits):
+                imm = int(imm8)
+                if imm >= _bits:
+                    return VecValue.zero(a.vt)
+                return result(a.vt, _dt,
+                              (a.view(_udt) >> _udt.type(imm)).view(_dt))
+
+            register_as(f"{prefix}_slli_epi{bits}", slli)
+            register_as(f"{prefix}_srli_epi{bits}", srli)
+        if bits < 64:
+            for prefix in _PREFIXES:
+                def srai(ctx, a, imm8, _dt=dt, _bits=bits):
+                    imm = min(int(imm8), _bits - 1)
+                    return result(a.vt, _dt, a.view(_dt) >> _dt.type(imm))
+
+                register_as(f"{prefix}_srai_epi{bits}", srai)
+        # Per-lane variable shifts (AVX2).
+        if bits in (32, 64):
+            for prefix in ("_mm", "_mm256"):
+                def sllv(ctx, a, count, _udt=udt, _dt=dt, _bits=bits):
+                    c = count.view(_udt)
+                    out = np.where(c < _bits, a.view(_udt) << (c % _bits), 0)
+                    return result(a.vt, _dt, out.astype(_udt).view(_dt))
+
+                def srlv(ctx, a, count, _udt=udt, _dt=dt, _bits=bits):
+                    c = count.view(_udt)
+                    out = np.where(c < _bits, a.view(_udt) >> (c % _bits), 0)
+                    return result(a.vt, _dt, out.astype(_udt).view(_dt))
+
+                register_as(f"{prefix}_sllv_epi{bits}", sllv)
+                register_as(f"{prefix}_srlv_epi{bits}", srlv)
+
+    # Byte shifts within 128-bit lanes (AVX2).
+    @register("_mm256_bslli_epi128")
+    def bslli(ctx, a, imm8):
+        imm = min(int(imm8), 16)
+        out = np.zeros_like(a.data)
+        for ln in range(2):
+            lane = a.data[ln * 16:(ln + 1) * 16]
+            out[ln * 16 + imm:(ln + 1) * 16] = lane[: 16 - imm]
+        return VecValue(a.vt, out)
+
+    @register("_mm256_bsrli_epi128")
+    def bsrli(ctx, a, imm8):
+        imm = min(int(imm8), 16)
+        out = np.zeros_like(a.data)
+        for ln in range(2):
+            lane = a.data[ln * 16:(ln + 1) * 16]
+            out[ln * 16:(ln + 1) * 16 - imm] = lane[imm:]
+        return VecValue(a.vt, out)
+
+
+def _register_movemask() -> None:
+    @register("_mm_movemask_ps")
+    def movemask_ps(ctx, a):
+        signs = a.view(np.uint32) >> np.uint32(31)
+        return np.int32(int(sum(int(s) << i for i, s in enumerate(signs))))
+
+    @register("_mm256_movemask_ps")
+    def movemask_ps256(ctx, a):
+        signs = a.view(np.uint32) >> np.uint32(31)
+        return np.int32(int(sum(int(s) << i for i, s in enumerate(signs))))
+
+    @register("_mm_movemask_epi8")
+    def movemask_epi8(ctx, a):
+        signs = a.view(np.uint8) >> np.uint8(7)
+        return np.int32(int(sum(int(s) << i for i, s in enumerate(signs))))
+
+    @register("_mm256_movemask_epi8")
+    def movemask_epi8_256(ctx, a):
+        signs = a.view(np.uint8) >> np.uint8(7)
+        v = sum(int(s) << i for i, s in enumerate(signs))
+        return np.int32(v - (1 << 32) if v >= (1 << 31) else v)
+
+
+_register_bitwise()
+_register_shifts()
+_register_movemask()

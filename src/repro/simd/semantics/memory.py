@@ -1,0 +1,211 @@
+"""Memory semantics: loads, stores, sets, broadcasts, gathers.
+
+Memory intrinsics follow the eDSL container convention: each pointer
+parameter is paired with an integer *element offset* appended at the end
+of the argument list (the paper's ``(mem_addr, mem_addrOffset)``), so
+``_mm256_storeu_ps(a, v, i)`` stores ``v`` at ``&a[i]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lms.types import (
+    M128, M128D, M128I, M256, M256D, M256I, M512, M512D, M512I, M64,
+    VectorType,
+)
+from repro.simd.semantics import register, register_as
+from repro.simd.vector import VecValue
+
+
+def read_vec(vt: VectorType, arr: np.ndarray, offset: int) -> VecValue:
+    """Read ``vt.bits`` bits starting at element ``offset`` of ``arr``."""
+    nbytes = vt.bits // 8
+    byte_off = int(offset) * arr.itemsize
+    raw = arr.view(np.uint8)[byte_off: byte_off + nbytes]
+    if raw.size != nbytes:
+        raise IndexError(
+            f"SIMD load of {nbytes} bytes at element {offset} runs off the "
+            f"end of an array of {arr.nbytes} bytes"
+        )
+    return VecValue(vt, raw.copy())
+
+
+def write_vec(arr: np.ndarray, offset: int, value: VecValue) -> None:
+    """Store a register to element ``offset`` of ``arr``."""
+    nbytes = value.vt.bits // 8
+    byte_off = int(offset) * arr.itemsize
+    view = arr.view(np.uint8)
+    if byte_off + nbytes > view.size:
+        raise IndexError(
+            f"SIMD store of {nbytes} bytes at element {offset} runs off the "
+            f"end of an array of {arr.nbytes} bytes"
+        )
+    view[byte_off: byte_off + nbytes] = value.data
+
+
+_LOADS = {
+    "_mm_loadu_ps": M128, "_mm_load_ps": M128,
+    "_mm_loadu_pd": M128D, "_mm_load_pd": M128D,
+    "_mm_loadu_si128": M128I, "_mm_load_si128": M128I,
+    "_mm_lddqu_si128": M128I,
+    "_mm256_loadu_ps": M256, "_mm256_load_ps": M256,
+    "_mm256_loadu_pd": M256D, "_mm256_load_pd": M256D,
+    "_mm256_loadu_si256": M256I,
+    "_mm512_loadu_ps": M512,
+    "_mm_stream_load_si128": M128I,
+}
+
+_STORES = {
+    "_mm_storeu_ps", "_mm_store_ps", "_mm_storeu_pd", "_mm_store_pd",
+    "_mm_storeu_si128", "_mm_store_si128", "_mm256_storeu_ps",
+    "_mm256_store_ps", "_mm256_storeu_pd", "_mm256_store_pd",
+    "_mm256_storeu_si256", "_mm512_storeu_ps", "_mm_stream_ps",
+    "_mm_stream_si128",
+}
+
+
+def _register_loads_stores() -> None:
+    for name, vt in _LOADS.items():
+        def load(ctx, arr, offset, _vt=vt):
+            return read_vec(_vt, arr, offset)
+
+        register_as(name, load)
+
+    for name in _STORES:
+        def store(ctx, arr, value, offset):
+            write_vec(arr, offset, value)
+
+        register_as(name, store)
+
+    @register("_mm_store_pd1")
+    def store_pd1(ctx, arr, value, offset):
+        lo = value.view(np.float64)[0]
+        byte_off = int(offset) * arr.itemsize
+        arr.view(np.uint8)[byte_off: byte_off + 16] = VecValue.from_lanes(
+            M128D, np.float64, [lo, lo]).data
+
+    @register("_mm_loaddup_pd")
+    def loaddup_pd(ctx, arr, offset):
+        x = arr.view(np.float64)[int(offset)] if arr.dtype == np.float64 \
+            else np.frombuffer(arr.view(np.uint8)[
+                int(offset) * arr.itemsize: int(offset) * arr.itemsize + 8
+            ].tobytes(), np.float64)[0]
+        return VecValue.from_lanes(M128D, np.float64, [x, x])
+
+
+def _register_sets() -> None:
+    sets = (
+        ("_mm_set1_ps", M128, np.float32), ("_mm256_set1_ps", M256, np.float32),
+        ("_mm512_set1_ps", M512, np.float32),
+        ("_mm_set1_pd", M128D, np.float64),
+        ("_mm256_set1_pd", M256D, np.float64),
+        ("_mm_set1_epi8", M128I, np.int8), ("_mm_set1_epi16", M128I, np.int16),
+        ("_mm_set1_epi32", M128I, np.int32),
+        ("_mm_set1_epi64x", M128I, np.int64),
+        ("_mm256_set1_epi8", M256I, np.int8),
+        ("_mm256_set1_epi16", M256I, np.int16),
+        ("_mm256_set1_epi32", M256I, np.int32),
+        ("_mm256_set1_epi64x", M256I, np.int64),
+        ("_mm_set1_pi8", M64, np.int8), ("_mm_set1_pi16", M64, np.int16),
+        ("_mm_set1_pi32", M64, np.int32),
+    )
+    for name, vt, dt in sets:
+        def set1(ctx, a, _vt=vt, _dt=dt):
+            # C semantics: integer arguments truncate (wrap) to the lane
+            # width; numpy scalar constructors would raise instead.
+            with np.errstate(over="ignore"):
+                value = np.array(a).astype(_dt)
+            return VecValue.broadcast(_vt, _dt, value)
+
+        register_as(name, set1)
+
+    zeros = (("_mm_setzero_ps", M128), ("_mm_setzero_pd", M128D),
+             ("_mm_setzero_si128", M128I), ("_mm256_setzero_ps", M256),
+             ("_mm256_setzero_pd", M256D), ("_mm256_setzero_si256", M256I),
+             ("_mm512_setzero_ps", M512), ("_mm_setzero_si64", M64))
+    for name, vt in zeros:
+        def setzero(ctx, _vt=vt):
+            return VecValue.zero(_vt)
+
+        register_as(name, setzero)
+
+    @register("_mm_set_ps")
+    def set_ps(ctx, e3, e2, e1, e0):
+        return VecValue.from_lanes(M128, np.float32, [e0, e1, e2, e3])
+
+    @register("_mm256_set_ps")
+    def set_ps256(ctx, e7, e6, e5, e4, e3, e2, e1, e0):
+        return VecValue.from_lanes(M256, np.float32,
+                                   [e0, e1, e2, e3, e4, e5, e6, e7])
+
+    @register("_mm256_set_m128")
+    def set_m128(ctx, hi, lo):
+        return VecValue(M256, np.concatenate([lo.data, hi.data]))
+
+    @register("_mm256_broadcast_ss")
+    def broadcast_ss(ctx, arr, offset):
+        x = np.frombuffer(arr.view(np.uint8)[
+            int(offset) * arr.itemsize: int(offset) * arr.itemsize + 4
+        ].tobytes(), np.float32)[0]
+        return VecValue.broadcast(M256, np.float32, x)
+
+    @register("_mm256_broadcast_sd")
+    def broadcast_sd(ctx, arr, offset):
+        x = np.frombuffer(arr.view(np.uint8)[
+            int(offset) * arr.itemsize: int(offset) * arr.itemsize + 8
+        ].tobytes(), np.float64)[0]
+        return VecValue.broadcast(M256D, np.float64, x)
+
+    @register("_mm256_broadcast_ps")
+    def broadcast_ps(ctx, arr, offset):
+        lo = read_vec(M128, arr, offset)
+        return VecValue(M256, np.concatenate([lo.data, lo.data]))
+
+
+def _register_masked_and_gather() -> None:
+    @register("_mm256_maskload_ps")
+    def maskload_ps(ctx, arr, mask, offset):
+        sel = (mask.view(np.int32) < 0)
+        out = np.zeros(8, dtype=np.float32)
+        base = int(offset)
+        fa = arr.view(np.float32) if arr.dtype == np.float32 else None
+        for i in range(8):
+            if sel[i]:
+                out[i] = fa[base + i]
+        return VecValue.from_lanes(M256, np.float32, out)
+
+    @register("_mm256_maskstore_ps")
+    def maskstore_ps(ctx, arr, mask, value, offset):
+        sel = (mask.view(np.int32) < 0)
+        lanes = value.view(np.float32)
+        base = int(offset)
+        fa = arr.view(np.float32)
+        for i in range(8):
+            if sel[i]:
+                fa[base + i] = lanes[i]
+
+    def _gather(vt, dtype, scale_unit):
+        def gather(ctx, arr, vindex, scale, offset):
+            idx = vindex.view(np.int32)
+            lanes = vt.bits // (np.dtype(dtype).itemsize * 8)
+            raw = arr.view(np.uint8)
+            out = np.empty(lanes, dtype=dtype)
+            itemsize = np.dtype(dtype).itemsize
+            base_bytes = int(offset) * arr.itemsize
+            for i in range(lanes):
+                b = base_bytes + int(idx[i]) * int(scale)
+                out[i] = np.frombuffer(
+                    raw[b: b + itemsize].tobytes(), dtype)[0]
+            return VecValue.from_lanes(vt, dtype, out)
+
+        return gather
+
+    register_as("_mm256_i32gather_epi32", _gather(M256I, np.int32, 4))
+    register_as("_mm256_i32gather_ps", _gather(M256, np.float32, 4))
+    register_as("_mm_i32gather_epi32", _gather(M128I, np.int32, 4))
+
+
+_register_loads_stores()
+_register_sets()
+_register_masked_and_gather()

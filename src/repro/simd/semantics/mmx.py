@@ -1,0 +1,256 @@
+"""MMX semantics: the 64-bit integer ISA, including ``_m_*`` aliases."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lms.types import M128, M64
+from repro.simd.semantics import register, register_as, registry
+from repro.simd.semantics.util import cmp_mask, result, saturate
+from repro.simd.vector import VecValue
+
+
+def _register_compares_unpacks() -> None:
+    for bits in (8, 16, 32):
+        dt = np.dtype(f"int{bits}")
+
+        def cmpeq(ctx, a, b, _dt=dt):
+            return result(a.vt, _dt, cmp_mask(_dt, a.view(_dt) == b.view(_dt)))
+
+        def cmpgt(ctx, a, b, _dt=dt):
+            return result(a.vt, _dt, cmp_mask(_dt, a.view(_dt) > b.view(_dt)))
+
+        register_as(f"_mm_cmpeq_pi{bits}", cmpeq)
+        register_as(f"_mm_cmpgt_pi{bits}", cmpgt)
+
+        def unpack(half):
+            def fn(ctx, a, b, _dt=dt, _half=half):
+                va, vb = a.view(_dt), b.view(_dt)
+                h = va.size // 2
+                src = slice(0, h) if _half == "lo" else slice(h, va.size)
+                out = np.empty_like(va)
+                out[0::2] = va[src]
+                out[1::2] = vb[src]
+                return result(a.vt, _dt, out)
+
+            return fn
+
+        register_as(f"_mm_unpacklo_pi{bits}", unpack("lo"))
+        register_as(f"_mm_unpackhi_pi{bits}", unpack("hi"))
+
+    def packs(src_dt, dst_dt):
+        def fn(ctx, a, b, _s=np.dtype(src_dt), _d=np.dtype(dst_dt)):
+            merged = np.concatenate([a.view(_s), b.view(_s)])
+            return result(a.vt, _d, saturate(merged, _d))
+
+        return fn
+
+    register_as("_mm_packs_pi16", packs(np.int16, np.int8))
+    register_as("_mm_packs_pi32", packs(np.int32, np.int16))
+
+
+def _register_shifts_moves() -> None:
+    for bits in (16, 32):
+        dt = np.dtype(f"int{bits}")
+        udt = np.dtype(f"uint{bits}")
+
+        def slli(ctx, a, imm8, _dt=dt, _udt=udt, _bits=bits):
+            imm = int(imm8)
+            if imm >= _bits:
+                return VecValue.zero(a.vt)
+            return result(a.vt, _dt, (a.view(_udt) << _udt.type(imm))
+                          .view(_dt))
+
+        def srli(ctx, a, imm8, _dt=dt, _udt=udt, _bits=bits):
+            imm = int(imm8)
+            if imm >= _bits:
+                return VecValue.zero(a.vt)
+            return result(a.vt, _dt, (a.view(_udt) >> _udt.type(imm))
+                          .view(_dt))
+
+        def srai(ctx, a, imm8, _dt=dt, _bits=bits):
+            imm = min(int(imm8), _bits - 1)
+            return result(a.vt, _dt, a.view(_dt) >> _dt.type(imm))
+
+        register_as(f"_mm_slli_pi{bits}", slli)
+        register_as(f"_mm_srli_pi{bits}", srli)
+        register_as(f"_mm_srai_pi{bits}", srai)
+
+        def sll(ctx, a, count, _dt=dt, _udt=udt, _bits=bits):
+            c = int(count.view(np.int64)[0])
+            if c >= _bits:
+                return VecValue.zero(a.vt)
+            return result(a.vt, _dt, (a.view(_udt) << _udt.type(c))
+                          .view(_dt))
+
+        def srl(ctx, a, count, _dt=dt, _udt=udt, _bits=bits):
+            c = int(count.view(np.int64)[0])
+            if c >= _bits:
+                return VecValue.zero(a.vt)
+            return result(a.vt, _dt, (a.view(_udt) >> _udt.type(c))
+                          .view(_dt))
+
+        def sra(ctx, a, count, _dt=dt, _bits=bits):
+            c = min(int(count.view(np.int64)[0]), _bits - 1)
+            return result(a.vt, _dt, a.view(_dt) >> _dt.type(c))
+
+        register_as(f"_mm_sll_pi{bits}", sll)
+        register_as(f"_mm_srl_pi{bits}", srl)
+        register_as(f"_mm_sra_pi{bits}", sra)
+
+    @register("_mm_slli_si64")
+    def slli_si64(ctx, a, imm8):
+        imm = int(imm8)
+        if imm >= 64:
+            return VecValue.zero(M64)
+        return result(M64, np.dtype(np.int64),
+                      (a.view(np.uint64) << np.uint64(imm)).view(np.int64))
+
+    @register("_mm_srli_si64")
+    def srli_si64(ctx, a, imm8):
+        imm = int(imm8)
+        if imm >= 64:
+            return VecValue.zero(M64)
+        return result(M64, np.dtype(np.int64),
+                      (a.view(np.uint64) >> np.uint64(imm)).view(np.int64))
+
+    @register("_mm_cvtsi32_si64")
+    def cvtsi32_si64(ctx, a):
+        return VecValue.from_lanes(M64, np.int64, [np.int64(np.int32(a))])
+
+    @register("_mm_cvtsi64_si32")
+    def cvtsi64_si32(ctx, a):
+        return a.view(np.int32)[0].copy()
+
+    @register("_mm_set_pi8")
+    def set_pi8(ctx, e7, e6, e5, e4, e3, e2, e1, e0):
+        vals = np.array([e0, e1, e2, e3, e4, e5, e6, e7]).astype(np.int8)
+        return VecValue.from_lanes(M64, np.int8, vals)
+
+    @register("_mm_set_pi16")
+    def set_pi16(ctx, e3, e2, e1, e0):
+        vals = np.array([e0, e1, e2, e3]).astype(np.int16)
+        return VecValue.from_lanes(M64, np.int16, vals)
+
+    @register("_mm_set_pi32")
+    def set_pi32(ctx, e1, e0):
+        vals = np.array([e0, e1]).astype(np.int32)
+        return VecValue.from_lanes(M64, np.int32, vals)
+
+
+def _register_sse_mmx_ext() -> None:
+    ops = {
+        "_mm_avg_pu8": ("uint8", lambda a, b:
+                        ((a.astype(np.uint32) + b.astype(np.uint32) + 1)
+                         >> 1).astype(np.uint8)),
+        "_mm_avg_pu16": ("uint16", lambda a, b:
+                         ((a.astype(np.uint32) + b.astype(np.uint32) + 1)
+                          >> 1).astype(np.uint16)),
+        "_mm_max_pi16": ("int16", np.maximum),
+        "_mm_min_pi16": ("int16", np.minimum),
+        "_mm_max_pu8": ("uint8", np.maximum),
+        "_mm_min_pu8": ("uint8", np.minimum),
+        "_mm_mulhi_pu16": ("uint16", lambda a, b:
+                           ((a.astype(np.uint32) * b.astype(np.uint32))
+                            >> 16).astype(np.uint16)),
+    }
+    for name, (dtype, fn) in ops.items():
+        def sem(ctx, a, b, _dt=np.dtype(dtype), _fn=fn):
+            return result(a.vt, _dt, _fn(a.view(_dt), b.view(_dt)))
+
+        register_as(name, sem)
+
+    @register("_mm_sad_pu8")
+    def sad_pu8(ctx, a, b):
+        diff = np.abs(a.view(np.uint8).astype(np.int32)
+                      - b.view(np.uint8).astype(np.int32))
+        return VecValue.from_lanes(M64, np.int64, [int(diff.sum())])
+
+    @register("_mm_shuffle_pi16")
+    def shuffle_pi16(ctx, a, imm8):
+        imm = int(imm8)
+        va = a.view(np.int16)
+        out = np.array([va[(imm >> (2 * i)) & 3] for i in range(4)],
+                       dtype=np.int16)
+        return VecValue.from_lanes(M64, np.int16, out)
+
+    @register("_mm_extract_pi16")
+    def extract_pi16(ctx, a, imm8):
+        return np.int32(a.view(np.int16)[int(imm8) & 3])
+
+    @register("_mm_insert_pi16")
+    def insert_pi16(ctx, a, i, imm8):
+        out = a.view(np.int16).copy()
+        out[int(imm8) & 3] = np.int16(np.int32(i))
+        return VecValue.from_lanes(M64, np.int16, out)
+
+    @register("_mm_movemask_pi8")
+    def movemask_pi8(ctx, a):
+        signs = a.view(np.uint8) >> np.uint8(7)
+        return np.int32(int(sum(int(s) << i for i, s in enumerate(signs))))
+
+    @register("_mm_loadh_pi")
+    def loadh_pi(ctx, a, arr, offset):
+        out = a.data.copy()
+        byte_off = int(offset) * arr.itemsize
+        out[8:] = arr.view(np.uint8)[byte_off: byte_off + 8]
+        return VecValue(M128, out)
+
+    @register("_mm_loadl_pi")
+    def loadl_pi(ctx, a, arr, offset):
+        out = a.data.copy()
+        byte_off = int(offset) * arr.itemsize
+        out[:8] = arr.view(np.uint8)[byte_off: byte_off + 8]
+        return VecValue(M128, out)
+
+    @register("_mm_storeh_pi")
+    def storeh_pi(ctx, arr, a, offset):
+        byte_off = int(offset) * arr.itemsize
+        arr.view(np.uint8)[byte_off: byte_off + 8] = a.data[8:]
+
+    @register("_mm_storel_pi")
+    def storel_pi(ctx, arr, a, offset):
+        byte_off = int(offset) * arr.itemsize
+        arr.view(np.uint8)[byte_off: byte_off + 8] = a.data[:8]
+
+
+_ALIASES = {
+    "_m_paddb": "_mm_add_pi8", "_m_paddw": "_mm_add_pi16",
+    "_m_paddd": "_mm_add_pi32", "_m_psubb": "_mm_sub_pi8",
+    "_m_psubw": "_mm_sub_pi16", "_m_psubd": "_mm_sub_pi32",
+    "_m_paddsb": "_mm_adds_pi8", "_m_paddsw": "_mm_adds_pi16",
+    "_m_paddusb": "_mm_adds_pu8", "_m_paddusw": "_mm_adds_pu16",
+    "_m_psubsb": "_mm_subs_pi8", "_m_psubsw": "_mm_subs_pi16",
+    "_m_psubusb": "_mm_subs_pu8", "_m_psubusw": "_mm_subs_pu16",
+    "_m_pmullw": "_mm_mullo_pi16", "_m_pmulhw": "_mm_mulhi_pi16",
+    "_m_pmaddwd": "_mm_madd_pi16",
+    "_m_pand": "_mm_and_si64", "_m_por": "_mm_or_si64",
+    "_m_pxor": "_mm_xor_si64",
+    "_m_pcmpeqb": "_mm_cmpeq_pi8", "_m_pcmpeqw": "_mm_cmpeq_pi16",
+    "_m_pcmpeqd": "_mm_cmpeq_pi32",
+    "_m_pcmpgtb": "_mm_cmpgt_pi8", "_m_pcmpgtw": "_mm_cmpgt_pi16",
+    "_m_pcmpgtd": "_mm_cmpgt_pi32",
+    "_m_punpcklbw": "_mm_unpacklo_pi8",
+    "_m_punpcklwd": "_mm_unpacklo_pi16",
+    "_m_punpckldq": "_mm_unpacklo_pi32",
+    "_m_punpckhbw": "_mm_unpackhi_pi8",
+    "_m_punpckhwd": "_mm_unpackhi_pi16",
+    "_m_punpckhdq": "_mm_unpackhi_pi32",
+    "_m_packsswb": "_mm_packs_pi16", "_m_packssdw": "_mm_packs_pi32",
+    "_m_from_int": "_mm_cvtsi32_si64", "_m_to_int": "_mm_cvtsi64_si32",
+    "_m_psllw": "_mm_sll_pi16", "_m_pslld": "_mm_sll_pi32",
+    "_m_psrlw": "_mm_srl_pi16", "_m_psrld": "_mm_srl_pi32",
+    "_m_psraw": "_mm_sra_pi16", "_m_psrad": "_mm_sra_pi32",
+}
+
+
+def _register_aliases() -> None:
+    for alias, canonical in _ALIASES.items():
+        if canonical in registry:
+            register_as(alias, registry[canonical])
+
+
+_register_compares_unpacks()
+_register_shifts_moves()
+_register_sse_mmx_ext()
+_register_aliases()

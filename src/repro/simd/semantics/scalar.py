@@ -1,0 +1,114 @@
+"""Scalar-integer intrinsics: CRC32, popcount, bit manipulation, RNG, TSC."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simd.semantics import register
+
+_CRC32C_POLY = 0x82F63B78  # reflected 0x1EDC6F41 (the Castagnoli polynomial)
+
+_crc_table: list[int] | None = None
+
+
+def _table() -> list[int]:
+    global _crc_table
+    if _crc_table is None:
+        table = []
+        for i in range(256):
+            crc = i
+            for _ in range(8):
+                crc = (crc >> 1) ^ (_CRC32C_POLY if crc & 1 else 0)
+            table.append(crc)
+        _crc_table = table
+    return _crc_table
+
+
+def _crc32c(crc: int, data: bytes) -> int:
+    t = _table()
+    for byte in data:
+        crc = (crc >> 8) ^ t[(crc ^ byte) & 0xFF]
+    return crc & 0xFFFFFFFF
+
+
+def _register_crc() -> None:
+    for bits in (8, 16, 32, 64):
+        def crc(ctx, acc, v, _bits=bits):
+            data = int(v) & ((1 << _bits) - 1)
+            out = _crc32c(int(acc) & 0xFFFFFFFF,
+                          data.to_bytes(_bits // 8, "little"))
+            return np.uint64(out) if _bits == 64 else np.uint32(out)
+
+        register(f"_mm_crc32_u{bits}")(crc)
+
+
+def _register_bits() -> None:
+    @register("_mm_popcnt_u32")
+    def popcnt32(ctx, a):
+        return np.int32(bin(int(a) & 0xFFFFFFFF).count("1"))
+
+    @register("_mm_popcnt_u64")
+    def popcnt64(ctx, a):
+        return np.int64(bin(int(a) & (2**64 - 1)).count("1"))
+
+    @register("_lzcnt_u32")
+    def lzcnt(ctx, a):
+        v = int(a) & 0xFFFFFFFF
+        return np.uint32(32 if v == 0 else 32 - v.bit_length())
+
+    @register("_tzcnt_u32")
+    def tzcnt(ctx, a):
+        v = int(a) & 0xFFFFFFFF
+        return np.uint32(32 if v == 0 else (v & -v).bit_length() - 1)
+
+    @register("_pext_u32")
+    def pext(ctx, a, mask):
+        av, mv = int(a), int(mask)
+        out = 0
+        bit = 0
+        for i in range(32):
+            if (mv >> i) & 1:
+                out |= ((av >> i) & 1) << bit
+                bit += 1
+        return np.uint32(out)
+
+    @register("_pdep_u32")
+    def pdep(ctx, a, mask):
+        av, mv = int(a), int(mask)
+        out = 0
+        bit = 0
+        for i in range(32):
+            if (mv >> i) & 1:
+                out |= ((av >> bit) & 1) << i
+                bit += 1
+        return np.uint32(out)
+
+
+def _register_rng_tsc() -> None:
+    # The hardware RNG writes through a pointer parameter and returns a
+    # success flag; the pointer follows the container convention (array +
+    # trailing element offset).
+    for bits, np_t in ((16, np.uint16), (32, np.uint32), (64, np.uint64)):
+        def rdrand(ctx, arr, offset, _bits=bits, _t=np_t):
+            value = ctx.rng.getrandbits(_bits)
+            arr.view(_t)[int(offset)] = _t(value)
+            return np.int32(1)
+
+        register(f"_rdrand{bits}_step")(rdrand)
+
+        def rdseed(ctx, arr, offset, _bits=bits, _t=np_t):
+            value = ctx.rng.getrandbits(_bits)
+            arr.view(_t)[int(offset)] = _t(value)
+            return np.int32(1)
+
+        register(f"_rdseed{bits}_step")(rdseed)
+
+    @register("_rdtsc")
+    def rdtsc(ctx):
+        ctx.tsc += 1
+        return np.uint64(ctx.tsc)
+
+
+_register_crc()
+_register_bits()
+_register_rng_tsc()

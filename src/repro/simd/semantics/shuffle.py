@@ -1,0 +1,325 @@
+"""Swizzle semantics: shuffles, unpacks, permutes, blends, packs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lms.types import M128, M128D, M128I, M256, M256D, M256I
+from repro.simd.semantics import register, register_as
+from repro.simd.semantics.util import (
+    DTYPE_BY_SUFFIX,
+    interleave,
+    result,
+    saturate,
+)
+from repro.simd.vector import VecValue
+
+
+def _register_unpacks() -> None:
+    combos = (
+        ("_mm_unpacklo_ps", np.float32, "lo", 4),
+        ("_mm_unpackhi_ps", np.float32, "hi", 4),
+        ("_mm_unpacklo_pd", np.float64, "lo", 2),
+        ("_mm_unpackhi_pd", np.float64, "hi", 2),
+        ("_mm256_unpacklo_ps", np.float32, "lo", 4),
+        ("_mm256_unpackhi_ps", np.float32, "hi", 4),
+        ("_mm256_unpacklo_pd", np.float64, "lo", 2),
+        ("_mm256_unpackhi_pd", np.float64, "hi", 2),
+    )
+    for name, dt, half, lane_elems in combos:
+        def unpack(ctx, a, b, _dt=np.dtype(dt), _half=half, _le=lane_elems):
+            return result(a.vt, _dt,
+                          interleave(a.view(_dt), b.view(_dt), _half, _le))
+
+        register_as(name, unpack)
+
+    for bits, lane_elems in ((8, 16), (16, 8), (32, 4), (64, 2)):
+        dt = DTYPE_BY_SUFFIX[f"epi{bits}"]
+        for prefix in ("_mm", "_mm256"):
+            for half in ("lo", "hi"):
+                def unpack_i(ctx, a, b, _dt=dt, _half=half, _le=lane_elems):
+                    return result(a.vt, _dt, interleave(
+                        a.view(_dt), b.view(_dt), _half, _le))
+
+                register_as(f"{prefix}_unpack{half}_epi{bits}", unpack_i)
+
+
+def _select4(src: np.ndarray, control: int) -> np.floating:
+    return src[control & 3]
+
+
+def _register_shuffles() -> None:
+    @register("_mm_shuffle_ps")
+    def shuffle_ps(ctx, a, b, imm8):
+        imm = int(imm8)
+        va, vb = a.view(np.float32), b.view(np.float32)
+        out = np.array([
+            _select4(va, imm), _select4(va, imm >> 2),
+            _select4(vb, imm >> 4), _select4(vb, imm >> 6),
+        ], dtype=np.float32)
+        return VecValue.from_lanes(M128, np.float32, out)
+
+    @register("_mm256_shuffle_ps")
+    def shuffle_ps256(ctx, a, b, imm8):
+        imm = int(imm8)
+        va, vb = a.view(np.float32), b.view(np.float32)
+        out = np.empty(8, dtype=np.float32)
+        for ln in range(2):
+            base = ln * 4
+            sa, sb = va[base: base + 4], vb[base: base + 4]
+            out[base + 0] = _select4(sa, imm)
+            out[base + 1] = _select4(sa, imm >> 2)
+            out[base + 2] = _select4(sb, imm >> 4)
+            out[base + 3] = _select4(sb, imm >> 6)
+        return VecValue.from_lanes(M256, np.float32, out)
+
+    @register("_mm256_shuffle_pd")
+    def shuffle_pd256(ctx, a, b, imm8):
+        imm = int(imm8)
+        va, vb = a.view(np.float64), b.view(np.float64)
+        out = np.empty(4, dtype=np.float64)
+        for ln in range(2):
+            base = ln * 2
+            out[base] = va[base + ((imm >> (2 * ln)) & 1)]
+            out[base + 1] = vb[base + ((imm >> (2 * ln + 1)) & 1)]
+        return VecValue.from_lanes(M256D, np.float64, out)
+
+    @register("_mm_shuffle_epi32")
+    def shuffle_epi32(ctx, a, imm8):
+        imm = int(imm8)
+        va = a.view(np.int32)
+        out = np.array([va[(imm >> (2 * i)) & 3] for i in range(4)],
+                       dtype=np.int32)
+        return VecValue.from_lanes(M128I, np.int32, out)
+
+    @register("_mm256_shuffle_epi32")
+    def shuffle_epi32_256(ctx, a, imm8):
+        imm = int(imm8)
+        va = a.view(np.int32)
+        out = np.empty(8, dtype=np.int32)
+        for ln in range(2):
+            base = ln * 4
+            for i in range(4):
+                out[base + i] = va[base + ((imm >> (2 * i)) & 3)]
+        return VecValue.from_lanes(M256I, np.int32, out)
+
+    def _shuffle_half_epi16(a: VecValue, imm: int, half: str) -> VecValue:
+        va = a.view(np.int16)
+        out = va.copy()
+        n_lanes = a.vt.bits // 128
+        for ln in range(n_lanes):
+            base = ln * 8 + (0 if half == "lo" else 4)
+            quad = va[base: base + 4].copy()
+            for i in range(4):
+                out[base + i] = quad[(imm >> (2 * i)) & 3]
+        return result(a.vt, np.dtype(np.int16), out)
+
+    for prefix in ("_mm", "_mm256"):
+        register_as(f"{prefix}_shufflelo_epi16",
+                    lambda ctx, a, imm8: _shuffle_half_epi16(a, int(imm8), "lo"))
+        register_as(f"{prefix}_shufflehi_epi16",
+                    lambda ctx, a, imm8: _shuffle_half_epi16(a, int(imm8), "hi"))
+
+    def _pshufb(a: VecValue, b: VecValue) -> VecValue:
+        va, vb = a.view(np.uint8), b.view(np.uint8)
+        out = np.zeros_like(va)
+        n_lanes = a.vt.bits // 128
+        for ln in range(n_lanes):
+            base = ln * 16
+            for i in range(16):
+                ctrl = int(vb[base + i])
+                if ctrl & 0x80:
+                    out[base + i] = 0
+                else:
+                    out[base + i] = va[base + (ctrl & 0x0F)]
+        return VecValue(a.vt, out)
+
+    register_as("_mm_shuffle_epi8", lambda ctx, a, b: _pshufb(a, b))
+    register_as("_mm256_shuffle_epi8", lambda ctx, a, b: _pshufb(a, b))
+
+    @register("_mm_alignr_epi8")
+    def alignr(ctx, a, b, imm8):
+        imm = int(imm8)
+        concat = np.concatenate([b.data, a.data])
+        out = np.zeros(16, dtype=np.uint8)
+        chunk = concat[imm: imm + 16]
+        out[: chunk.size] = chunk
+        return VecValue(M128I, out)
+
+
+def _register_permutes() -> None:
+    def _perm2f128(a: VecValue, b: VecValue, imm: int) -> np.ndarray:
+        halves = {0: a.data[:16], 1: a.data[16:],
+                  2: b.data[:16], 3: b.data[16:]}
+        out = np.empty(32, dtype=np.uint8)
+        for pos, shift in ((0, 0), (1, 4)):
+            ctl = (imm >> shift) & 0xF
+            if ctl & 0x8:
+                out[pos * 16:(pos + 1) * 16] = 0
+            else:
+                out[pos * 16:(pos + 1) * 16] = halves[ctl & 3]
+        return out
+
+    for name in ("_mm256_permute2f128_ps", "_mm256_permute2f128_pd",
+                 "_mm256_permute2x128_si256"):
+        def perm(ctx, a, b, imm8):
+            return VecValue(a.vt, _perm2f128(a, b, int(imm8)))
+
+        register_as(name, perm)
+
+    @register("_mm256_permute_ps")
+    def permute_ps(ctx, a, imm8):
+        imm = int(imm8)
+        va = a.view(np.float32)
+        out = np.empty(8, dtype=np.float32)
+        for ln in range(2):
+            base = ln * 4
+            for i in range(4):
+                out[base + i] = va[base + ((imm >> (2 * i)) & 3)]
+        return VecValue.from_lanes(M256, np.float32, out)
+
+    @register("_mm256_permutevar_pd")
+    def permutevar_pd(ctx, a, b):
+        va = a.view(np.float64)
+        ctl = b.view(np.int64)
+        out = np.empty(4, dtype=np.float64)
+        for ln in range(2):
+            base = ln * 2
+            for i in range(2):
+                out[base + i] = va[base + ((int(ctl[base + i]) >> 1) & 1)]
+        return VecValue.from_lanes(M256D, np.float64, out)
+
+    @register("_mm256_permutevar8x32_epi32")
+    def permutevar8x32(ctx, a, idx):
+        va = a.view(np.int32)
+        vi = idx.view(np.int32) & 7
+        return VecValue.from_lanes(M256I, np.int32, va[vi])
+
+    @register("_mm256_extractf128_ps")
+    def extractf128_ps(ctx, a, imm8):
+        half = int(imm8) & 1
+        return VecValue(M128, a.data[half * 16:(half + 1) * 16].copy())
+
+    @register("_mm256_extractf128_pd")
+    def extractf128_pd(ctx, a, imm8):
+        half = int(imm8) & 1
+        return VecValue(M128D, a.data[half * 16:(half + 1) * 16].copy())
+
+    @register("_mm256_extracti128_si256")
+    def extracti128(ctx, a, imm8):
+        half = int(imm8) & 1
+        return VecValue(M128I, a.data[half * 16:(half + 1) * 16].copy())
+
+    @register("_mm256_insertf128_ps")
+    def insertf128_ps(ctx, a, b, imm8):
+        half = int(imm8) & 1
+        out = a.data.copy()
+        out[half * 16:(half + 1) * 16] = b.data
+        return VecValue(M256, out)
+
+    @register("_mm256_inserti128_si256")
+    def inserti128(ctx, a, b, imm8):
+        half = int(imm8) & 1
+        out = a.data.copy()
+        out[half * 16:(half + 1) * 16] = b.data
+        return VecValue(M256I, out)
+
+    @register("_mm_extract_epi32")
+    def extract_epi32(ctx, a, imm8):
+        return a.view(np.int32)[int(imm8) & 3].copy()
+
+    @register("_mm_insert_epi32")
+    def insert_epi32(ctx, a, i, imm8):
+        out = a.view(np.int32).copy()
+        out[int(imm8) & 3] = np.int32(i)
+        return VecValue.from_lanes(M128I, np.int32, out)
+
+
+def _register_moves_blends_packs() -> None:
+    @register("_mm_movehl_ps")
+    def movehl(ctx, a, b):
+        return VecValue(M128, np.concatenate([b.data[8:], a.data[8:]]))
+
+    @register("_mm_movelh_ps")
+    def movelh(ctx, a, b):
+        return VecValue(M128, np.concatenate([a.data[:8], b.data[:8]]))
+
+    @register("_mm_movehdup_ps")
+    def movehdup(ctx, a):
+        va = a.view(np.float32)
+        return VecValue.from_lanes(M128, np.float32, va[[1, 1, 3, 3]])
+
+    @register("_mm_moveldup_ps")
+    def moveldup(ctx, a):
+        va = a.view(np.float32)
+        return VecValue.from_lanes(M128, np.float32, va[[0, 0, 2, 2]])
+
+    @register("_mm_movedup_pd")
+    def movedup(ctx, a):
+        va = a.view(np.float64)
+        return VecValue.from_lanes(M128D, np.float64, va[[0, 0]])
+
+    def _blend_imm(a: VecValue, b: VecValue, imm: int, dt: np.dtype) -> VecValue:
+        va, vb = a.view(dt), b.view(dt)
+        sel = np.array([(imm >> i) & 1 for i in range(va.size)], dtype=bool)
+        return result(a.vt, dt, np.where(sel, vb, va))
+
+    register_as("_mm_blend_ps", lambda ctx, a, b, imm8: _blend_imm(
+        a, b, int(imm8), np.dtype(np.float32)))
+    register_as("_mm256_blend_ps", lambda ctx, a, b, imm8: _blend_imm(
+        a, b, int(imm8), np.dtype(np.float32)))
+    register_as("_mm_blend_pd", lambda ctx, a, b, imm8: _blend_imm(
+        a, b, int(imm8), np.dtype(np.float64)))
+    register_as("_mm_blend_epi16", lambda ctx, a, b, imm8: _blend_imm(
+        a, b, ((int(imm8) & 0xFF) | ((int(imm8) & 0xFF) << 8)),
+        np.dtype(np.int16)))
+
+    def _blendv(a: VecValue, b: VecValue, mask: VecValue,
+                dt: np.dtype) -> VecValue:
+        sel_dt = {4: np.int32, 8: np.int64, 1: np.int8}[dt.itemsize]
+        sel = mask.view(sel_dt) < 0
+        return result(a.vt, dt, np.where(sel, b.view(dt), a.view(dt)))
+
+    register_as("_mm_blendv_ps", lambda ctx, a, b, m: _blendv(
+        a, b, m, np.dtype(np.float32)))
+    register_as("_mm256_blendv_ps", lambda ctx, a, b, m: _blendv(
+        a, b, m, np.dtype(np.float32)))
+    register_as("_mm_blendv_pd", lambda ctx, a, b, m: _blendv(
+        a, b, m, np.dtype(np.float64)))
+    register_as("_mm_blendv_epi8", lambda ctx, a, b, m: _blendv(
+        a, b, m, np.dtype(np.int8)))
+    register_as("_mm256_blendv_epi8", lambda ctx, a, b, m: _blendv(
+        a, b, m, np.dtype(np.int8)))
+
+    def _pack(a: VecValue, b: VecValue, src_dt: np.dtype, dst_dt: np.dtype,
+              unsigned_sat: bool) -> VecValue:
+        va, vb = a.view(src_dt), b.view(src_dt)
+        tgt = np.dtype(np.uint8 if unsigned_sat and dst_dt.itemsize == 1
+                       else np.uint16 if unsigned_sat else dst_dt)
+        per_lane = 16 // src_dt.itemsize
+        n_lanes = a.vt.bits // 128
+        out = np.empty(a.vt.bits // (8 * dst_dt.itemsize), dtype=dst_dt)
+        opl = per_lane * 2
+        for ln in range(n_lanes):
+            sa = va[ln * per_lane:(ln + 1) * per_lane]
+            sb = vb[ln * per_lane:(ln + 1) * per_lane]
+            packed = np.concatenate([saturate(sa, tgt), saturate(sb, tgt)])
+            out[ln * opl:(ln + 1) * opl] = packed.view(dst_dt) \
+                if unsigned_sat else packed
+        return result(a.vt, dst_dt, out)
+
+    for prefix in ("_mm", "_mm256"):
+        register_as(f"{prefix}_packs_epi16", lambda ctx, a, b: _pack(
+            a, b, np.dtype(np.int16), np.dtype(np.int8), False))
+        register_as(f"{prefix}_packus_epi16", lambda ctx, a, b: _pack(
+            a, b, np.dtype(np.int16), np.dtype(np.int8), True))
+        register_as(f"{prefix}_packs_epi32", lambda ctx, a, b: _pack(
+            a, b, np.dtype(np.int32), np.dtype(np.int16), False))
+        register_as(f"{prefix}_packus_epi32", lambda ctx, a, b: _pack(
+            a, b, np.dtype(np.int32), np.dtype(np.int16), True))
+
+
+_register_unpacks()
+_register_shuffles()
+_register_permutes()
+_register_moves_blends_packs()

@@ -1,0 +1,361 @@
+"""SSE4.2 packed-string comparison and the crypto extensions.
+
+The string semantics implement the SSE4.2 composite model faithfully:
+source data interpretation (signed/unsigned bytes or words), the four
+aggregation operations (equal any, ranges, equal each, equal ordered),
+polarity negation, and the index/mask/flag outputs.  AES rounds use the
+real SubBytes/ShiftRows/MixColumns pipeline, CLMUL is genuine carry-less
+polynomial multiplication, and the SHA message intrinsics follow the SDM
+formulas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lms.types import M128I
+from repro.simd.semantics import register
+from repro.simd.semantics.util import result
+from repro.simd.vector import VecValue
+
+# -- SSE4.2 packed string compares -------------------------------------------
+
+_SIDD_UBYTE_OPS = 0x00
+_SIDD_UWORD_OPS = 0x01
+_SIDD_SBYTE_OPS = 0x02
+_SIDD_SWORD_OPS = 0x03
+_SIDD_CMP_EQUAL_ANY = 0x00
+_SIDD_CMP_RANGES = 0x04
+_SIDD_CMP_EQUAL_EACH = 0x08
+_SIDD_CMP_EQUAL_ORDERED = 0x0C
+_SIDD_NEGATIVE_POLARITY = 0x10
+_SIDD_MASKED_NEGATIVE_POLARITY = 0x30
+_SIDD_MOST_SIGNIFICANT = 0x40
+_SIDD_UNIT_MASK = 0x40
+
+
+def _elements(v: VecValue, imm: int) -> np.ndarray:
+    if imm & 1:  # word ops
+        dt = np.int16 if imm & 2 else np.uint16
+        return v.view(dt).astype(np.int64)
+    dt = np.int8 if imm & 2 else np.uint8
+    return v.view(dt).astype(np.int64)
+
+
+def _implicit_length(v: VecValue, imm: int) -> int:
+    elems = _elements(v, imm)
+    zeros = np.flatnonzero(elems == 0)
+    return int(zeros[0]) if zeros.size else elems.size
+
+
+def _cmpstr_mask(a: VecValue, la: int, b: VecValue, lb: int,
+                 imm: int) -> tuple[int, int]:
+    """The composite intRes2 of the SDM, plus the element count."""
+    ea, eb = _elements(a, imm), _elements(b, imm)
+    n = ea.size
+    la = min(abs(int(la)), n)
+    lb = min(abs(int(lb)), n)
+    agg = imm & 0x0C
+
+    bits = 0
+    if agg == _SIDD_CMP_EQUAL_ANY:
+        for j in range(lb):
+            if any(eb[j] == ea[i] for i in range(la)):
+                bits |= 1 << j
+    elif agg == _SIDD_CMP_RANGES:
+        for j in range(lb):
+            for i in range(0, la - 1, 2):
+                if ea[i] <= eb[j] <= ea[i + 1]:
+                    bits |= 1 << j
+                    break
+    elif agg == _SIDD_CMP_EQUAL_EACH:
+        for j in range(n):
+            in_a, in_b = j < la, j < lb
+            if in_a and in_b:
+                if ea[j] == eb[j]:
+                    bits |= 1 << j
+            elif not in_a and not in_b:
+                bits |= 1 << j
+    else:  # EQUAL_ORDERED: substring search for a within b
+        for j in range(n):
+            match = True
+            for i in range(la):
+                if j + i >= lb:
+                    break  # past the end of b: partial match allowed
+                if ea[i] != eb[j + i]:
+                    match = False
+                    break
+            if match and j < max(lb, 1):
+                bits |= 1 << j
+        if la == 0:
+            bits = (1 << n) - 1
+
+    # Polarity.
+    pol = imm & 0x30
+    if pol == _SIDD_NEGATIVE_POLARITY:
+        bits ^= (1 << n) - 1
+    elif pol == _SIDD_MASKED_NEGATIVE_POLARITY:
+        bits ^= (1 << lb) - 1
+    return bits & ((1 << n) - 1), n
+
+
+def _index_of(bits: int, n: int, imm: int) -> int:
+    if bits == 0:
+        return n
+    if imm & _SIDD_MOST_SIGNIFICANT:
+        return bits.bit_length() - 1
+    return (bits & -bits).bit_length() - 1
+
+
+@register("_mm_cmpestri")
+def cmpestri(ctx, a, la, b, lb, imm8):
+    bits, n = _cmpstr_mask(a, int(la), b, int(lb), int(imm8))
+    return np.int32(_index_of(bits, n, int(imm8)))
+
+
+@register("_mm_cmpestrm")
+def cmpestrm(ctx, a, la, b, lb, imm8):
+    imm = int(imm8)
+    bits, n = _cmpstr_mask(a, int(la), b, int(lb), imm)
+    if imm & _SIDD_UNIT_MASK:
+        width = 16 // n
+        out = np.zeros(16, dtype=np.uint8)
+        for j in range(n):
+            if (bits >> j) & 1:
+                out[j * width:(j + 1) * width] = 0xFF
+        return VecValue(M128I, out)
+    return VecValue.from_lanes(M128I, np.uint64, [bits, 0])
+
+
+@register("_mm_cmpistri")
+def cmpistri(ctx, a, b, imm8):
+    imm = int(imm8)
+    la = _implicit_length(a, imm)
+    lb = _implicit_length(b, imm)
+    bits, n = _cmpstr_mask(a, la, b, lb, imm)
+    return np.int32(_index_of(bits, n, imm))
+
+
+@register("_mm_cmpistrm")
+def cmpistrm(ctx, a, b, imm8):
+    imm = int(imm8)
+    la = _implicit_length(a, imm)
+    lb = _implicit_length(b, imm)
+    bits, n = _cmpstr_mask(a, la, b, lb, imm)
+    if imm & _SIDD_UNIT_MASK:
+        width = 16 // n
+        out = np.zeros(16, dtype=np.uint8)
+        for j in range(n):
+            if (bits >> j) & 1:
+                out[j * width:(j + 1) * width] = 0xFF
+        return VecValue(M128I, out)
+    return VecValue.from_lanes(M128I, np.uint64, [bits, 0])
+
+
+def _flag(fn):
+    return fn
+
+
+@register("_mm_cmpistrz")
+def cmpistrz(ctx, a, b, imm8):
+    return np.int32(1 if _implicit_length(b, int(imm8))
+                    < _elements(b, int(imm8)).size else 0)
+
+
+@register("_mm_cmpistrs")
+def cmpistrs(ctx, a, b, imm8):
+    return np.int32(1 if _implicit_length(a, int(imm8))
+                    < _elements(a, int(imm8)).size else 0)
+
+
+@register("_mm_cmpistrc")
+def cmpistrc(ctx, a, b, imm8):
+    imm = int(imm8)
+    bits, _ = _cmpstr_mask(a, _implicit_length(a, imm), b,
+                           _implicit_length(b, imm), imm)
+    return np.int32(1 if bits else 0)
+
+
+@register("_mm_cmpistro")
+def cmpistro(ctx, a, b, imm8):
+    imm = int(imm8)
+    bits, _ = _cmpstr_mask(a, _implicit_length(a, imm), b,
+                           _implicit_length(b, imm), imm)
+    return np.int32(bits & 1)
+
+
+@register("_mm_cmpistra")
+def cmpistra(ctx, a, b, imm8):
+    imm = int(imm8)
+    lb = _implicit_length(b, imm)
+    bits, n = _cmpstr_mask(a, _implicit_length(a, imm), b, lb, imm)
+    return np.int32(1 if bits == 0 and lb == n else 0)
+
+
+@register("_mm_cmpestrz")
+def cmpestrz(ctx, a, la, b, lb, imm8):
+    n = _elements(b, int(imm8)).size
+    return np.int32(1 if abs(int(lb)) < n else 0)
+
+
+@register("_mm_cmpestrs")
+def cmpestrs(ctx, a, la, b, lb, imm8):
+    n = _elements(a, int(imm8)).size
+    return np.int32(1 if abs(int(la)) < n else 0)
+
+
+@register("_mm_cmpestrc")
+def cmpestrc(ctx, a, la, b, lb, imm8):
+    bits, _ = _cmpstr_mask(a, int(la), b, int(lb), int(imm8))
+    return np.int32(1 if bits else 0)
+
+
+@register("_mm_cmpestro")
+def cmpestro(ctx, a, la, b, lb, imm8):
+    bits, _ = _cmpstr_mask(a, int(la), b, int(lb), int(imm8))
+    return np.int32(bits & 1)
+
+
+@register("_mm_cmpestra")
+def cmpestra(ctx, a, la, b, lb, imm8):
+    imm = int(imm8)
+    bits, n = _cmpstr_mask(a, int(la), b, int(lb), imm)
+    return np.int32(1 if bits == 0 and abs(int(lb)) >= n else 0)
+
+
+# -- AES ----------------------------------------------------------------------
+
+_SBOX: list[int] | None = None
+
+
+def _sbox() -> list[int]:
+    global _SBOX
+    if _SBOX is None:
+        # Generate the AES S-box from the multiplicative inverse in
+        # GF(2^8) followed by the affine transform.
+        p, q = 1, 1
+        sbox = [0] * 256
+        while True:
+            # p *= 3 in GF(2^8)
+            p = p ^ ((p << 1) & 0xFF) ^ (0x1B if p & 0x80 else 0)
+            # q /= 3
+            q ^= q << 1
+            q ^= q << 2
+            q ^= q << 4
+            q &= 0xFF
+            if q & 0x80:
+                q ^= 0x09
+            x = q ^ ((q << 1) | (q >> 7)) ^ ((q << 2) | (q >> 6)) \
+                ^ ((q << 3) | (q >> 5)) ^ ((q << 4) | (q >> 4))
+            sbox[p] = (x ^ 0x63) & 0xFF
+            if p == 1:
+                break
+        sbox[0] = 0x63
+        _SBOX = sbox
+    return _SBOX
+
+
+def _xtime(x: int) -> int:
+    return ((x << 1) ^ 0x1B) & 0xFF if x & 0x80 else (x << 1)
+
+
+def _mix_column(col: list[int]) -> list[int]:
+    a = col
+    return [
+        _xtime(a[0]) ^ (_xtime(a[1]) ^ a[1]) ^ a[2] ^ a[3],
+        a[0] ^ _xtime(a[1]) ^ (_xtime(a[2]) ^ a[2]) ^ a[3],
+        a[0] ^ a[1] ^ _xtime(a[2]) ^ (_xtime(a[3]) ^ a[3]),
+        (_xtime(a[0]) ^ a[0]) ^ a[1] ^ a[2] ^ _xtime(a[3]),
+    ]
+
+
+@register("_mm_aesenc_si128")
+def aesenc(ctx, a, round_key):
+    state = list(a.view(np.uint8))
+    sbox = _sbox()
+    # SubBytes + ShiftRows (column-major state layout).
+    sub = [sbox[int(x)] for x in state]
+    shifted = [0] * 16
+    for col in range(4):
+        for row in range(4):
+            shifted[col * 4 + row] = sub[((col + row) % 4) * 4 + row]
+    out = []
+    for col in range(4):
+        out += _mix_column(shifted[col * 4: col * 4 + 4])
+    mixed = np.array(out, dtype=np.uint8)
+    return VecValue(M128I, mixed ^ round_key.view(np.uint8))
+
+
+@register("_mm_aesdec_si128")
+def aesdec(ctx, a, round_key):
+    # One equivalent-inverse-cipher round: InvShiftRows, InvSubBytes,
+    # InvMixColumns, AddRoundKey.
+    state = list(a.view(np.uint8))
+    sbox = _sbox()
+    inv_sbox = [0] * 256
+    for i, v in enumerate(sbox):
+        inv_sbox[v] = i
+    shifted = [0] * 16
+    for col in range(4):
+        for row in range(4):
+            shifted[col * 4 + row] = state[((col - row) % 4) * 4 + row]
+    sub = [inv_sbox[int(x)] for x in shifted]
+
+    def gmul(x: int, y: int) -> int:
+        r = 0
+        for _ in range(8):
+            if y & 1:
+                r ^= x
+            x = _xtime(x)
+            y >>= 1
+        return r
+
+    out = []
+    for col in range(4):
+        c = sub[col * 4: col * 4 + 4]
+        out += [
+            gmul(c[0], 14) ^ gmul(c[1], 11) ^ gmul(c[2], 13) ^ gmul(c[3], 9),
+            gmul(c[0], 9) ^ gmul(c[1], 14) ^ gmul(c[2], 11) ^ gmul(c[3], 13),
+            gmul(c[0], 13) ^ gmul(c[1], 9) ^ gmul(c[2], 14) ^ gmul(c[3], 11),
+            gmul(c[0], 11) ^ gmul(c[1], 13) ^ gmul(c[2], 9) ^ gmul(c[3], 14),
+        ]
+    mixed = np.array(out, dtype=np.uint8)
+    return VecValue(M128I, mixed ^ round_key.view(np.uint8))
+
+
+# -- CLMUL / SHA ---------------------------------------------------------------
+
+
+@register("_mm_clmulepi64_si128")
+def clmul(ctx, a, b, imm8):
+    imm = int(imm8)
+    qa = int(a.view(np.uint64)[(imm >> 0) & 1])
+    qb = int(b.view(np.uint64)[(imm >> 4) & 1])
+    acc = 0
+    for i in range(64):
+        if (qb >> i) & 1:
+            acc ^= qa << i
+    lo = acc & ((1 << 64) - 1)
+    hi = acc >> 64
+    return VecValue.from_lanes(M128I, np.uint64, [lo, hi])
+
+
+@register("_mm_sha1msg1_epu32")
+def sha1msg1(ctx, a, b):
+    w = list(a.view(np.uint32)[::-1]) + list(b.view(np.uint32)[::-1])
+    # W0..W3 = a (W0 in the high lane), W4, W5 = b's high lanes.
+    w0, w1, w2, w3 = (int(x) for x in w[:4])
+    w4, w5 = int(w[4]), int(w[5])
+    out = [w2 ^ w0, w3 ^ w1, w4 ^ w2, w5 ^ w3]
+    return VecValue.from_lanes(M128I, np.uint32, out[::-1])
+
+
+@register("_mm_sha256msg1_epu32")
+def sha256msg1(ctx, a, b):
+    def sigma0(x: int) -> int:
+        ror = lambda v, r: ((v >> r) | (v << (32 - r))) & 0xFFFFFFFF
+        return ror(x, 7) ^ ror(x, 18) ^ (x >> 3)
+
+    w = [int(x) for x in a.view(np.uint32)] + [int(b.view(np.uint32)[0])]
+    out = [(w[i] + sigma0(w[i + 1])) & 0xFFFFFFFF for i in range(4)]
+    return VecValue.from_lanes(M128I, np.uint32, out)

@@ -1,0 +1,118 @@
+"""Shared helpers for the semantic modules."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.lms.types import (
+    M128, M128D, M128I, M256, M256D, M256I, M512, M512D, M512I, M64,
+    VectorType,
+)
+from repro.simd.vector import VecValue
+
+VT_BY_NAME: dict[str, VectorType] = {
+    "__m64": M64, "__m128": M128, "__m128d": M128D, "__m128i": M128I,
+    "__m256": M256, "__m256d": M256D, "__m256i": M256I,
+    "__m512": M512, "__m512d": M512D, "__m512i": M512I,
+}
+
+# Element-suffix -> numpy dtype (Intel naming).
+DTYPE_BY_SUFFIX: dict[str, np.dtype] = {
+    "epi8": np.dtype(np.int8), "epi16": np.dtype(np.int16),
+    "epi32": np.dtype(np.int32), "epi64": np.dtype(np.int64),
+    "epu8": np.dtype(np.uint8), "epu16": np.dtype(np.uint16),
+    "epu32": np.dtype(np.uint32), "epu64": np.dtype(np.uint64),
+    "ps": np.dtype(np.float32), "pd": np.dtype(np.float64),
+    "pi8": np.dtype(np.int8), "pi16": np.dtype(np.int16),
+    "pi32": np.dtype(np.int32),
+    "pu8": np.dtype(np.uint8), "pu16": np.dtype(np.uint16),
+}
+
+INT_VT_BY_BITS = {64: M64, 128: M128I, 256: M256I, 512: M512I}
+PS_VT_BY_BITS = {128: M128, 256: M256, 512: M512}
+PD_VT_BY_BITS = {128: M128D, 256: M256D, 512: M512D}
+
+
+def result(vt: VectorType, dtype: np.dtype, lanes: np.ndarray) -> VecValue:
+    """Pack computed lanes (cast to dtype, wrapping) into a register."""
+    arr = np.asarray(lanes)
+    if arr.dtype != dtype:
+        if np.issubdtype(dtype, np.integer) and np.issubdtype(
+                arr.dtype, np.integer):
+            arr = arr.astype(dtype)  # wraps, like the hardware
+        else:
+            arr = arr.astype(dtype)
+    return VecValue.from_lanes(vt, dtype, arr)
+
+
+def lane_binop(dtype: np.dtype, fn: Callable) -> Callable:
+    """Build a ctx-taking semantic function for a lane-wise binary op."""
+
+    def sem(ctx, a: VecValue, b: VecValue) -> VecValue:
+        va, vb = a.view(dtype), b.view(dtype)
+        return result(a.vt, dtype, fn(va, vb))
+
+    return sem
+
+
+def lane_unop(dtype: np.dtype, fn: Callable) -> Callable:
+    def sem(ctx, a: VecValue) -> VecValue:
+        return result(a.vt, dtype, fn(a.view(dtype)))
+
+    return sem
+
+
+def saturate(values: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Clip values into the representable range of ``dtype``."""
+    info = np.iinfo(dtype)
+    return np.clip(values, info.min, info.max).astype(dtype)
+
+
+def wrap_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    with np.errstate(over="ignore"):
+        return a + b
+
+
+def wrap_sub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    with np.errstate(over="ignore"):
+        return a - b
+
+
+def wrap_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    with np.errstate(over="ignore"):
+        return a * b
+
+
+def cmp_mask(dtype: np.dtype, cond: np.ndarray) -> np.ndarray:
+    """All-ones / all-zeros lanes from a boolean array (compare results)."""
+    ones = np.array(-1, dtype=np.int64).astype(
+        dtype if np.issubdtype(dtype, np.integer)
+        else {4: np.int32, 8: np.int64}[dtype.itemsize])
+    out = np.where(cond, ones, 0)
+    if np.issubdtype(dtype, np.floating):
+        return out.astype({4: np.int32, 8: np.int64}[dtype.itemsize]).view(dtype)
+    return out.astype(dtype)
+
+
+def interleave(a: np.ndarray, b: np.ndarray, half: str,
+               lane_elems: int) -> np.ndarray:
+    """Unpack lo/hi interleave within each 128-bit lane.
+
+    ``lane_elems`` is the number of elements per 128-bit lane; numpy
+    arrays ``a``/``b`` cover the whole register.
+    """
+    out = np.empty_like(a)
+    n_lanes = a.size // lane_elems
+    h = lane_elems // 2
+    for ln in range(n_lanes):
+        base = ln * lane_elems
+        src = slice(base, base + h) if half == "lo" else \
+            slice(base + h, base + lane_elems)
+        sa, sb = a[src], b[src]
+        woven = np.empty(lane_elems, dtype=a.dtype)
+        woven[0::2] = sa
+        woven[1::2] = sb
+        out[base: base + lane_elems] = woven
+    return out

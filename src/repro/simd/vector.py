@@ -1,0 +1,125 @@
+"""Bit-accurate SIMD register values.
+
+A ``VecValue`` is a fixed-width bag of bytes plus the vector type it was
+produced as; lane interpretation is chosen per operation (exactly like the
+hardware, where ``__m256i`` may hold 8/16/32/64-bit lanes).  All lane
+views are numpy arrays over the same underlying buffer, so reinterpreting
+casts (``_mm256_castps_si256``) are free and exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.lms.types import VectorType
+
+
+class VecValue:
+    """A SIMD register value: ``vt.bits`` bits of raw storage."""
+
+    __slots__ = ("vt", "data")
+
+    def __init__(self, vt: VectorType, data: np.ndarray):
+        if data.dtype != np.uint8 or data.size != vt.bits // 8:
+            raise ValueError(
+                f"{vt.name} needs {vt.bits // 8} raw bytes, got "
+                f"{data.dtype} x {data.size}"
+            )
+        self.vt = vt
+        self.data = data
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def zero(cls, vt: VectorType) -> "VecValue":
+        return cls(vt, np.zeros(vt.bits // 8, dtype=np.uint8))
+
+    @classmethod
+    def from_bytes(cls, vt: VectorType, raw: bytes | np.ndarray) -> "VecValue":
+        arr = np.frombuffer(bytes(raw), dtype=np.uint8).copy()
+        return cls(vt, arr)
+
+    @classmethod
+    def from_lanes(cls, vt: VectorType, dtype: str | np.dtype,
+                   lanes: Iterable) -> "VecValue":
+        dt = np.dtype(dtype)
+        arr = np.asarray(list(lanes) if not isinstance(lanes, np.ndarray)
+                         else lanes, dtype=dt)
+        if arr.nbytes != vt.bits // 8:
+            raise ValueError(
+                f"{vt.name} needs {vt.bits // 8} bytes of lanes, got "
+                f"{arr.nbytes}"
+            )
+        return cls(vt, arr.view(np.uint8).copy())
+
+    @classmethod
+    def broadcast(cls, vt: VectorType, dtype: str | np.dtype,
+                  value) -> "VecValue":
+        dt = np.dtype(dtype)
+        lanes = vt.bits // (dt.itemsize * 8)
+        return cls.from_lanes(vt, dt, np.full(lanes, value, dtype=dt))
+
+    # -- views ----------------------------------------------------------------
+
+    def view(self, dtype: str | np.dtype) -> np.ndarray:
+        """A typed numpy view over the register's bytes (no copy)."""
+        return self.data.view(np.dtype(dtype))
+
+    def lanes(self, dtype: str | np.dtype) -> np.ndarray:
+        """A typed *copy* of the register's lanes."""
+        return self.view(dtype).copy()
+
+    def cast(self, vt: VectorType) -> "VecValue":
+        """Reinterpret as another vector type of the same width."""
+        if vt.bits != self.vt.bits:
+            raise ValueError(
+                f"cannot cast {self.vt.name} ({self.vt.bits}b) to "
+                f"{vt.name} ({vt.bits}b) without widening rules"
+            )
+        return VecValue(vt, self.data.copy())
+
+    def low_half(self, vt: VectorType) -> "VecValue":
+        return VecValue(vt, self.data[: vt.bits // 8].copy())
+
+    # -- misc -----------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, VecValue) and self.vt == other.vt
+                and bool(np.array_equal(self.data, other.data)))
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as keys
+        return hash((self.vt.name, self.data.tobytes()))
+
+    def __repr__(self) -> str:
+        if self.vt.kind == "float":
+            body = ", ".join(f"{x:g}" for x in self.view(np.float32))
+        elif self.vt.kind == "double":
+            body = ", ".join(f"{x:g}" for x in self.view(np.float64))
+        else:
+            body = self.data.tobytes().hex()
+        return f"{self.vt.name}[{body}]"
+
+
+class MaskValue:
+    """An AVX-512 ``__mmaskN`` value: an N-bit integer."""
+
+    __slots__ = ("bits", "value")
+
+    def __init__(self, bits: int, value: int):
+        self.bits = bits
+        self.value = value & ((1 << bits) - 1)
+
+    def test(self, lane: int) -> bool:
+        return bool((self.value >> lane) & 1)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, MaskValue) and self.bits == other.bits
+                and self.value == other.value)
+
+    def __hash__(self) -> int:
+        return hash((self.bits, self.value))
+
+    def __repr__(self) -> str:
+        return f"__mmask{self.bits}[{self.value:#x}]"

@@ -1,0 +1,46 @@
+"""Intel intrinsics specification substrate.
+
+The paper generates its eDSLs from Intel's vendor-provided XML
+specification (``data-3.3.16.xml``).  That file is proprietary and this
+environment has no network, so this package provides the closest
+synthetic equivalent that exercises the same code path:
+
+* :mod:`repro.spec.model` — the schema (intrinsic, parameters, CPUID,
+  category, pseudocode operation, instruction forms);
+* :mod:`repro.spec.catalog` — a curated core of intrinsics with full
+  pseudocode semantics plus systematic op x type x mask families that
+  reconstruct the vendor set's combinatorial structure for all 13 ISAs
+  of Table 1b;
+* :mod:`repro.spec.xmlgen` — emits vendor-schema XML files for several
+  historical spec versions (the Table 3 analog);
+* :mod:`repro.spec.parser` — the version-tolerant XML parser the eDSL
+  generator consumes;
+* :mod:`repro.spec.census` — the Table 1a/1b census over a parsed spec.
+"""
+
+from repro.spec.diff import SpecDiff, diff_specs, diff_versions
+from repro.spec.model import (
+    CATEGORIES,
+    ISA_ORDER,
+    IntrinsicSpec,
+    Parameter,
+)
+from repro.spec.parser import parse_spec_file, parse_spec_xml
+from repro.spec.xmlgen import emit_spec_xml, write_spec_version
+from repro.spec.versions import SPEC_VERSIONS, default_version
+
+__all__ = [
+    "CATEGORIES",
+    "ISA_ORDER",
+    "IntrinsicSpec",
+    "Parameter",
+    "SpecDiff",
+    "diff_specs",
+    "diff_versions",
+    "SPEC_VERSIONS",
+    "default_version",
+    "emit_spec_xml",
+    "parse_spec_file",
+    "parse_spec_xml",
+    "write_spec_version",
+]

@@ -1,0 +1,33 @@
+"""The intrinsics catalog: curated core + systematic families.
+
+``all_entries(version)`` is the single source of truth the XML synthesizer
+serializes and the census counts.  The curated core (:mod:`core`) carries
+hand-written, bit-accurate pseudocode and is fully executable by the SIMD
+machine in :mod:`repro.simd`; the families (:mod:`families`) reconstruct
+the combinatorial op x type x mask structure of the vendor set so the
+eDSL generator is exercised at realistic scale (Table 1b).
+"""
+
+from repro.spec.catalog.build import entry, for_lanes_pseudocode
+from repro.spec.catalog.core import core_entries
+from repro.spec.catalog.families import family_entries
+
+
+def all_entries(version: str = "3.3.16"):
+    """Every catalog entry visible in the given spec version."""
+    from repro.spec.versions import version_filter
+
+    entries = list(core_entries()) + list(family_entries())
+    flt = version_filter(version)
+    seen: set[str] = set()
+    out = []
+    for e in entries:
+        if e.name in seen:
+            continue
+        seen.add(e.name)
+        if flt(e):
+            out.append(e)
+    return out
+
+
+__all__ = ["all_entries", "entry", "for_lanes_pseudocode"]

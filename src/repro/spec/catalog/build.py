@@ -1,0 +1,69 @@
+"""Helpers for authoring catalog entries compactly."""
+
+from __future__ import annotations
+
+from repro.spec.model import Instruction, IntrinsicSpec, Parameter
+
+
+def _parse_param(text: str) -> Parameter:
+    """Parse ``"__m256d a"`` or ``"float const* mem_addr"`` into a Parameter."""
+    type_part, _, var = text.rpartition(" ")
+    return Parameter(varname=var, type=type_part.strip())
+
+
+def entry(name: str, ret: str, params: list[str] | tuple[str, ...],
+          cpuid: str | tuple[str, ...], category: str, itype: str | tuple[str, ...],
+          desc: str, op: str = "", instr: str | tuple[str, str] | None = None,
+          header: str = "immintrin.h") -> IntrinsicSpec:
+    """Build one catalog entry from compact notation."""
+    cpuids = (cpuid,) if isinstance(cpuid, str) else tuple(cpuid)
+    itypes = (itype,) if isinstance(itype, str) else tuple(itype)
+    itypes = tuple(t for t in itypes if t)
+    if instr is None:
+        instructions: tuple[Instruction, ...] = ()
+    elif isinstance(instr, str):
+        instructions = (Instruction(name=instr),)
+    else:
+        instructions = (Instruction(name=instr[0], form=instr[1]),)
+    return IntrinsicSpec(
+        name=name,
+        rettype=ret,
+        params=tuple(_parse_param(p) for p in params),
+        cpuids=cpuids,
+        category=category,
+        types=itypes,
+        description=desc,
+        operation=op,
+        instructions=instructions,
+        header=header,
+    )
+
+
+def for_lanes_pseudocode(total_bits: int, lane_bits: int, body: str,
+                         zero_upper: bool = False) -> str:
+    """Emit Intel-guide-style ``FOR j := 0 to N`` pseudocode.
+
+    ``body`` uses ``i`` for the running bit offset, e.g.
+    ``"dst[i+{hi}:i] := a[i+{hi}:i] + b[i+{hi}:i]"`` — the ``{hi}``
+    placeholder is replaced with ``lane_bits - 1``.
+    """
+    lanes = total_bits // lane_bits
+    hi = lane_bits - 1
+    text = (
+        f"FOR j := 0 to {lanes - 1}\n"
+        f"\ti := j*{lane_bits}\n"
+        f"\t{body.format(hi=hi, lane=lane_bits)}\n"
+        f"ENDFOR"
+    )
+    if zero_upper:
+        text += f"\ndst[MAX:{total_bits}] := 0"
+    return text
+
+
+def lanewise(total_bits: int, lane_bits: int, c_op: str) -> str:
+    """Pseudocode for a plain lane-wise binary operation."""
+    return for_lanes_pseudocode(
+        total_bits, lane_bits,
+        "dst[i+{hi}:i] := a[i+{hi}:i] " + c_op + " b[i+{hi}:i]",
+        zero_upper=total_bits >= 256,
+    )

@@ -1,0 +1,1286 @@
+"""Curated intrinsics: the executable core of the catalog.
+
+Every entry produced here has bit-accurate executable semantics in
+:mod:`repro.simd.semantics` (a test enforces the correspondence), and the
+generated C for each is a real Intel intrinsic invocation, so staged
+kernels using these run identically on the simulated SIMD machine and —
+where the host supports the ISA — through the gcc/clang native backend.
+"""
+
+from __future__ import annotations
+
+from repro.spec.catalog.build import entry, for_lanes_pseudocode, lanewise
+from repro.spec.model import IntrinsicSpec
+
+_FP = "Floating Point"
+_INT = "Integer"
+
+
+def _vec_w(prefix: str) -> int:
+    return {"_mm": 128, "_mm256": 256, "_mm512": 512}[prefix]
+
+
+def _float_suite(prefix: str, suffix: str, vt: str, st: str, lane_bits: int,
+                 cpuid: str) -> list[IntrinsicSpec]:
+    """The standard float arithmetic/logic/memory suite for one width."""
+    w = _vec_w(prefix)
+    lanes = w // lane_bits
+    elem = "single" if lane_bits == 32 else "double"
+    out: list[IntrinsicSpec] = []
+
+    def mk(op_name: str, c_op: str, category: str = "Arithmetic") -> None:
+        out.append(entry(
+            f"{prefix}_{op_name}_{suffix}", vt, [f"{vt} a", f"{vt} b"],
+            cpuid, category, _FP,
+            f"{op_name.capitalize()} packed {elem}-precision ({lane_bits}-bit) "
+            f"floating-point elements in a and b, and store the results in dst.",
+            op=lanewise(w, lane_bits, c_op),
+            instr=(f"v{op_name}{'ps' if lane_bits == 32 else 'pd'}", "vec, vec, vec"),
+        ))
+
+    mk("add", "+")
+    mk("sub", "-")
+    mk("mul", "*")
+    mk("div", "/")
+    for m in ("min", "max"):
+        out.append(entry(
+            f"{prefix}_{m}_{suffix}", vt, [f"{vt} a", f"{vt} b"],
+            cpuid, "Special Math Functions", _FP,
+            f"Compare packed {elem}-precision elements in a and b and store "
+            f"packed {m}imum values in dst.",
+            op=for_lanes_pseudocode(
+                w, lane_bits,
+                "dst[i+{hi}:i] := " + m.upper() + "(a[i+{hi}:i], b[i+{hi}:i])"),
+        ))
+    out.append(entry(
+        f"{prefix}_sqrt_{suffix}", vt, [f"{vt} a"], cpuid,
+        "Elementary Math Functions", _FP,
+        f"Compute the square root of packed {elem}-precision elements in a.",
+        op=for_lanes_pseudocode(w, lane_bits, "dst[i+{hi}:i] := SQRT(a[i+{hi}:i])"),
+    ))
+    for lop, sym in (("and", "AND"), ("or", "OR"), ("xor", "XOR")):
+        out.append(entry(
+            f"{prefix}_{lop}_{suffix}", vt, [f"{vt} a", f"{vt} b"],
+            cpuid, "Logical", _FP,
+            f"Compute the bitwise {sym} of packed {elem}-precision elements "
+            f"in a and b.",
+            op=f"dst[{w - 1}:0] := (a[{w - 1}:0] {sym} b[{w - 1}:0])",
+        ))
+    out.append(entry(
+        f"{prefix}_andnot_{suffix}", vt, [f"{vt} a", f"{vt} b"],
+        cpuid, "Logical", _FP,
+        f"Compute the bitwise NOT of a and then AND with b.",
+        op=f"dst[{w - 1}:0] := ((NOT a[{w - 1}:0]) AND b[{w - 1}:0])",
+    ))
+    # Memory + set.
+    out.append(entry(
+        f"{prefix}_loadu_{suffix}", vt, [f"{st} const* mem_addr"],
+        cpuid, "Load", _FP,
+        f"Load {lanes} {elem}-precision elements from unaligned memory into dst.",
+        op=f"dst[{w - 1}:0] := MEM[mem_addr+{w - 1}:mem_addr]",
+    ))
+    out.append(entry(
+        f"{prefix}_load_{suffix}", vt, [f"{st} const* mem_addr"],
+        cpuid, "Load", _FP,
+        f"Load {lanes} {elem}-precision elements from {w // 8}-byte aligned "
+        f"memory into dst.",
+        op=f"dst[{w - 1}:0] := MEM[mem_addr+{w - 1}:mem_addr]",
+    ))
+    out.append(entry(
+        f"{prefix}_storeu_{suffix}", "void",
+        [f"{st}* mem_addr", f"{vt} a"], cpuid, "Store", _FP,
+        f"Store {lanes} {elem}-precision elements from a into unaligned memory.",
+        op=f"MEM[mem_addr+{w - 1}:mem_addr] := a[{w - 1}:0]",
+    ))
+    out.append(entry(
+        f"{prefix}_store_{suffix}", "void",
+        [f"{st}* mem_addr", f"{vt} a"], cpuid, "Store", _FP,
+        f"Store {lanes} {elem}-precision elements from a into aligned memory.",
+        op=f"MEM[mem_addr+{w - 1}:mem_addr] := a[{w - 1}:0]",
+    ))
+    out.append(entry(
+        f"{prefix}_set1_{suffix}", vt, [f"{st} a"], cpuid, "Set", _FP,
+        f"Broadcast {elem}-precision element a to all lanes of dst.",
+        op=for_lanes_pseudocode(w, lane_bits, "dst[i+{hi}:i] := a[{hi}:0]"),
+        instr="sequence",
+    ))
+    out.append(entry(
+        f"{prefix}_setzero_{suffix}", vt, [], cpuid, "Set", _FP,
+        f"Return vector of type {vt} with all elements set to zero.",
+        op=f"dst[MAX:0] := 0",
+        instr=("vxorps" if lane_bits == 32 else "vxorpd", "vec, vec, vec"),
+    ))
+    out.append(entry(
+        f"{prefix}_unpacklo_{suffix}", vt, [f"{vt} a", f"{vt} b"],
+        cpuid, "Swizzle", _FP,
+        f"Unpack and interleave {elem}-precision elements from the low half "
+        f"of each 128-bit lane in a and b.",
+    ))
+    out.append(entry(
+        f"{prefix}_unpackhi_{suffix}", vt, [f"{vt} a", f"{vt} b"],
+        cpuid, "Swizzle", _FP,
+        f"Unpack and interleave {elem}-precision elements from the high half "
+        f"of each 128-bit lane in a and b.",
+    ))
+    return out
+
+
+def _fma_suite() -> list[IntrinsicSpec]:
+    """All 32 FMA intrinsics (Table 1b: FMA = 32)."""
+    out: list[IntrinsicSpec] = []
+    kinds = (
+        ("fmadd", "(a*b) + c"),
+        ("fmsub", "(a*b) - c"),
+        ("fnmadd", "-(a*b) + c"),
+        ("fnmsub", "-(a*b) - c"),
+        ("fmaddsub", "alternately (a*b) - c and (a*b) + c"),
+        ("fmsubadd", "alternately (a*b) + c and (a*b) - c"),
+    )
+    for kind, formula in kinds:
+        for prefix in ("_mm", "_mm256"):
+            w = _vec_w(prefix)
+            for suffix, vt, lane_bits in (
+                ("ps", "__m128" if w == 128 else "__m256", 32),
+                ("pd", "__m128d" if w == 128 else "__m256d", 64),
+            ):
+                out.append(entry(
+                    f"{prefix}_{kind}_{suffix}", vt,
+                    [f"{vt} a", f"{vt} b", f"{vt} c"],
+                    "FMA", "Arithmetic", _FP,
+                    f"Multiply packed elements in a and b, and compute "
+                    f"{formula}, storing the result in dst.",
+                    op=for_lanes_pseudocode(
+                        w, lane_bits,
+                        "dst[i+{hi}:i] := fused " + formula),
+                    instr=(f"v{kind}213{suffix}", "vec, vec, vec"),
+                ))
+        if kind in ("fmadd", "fmsub", "fnmadd", "fnmsub"):
+            for suffix, vt in (("ss", "__m128"), ("sd", "__m128d")):
+                out.append(entry(
+                    f"_mm_{kind}_{suffix}", vt,
+                    [f"{vt} a", f"{vt} b", f"{vt} c"],
+                    "FMA", "Arithmetic", _FP,
+                    f"Compute {formula} on the lowest element, copy upper "
+                    f"elements from a.",
+                ))
+    return out
+
+
+def _sse_extras() -> list[IntrinsicSpec]:
+    out = [
+        entry("_mm_shuffle_ps", "__m128", ["__m128 a", "__m128 b", "unsigned int imm8"],
+              "SSE", "Swizzle", _FP,
+              "Shuffle single-precision elements in a and b using the control "
+              "in imm8: low two lanes select from a, high two from b.",
+              op=("dst[31:0] := SELECT4(a, imm8[1:0])\n"
+                  "dst[63:32] := SELECT4(a, imm8[3:2])\n"
+                  "dst[95:64] := SELECT4(b, imm8[5:4])\n"
+                  "dst[127:96] := SELECT4(b, imm8[7:6])"),
+              instr=("shufps", "xmm, xmm, imm8")),
+        entry("_mm_movehl_ps", "__m128", ["__m128 a", "__m128 b"],
+              "SSE", "Move", _FP,
+              "Move the upper 2 single-precision elements of b to the lower 2 "
+              "of dst; upper 2 from a."),
+        entry("_mm_movelh_ps", "__m128", ["__m128 a", "__m128 b"],
+              "SSE", "Move", _FP,
+              "Move the lower 2 single-precision elements of b to the upper 2 "
+              "of dst; lower 2 from a."),
+        entry("_mm_cvtss_f32", "float", ["__m128 a"],
+              "SSE", "Convert", _FP,
+              "Copy the lowest single-precision element of a to dst.",
+              op="dst[31:0] := a[31:0]"),
+        entry("_mm_add_ss", "__m128", ["__m128 a", "__m128 b"],
+              "SSE", "Arithmetic", _FP,
+              "Add the lowest single-precision elements of a and b; copy the "
+              "upper 3 from a."),
+        entry("_mm_mul_ss", "__m128", ["__m128 a", "__m128 b"],
+              "SSE", "Arithmetic", _FP,
+              "Multiply the lowest single-precision elements of a and b."),
+        entry("_mm_movemask_ps", "int", ["__m128 a"],
+              "SSE", "Miscellaneous", _FP,
+              "Set each bit of dst to the sign bit of the corresponding "
+              "single-precision element of a."),
+        entry("_mm_set_ps", "__m128",
+              ["float e3", "float e2", "float e1", "float e0"],
+              "SSE", "Set", _FP,
+              "Set packed single-precision elements with the supplied values "
+              "(e0 is the lowest lane)."),
+        entry("_mm_rcp_ps", "__m128", ["__m128 a"],
+              "SSE", "Elementary Math Functions", _FP,
+              "Approximate reciprocal of packed single-precision elements."),
+        entry("_mm_rsqrt_ps", "__m128", ["__m128 a"],
+              "SSE", "Elementary Math Functions", _FP,
+              "Approximate reciprocal square root of packed single-precision "
+              "elements."),
+    ]
+    for cmp_name, sym in (("cmpeq", "=="), ("cmplt", "<"), ("cmple", "<="),
+                          ("cmpgt", ">"), ("cmpge", ">=")):
+        out.append(entry(
+            f"_mm_{cmp_name}_ps", "__m128", ["__m128 a", "__m128 b"],
+            "SSE", "Compare", _FP,
+            f"Compare packed single-precision elements for {cmp_name[3:]}; "
+            f"lanes are set to all ones when the comparison holds.",
+            op=for_lanes_pseudocode(
+                128, 32,
+                "dst[i+{hi}:i] := (a[i+{hi}:i] " + sym
+                + " b[i+{hi}:i]) ? 0xFFFFFFFF : 0"),
+        ))
+    return out
+
+
+def _sse2_int_suite() -> list[IntrinsicSpec]:
+    out: list[IntrinsicSpec] = []
+    for bits in (8, 16, 32, 64):
+        for op_name, c_op in (("add", "+"), ("sub", "-")):
+            out.append(entry(
+                f"_mm_{op_name}_epi{bits}", "__m128i",
+                ["__m128i a", "__m128i b"], "SSE2", "Arithmetic", _INT,
+                f"{op_name.capitalize()} packed {bits}-bit integers in a and b.",
+                op=lanewise(128, bits, c_op),
+                instr=(f"p{op_name}{'bwdq'[(8, 16, 32, 64).index(bits)]}",
+                       "xmm, xmm"),
+            ))
+    for sfx, what in (("epi8", "signed 8-bit"), ("epi16", "signed 16-bit"),
+                      ("epu8", "unsigned 8-bit"), ("epu16", "unsigned 16-bit")):
+        for op_name in ("adds", "subs"):
+            out.append(entry(
+                f"_mm_{op_name}_{sfx}", "__m128i", ["__m128i a", "__m128i b"],
+                "SSE2", "Arithmetic", _INT,
+                f"{'Add' if op_name == 'adds' else 'Subtract'} packed {what} "
+                f"integers using saturation.",
+            ))
+    out += [
+        entry("_mm_mullo_epi16", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Arithmetic", _INT,
+              "Multiply packed 16-bit integers, store the low 16 bits of each "
+              "32-bit product."),
+        entry("_mm_mulhi_epi16", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Arithmetic", _INT,
+              "Multiply packed signed 16-bit integers, store the high 16 bits "
+              "of each 32-bit product."),
+        entry("_mm_madd_epi16", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Arithmetic", _INT,
+              "Multiply packed signed 16-bit integers, horizontally add "
+              "adjacent 32-bit products.",
+              op=for_lanes_pseudocode(
+                  128, 32,
+                  "dst[i+31:i] := SignExtend32(a[i+31:i+16]*b[i+31:i+16]) + "
+                  "SignExtend32(a[i+15:i]*b[i+15:i])")),
+        entry("_mm_avg_epu8", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Probability/Statistics", _INT,
+              "Average packed unsigned 8-bit integers in a and b with rounding.",
+              op=for_lanes_pseudocode(
+                  128, 8, "dst[i+{hi}:i] := (a[i+{hi}:i] + b[i+{hi}:i] + 1) >> 1")),
+        entry("_mm_avg_epu16", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Probability/Statistics", _INT,
+              "Average packed unsigned 16-bit integers in a and b with rounding."),
+        entry("_mm_min_epi16", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Special Math Functions", _INT,
+              "Minimum of packed signed 16-bit integers."),
+        entry("_mm_max_epi16", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Special Math Functions", _INT,
+              "Maximum of packed signed 16-bit integers."),
+        entry("_mm_min_epu8", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Special Math Functions", _INT,
+              "Minimum of packed unsigned 8-bit integers."),
+        entry("_mm_max_epu8", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Special Math Functions", _INT,
+              "Maximum of packed unsigned 8-bit integers."),
+        entry("_mm_sad_epu8", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Miscellaneous", _INT,
+              "Sum of absolute differences of packed unsigned 8-bit integers; "
+              "two 16-bit partial sums in lanes 0 and 4 of 64-bit results."),
+        entry("_mm_and_si128", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Logical", _INT, "Bitwise AND of 128 bits.",
+              op="dst[127:0] := (a[127:0] AND b[127:0])"),
+        entry("_mm_or_si128", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Logical", _INT, "Bitwise OR of 128 bits."),
+        entry("_mm_xor_si128", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Logical", _INT, "Bitwise XOR of 128 bits."),
+        entry("_mm_andnot_si128", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Logical", _INT,
+              "Bitwise NOT of a then AND with b."),
+        entry("_mm_loadu_si128", "__m128i", ["__m128i const* mem_addr"],
+              "SSE2", "Load", _INT,
+              "Load 128 bits of integer data from unaligned memory.",
+              op="dst[127:0] := MEM[mem_addr+127:mem_addr]"),
+        entry("_mm_load_si128", "__m128i", ["__m128i const* mem_addr"],
+              "SSE2", "Load", _INT,
+              "Load 128 bits of integer data from aligned memory."),
+        entry("_mm_storeu_si128", "void", ["__m128i* mem_addr", "__m128i a"],
+              "SSE2", "Store", _INT,
+              "Store 128 bits of integer data to unaligned memory.",
+              op="MEM[mem_addr+127:mem_addr] := a[127:0]"),
+        entry("_mm_store_si128", "void", ["__m128i* mem_addr", "__m128i a"],
+              "SSE2", "Store", _INT,
+              "Store 128 bits of integer data to aligned memory."),
+        entry("_mm_setzero_si128", "__m128i", [], "SSE2", "Set", _INT,
+              "Return a vector with all bits zeroed.", op="dst[MAX:0] := 0"),
+        entry("_mm_movemask_epi8", "int", ["__m128i a"],
+              "SSE2", "Miscellaneous", _INT,
+              "Create a 16-bit mask from the most significant bits of the "
+              "packed 8-bit integers in a."),
+        entry("_mm_packs_epi16", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Miscellaneous", _INT,
+              "Convert packed signed 16-bit integers to packed 8-bit integers "
+              "using signed saturation."),
+        entry("_mm_packus_epi16", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Miscellaneous", _INT,
+              "Convert packed signed 16-bit integers to packed 8-bit integers "
+              "using unsigned saturation."),
+        entry("_mm_packs_epi32", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Miscellaneous", _INT,
+              "Convert packed signed 32-bit integers to packed 16-bit integers "
+              "using signed saturation."),
+        entry("_mm_shuffle_epi32", "__m128i", ["__m128i a", "int imm8"],
+              "SSE2", "Swizzle", _INT,
+              "Shuffle 32-bit integers in a using the control in imm8."),
+        entry("_mm_shufflelo_epi16", "__m128i", ["__m128i a", "int imm8"],
+              "SSE2", "Swizzle", _INT,
+              "Shuffle 16-bit integers in the low 64 bits of a using imm8."),
+        entry("_mm_shufflehi_epi16", "__m128i", ["__m128i a", "int imm8"],
+              "SSE2", "Swizzle", _INT,
+              "Shuffle 16-bit integers in the high 64 bits of a using imm8."),
+        entry("_mm_cvtepi32_ps", "__m128", ["__m128i a"],
+              "SSE2", "Convert", (_FP, _INT),
+              "Convert packed signed 32-bit integers to packed single-precision "
+              "floating-point elements.",
+              op=for_lanes_pseudocode(
+                  128, 32, "dst[i+{hi}:i] := Convert_Int32_To_FP32(a[i+{hi}:i])")),
+        entry("_mm_cvtps_epi32", "__m128i", ["__m128 a"],
+              "SSE2", "Convert", (_FP, _INT),
+              "Convert packed single-precision elements to packed 32-bit "
+              "integers (round to nearest)."),
+        entry("_mm_cvttps_epi32", "__m128i", ["__m128 a"],
+              "SSE2", "Convert", (_FP, _INT),
+              "Convert packed single-precision elements to packed 32-bit "
+              "integers with truncation."),
+        entry("_mm_cvtsd_f64", "double", ["__m128d a"],
+              "SSE2", "Convert", _FP,
+              "Copy the lowest double-precision element of a to dst."),
+        entry("_mm_castps_pd", "__m128d", ["__m128 a"],
+              "SSE2", "Cast", _FP,
+              "Cast vector of type __m128 to type __m128d (no operation)."),
+        entry("_mm_castpd_ps", "__m128", ["__m128d a"],
+              "SSE2", "Cast", _FP,
+              "Cast vector of type __m128d to type __m128 (no operation)."),
+        entry("_mm_castps_si128", "__m128i", ["__m128 a"],
+              "SSE2", "Cast", (_FP, _INT),
+              "Cast vector of type __m128 to type __m128i (no operation)."),
+        entry("_mm_castsi128_ps", "__m128", ["__m128i a"],
+              "SSE2", "Cast", (_FP, _INT),
+              "Cast vector of type __m128i to type __m128 (no operation)."),
+        entry("_mm_store_pd1", "void", ["double* mem_addr", "__m128d a"],
+              "SSE2", "Store", _FP,
+              "Store the lower double-precision element of a into 2 contiguous "
+              "aligned memory locations."),
+        entry("_mm_cmpeq_epi8", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Compare", _INT,
+              "Compare packed 8-bit integers for equality.",
+              op=for_lanes_pseudocode(
+                  128, 8,
+                  "dst[i+{hi}:i] := (a[i+{hi}:i] == b[i+{hi}:i]) ? 0xFF : 0")),
+        entry("_mm_cmpeq_epi16", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Compare", _INT,
+              "Compare packed 16-bit integers for equality."),
+        entry("_mm_cmpeq_epi32", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Compare", _INT,
+              "Compare packed 32-bit integers for equality."),
+        entry("_mm_cmpgt_epi8", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Compare", _INT,
+              "Compare packed signed 8-bit integers for greater-than."),
+        entry("_mm_cmpgt_epi16", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Compare", _INT,
+              "Compare packed signed 16-bit integers for greater-than."),
+        entry("_mm_cmpgt_epi32", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE2", "Compare", _INT,
+              "Compare packed signed 32-bit integers for greater-than."),
+    ]
+    for bits in (16, 32, 64):
+        out.append(entry(
+            f"_mm_slli_epi{bits}", "__m128i", ["__m128i a", "int imm8"],
+            "SSE2", "Shift", _INT,
+            f"Shift packed {bits}-bit integers in a left by imm8 while "
+            f"shifting in zeros.",
+            op=for_lanes_pseudocode(
+                128, bits, "dst[i+{hi}:i] := a[i+{hi}:i] << imm8"),
+        ))
+        out.append(entry(
+            f"_mm_srli_epi{bits}", "__m128i", ["__m128i a", "int imm8"],
+            "SSE2", "Shift", _INT,
+            f"Shift packed {bits}-bit integers in a right by imm8 while "
+            f"shifting in zeros.",
+        ))
+    for bits in (16, 32):
+        out.append(entry(
+            f"_mm_srai_epi{bits}", "__m128i", ["__m128i a", "int imm8"],
+            "SSE2", "Shift", _INT,
+            f"Shift packed {bits}-bit integers in a right by imm8 while "
+            f"shifting in sign bits.",
+        ))
+    for bits, code in ((8, "b"), (16, "w"), (32, "d"), (64, "qdq")):
+        for half in ("lo", "hi"):
+            out.append(entry(
+                f"_mm_unpack{half}_epi{bits}", "__m128i",
+                ["__m128i a", "__m128i b"], "SSE2", "Swizzle", _INT,
+                f"Unpack and interleave {bits}-bit integers from the "
+                f"{'low' if half == 'lo' else 'high'} half of a and b.",
+                instr=(f"punpck{half}{code}", "xmm, xmm"),
+            ))
+    for bits in (8, 16, 32):
+        out.append(entry(
+            f"_mm_set1_epi{bits}", "__m128i", [f"char a" if bits == 8 else
+                                               f"short a" if bits == 16 else "int a"],
+            "SSE2", "Set", _INT,
+            f"Broadcast {bits}-bit integer a to all elements of dst.",
+            op=for_lanes_pseudocode(128, bits, "dst[i+{hi}:i] := a[{hi}:0]"),
+            instr="sequence",
+        ))
+    out.append(entry(
+        "_mm_set1_epi64x", "__m128i", ["__int64 a"], "SSE2", "Set", _INT,
+        "Broadcast 64-bit integer a to all elements of dst.",
+        instr="sequence",
+    ))
+    return out
+
+
+def _ssse3_sse41_sse42() -> list[IntrinsicSpec]:
+    out: list[IntrinsicSpec] = []
+    for bits in (8, 16, 32):
+        out.append(entry(
+            f"_mm_abs_epi{bits}", "__m128i", ["__m128i a"],
+            "SSSE3", "Special Math Functions", _INT,
+            f"Compute the absolute value of packed signed {bits}-bit integers.",
+            op=for_lanes_pseudocode(128, bits, "dst[i+{hi}:i] := ABS(a[i+{hi}:i])"),
+        ))
+        out.append(entry(
+            f"_mm_sign_epi{bits}", "__m128i", ["__m128i a", "__m128i b"],
+            "SSSE3", "Arithmetic", _INT,
+            f"Negate packed {bits}-bit integers in a when the corresponding "
+            f"element in b is negative; zero them when b is zero.",
+        ))
+    out += [
+        entry("_mm_hadd_epi16", "__m128i", ["__m128i a", "__m128i b"],
+              "SSSE3", "Arithmetic", _INT,
+              "Horizontally add adjacent pairs of 16-bit integers."),
+        entry("_mm_hadd_epi32", "__m128i", ["__m128i a", "__m128i b"],
+              "SSSE3", "Arithmetic", _INT,
+              "Horizontally add adjacent pairs of 32-bit integers."),
+        entry("_mm_maddubs_epi16", "__m128i", ["__m128i a", "__m128i b"],
+              "SSSE3", "Arithmetic", _INT,
+              "Vertically multiply unsigned 8-bit integers in a with signed "
+              "8-bit integers in b, horizontally add adjacent pairs with "
+              "signed saturation."),
+        entry("_mm_mulhrs_epi16", "__m128i", ["__m128i a", "__m128i b"],
+              "SSSE3", "Arithmetic", _INT,
+              "Multiply packed signed 16-bit integers, round and scale."),
+        entry("_mm_shuffle_epi8", "__m128i", ["__m128i a", "__m128i b"],
+              "SSSE3", "Swizzle", _INT,
+              "Shuffle packed 8-bit integers in a according to the control "
+              "bytes in b."),
+        entry("_mm_alignr_epi8", "__m128i",
+              ["__m128i a", "__m128i b", "int imm8"],
+              "SSSE3", "Miscellaneous", _INT,
+              "Concatenate a and b, shift right by imm8 bytes, return the low "
+              "16 bytes."),
+    ]
+    # SSE4.1
+    out += [
+        entry("_mm_mullo_epi32", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE4.1", "Arithmetic", _INT,
+              "Multiply packed 32-bit integers, store the low 32 bits of each "
+              "64-bit product.",
+              op=lanewise(128, 32, "*")),
+        entry("_mm_mul_epi32", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE4.1", "Arithmetic", _INT,
+              "Multiply the low signed 32-bit integers of each 64-bit element, "
+              "store the signed 64-bit products."),
+        entry("_mm_blendv_ps", "__m128",
+              ["__m128 a", "__m128 b", "__m128 mask"],
+              "SSE4.1", "Swizzle", _FP,
+              "Blend packed single-precision elements from a and b using the "
+              "sign bit of mask."),
+        entry("_mm_blend_ps", "__m128", ["__m128 a", "__m128 b", "int imm8"],
+              "SSE4.1", "Swizzle", _FP,
+              "Blend packed single-precision elements from a and b using imm8."),
+        entry("_mm_dp_ps", "__m128", ["__m128 a", "__m128 b", "int imm8"],
+              "SSE4.1", "Arithmetic", _FP,
+              "Conditionally multiply packed single-precision elements, sum "
+              "the products, and conditionally store the sum."),
+        entry("_mm_cvtepi8_epi16", "__m128i", ["__m128i a"],
+              "SSE4.1", "Convert", _INT,
+              "Sign extend packed 8-bit integers to packed 16-bit integers."),
+        entry("_mm_cvtepi8_epi32", "__m128i", ["__m128i a"],
+              "SSE4.1", "Convert", _INT,
+              "Sign extend packed 8-bit integers to packed 32-bit integers."),
+        entry("_mm_cvtepi16_epi32", "__m128i", ["__m128i a"],
+              "SSE4.1", "Convert", _INT,
+              "Sign extend packed 16-bit integers to packed 32-bit integers."),
+        entry("_mm_cvtepu8_epi16", "__m128i", ["__m128i a"],
+              "SSE4.1", "Convert", _INT,
+              "Zero extend packed unsigned 8-bit integers to packed 16-bit "
+              "integers."),
+        entry("_mm_min_epi32", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE4.1", "Special Math Functions", _INT,
+              "Minimum of packed signed 32-bit integers."),
+        entry("_mm_max_epi32", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE4.1", "Special Math Functions", _INT,
+              "Maximum of packed signed 32-bit integers."),
+        entry("_mm_extract_epi32", "int", ["__m128i a", "int imm8"],
+              "SSE4.1", "Swizzle", _INT,
+              "Extract the 32-bit integer lane of a selected by imm8."),
+        entry("_mm_insert_epi32", "__m128i", ["__m128i a", "int i", "int imm8"],
+              "SSE4.1", "Swizzle", _INT,
+              "Insert the 32-bit integer i into lane imm8 of a."),
+        entry("_mm_testz_si128", "int", ["__m128i a", "__m128i b"],
+              "SSE4.1", "Logical", _INT,
+              "Return 1 when the bitwise AND of a and b is all zeros."),
+        entry("_mm_packus_epi32", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE4.1", "Miscellaneous", _INT,
+              "Convert packed signed 32-bit integers to packed 16-bit integers "
+              "using unsigned saturation."),
+    ]
+    # SSE4.2
+    out += [
+        entry("_mm_cmpgt_epi64", "__m128i", ["__m128i a", "__m128i b"],
+              "SSE4.2", "Compare", _INT,
+              "Compare packed signed 64-bit integers for greater-than."),
+        entry("_mm_cmpestrm", "__m128i",
+              ["__m128i a", "int la", "__m128i b", "int lb", "const int imm8"],
+              "SSE4.2", "String Compare", _INT,
+              "Compare packed strings in a and b with explicit lengths and "
+              "return the generated mask.",
+              instr=("pcmpestrm", "xmm, xmm, imm8")),
+        entry("_mm_cmpestri", "int",
+              ["__m128i a", "int la", "__m128i b", "int lb", "const int imm8"],
+              "SSE4.2", "String Compare", _INT,
+              "Compare packed strings in a and b with explicit lengths and "
+              "return the generated index."),
+        entry("_mm_cmpistrm", "__m128i",
+              ["__m128i a", "__m128i b", "const int imm8"],
+              "SSE4.2", "String Compare", _INT,
+              "Compare packed strings with implicit lengths and return the "
+              "generated mask."),
+        entry("_mm_cmpistri", "int",
+              ["__m128i a", "__m128i b", "const int imm8"],
+              "SSE4.2", "String Compare", _INT,
+              "Compare packed strings with implicit lengths and return the "
+              "generated index."),
+        entry("_mm_cmpistrz", "int",
+              ["__m128i a", "__m128i b", "const int imm8"],
+              "SSE4.2", "String Compare", _INT,
+              "Compare packed strings with implicit lengths and return 1 when "
+              "any byte of b is null."),
+    ]
+    for bits, ty in ((8, "unsigned char"), (16, "unsigned short"),
+                     (32, "unsigned int"), (64, "unsigned __int64")):
+        ret = "unsigned int" if bits < 64 else "unsigned __int64"
+        out.append(entry(
+            f"_mm_crc32_u{bits}", ret,
+            [f"{ret} crc", f"{ty} v"],
+            "SSE4.2", "Cryptography", _INT,
+            f"Accumulate CRC32 (polynomial 0x11EDC6F41) over an unsigned "
+            f"{bits}-bit integer.",
+            instr=("crc32", "r32, r8" if bits == 8 else "r, r"),
+        ))
+    return out
+
+
+def _avx_extras() -> list[IntrinsicSpec]:
+    out = [
+        entry("_mm256_shuffle_ps", "__m256",
+              ["__m256 a", "__m256 b", "const int imm8"],
+              "AVX", "Swizzle", _FP,
+              "Shuffle single-precision elements within each 128-bit lane of "
+              "a and b using the control in imm8.",
+              instr=("vshufps", "ymm, ymm, ymm, imm8")),
+        entry("_mm256_shuffle_pd", "__m256d",
+              ["__m256d a", "__m256d b", "const int imm8"],
+              "AVX", "Swizzle", _FP,
+              "Shuffle double-precision elements within 128-bit lanes."),
+        entry("_mm256_permute2f128_ps", "__m256",
+              ["__m256 a", "__m256 b", "int imm8"],
+              "AVX", "Swizzle", _FP,
+              "Shuffle 128-bit lanes selected from a and b by the control in "
+              "imm8 (bit 3 of each nibble zeroes the lane).",
+              instr=("vperm2f128", "ymm, ymm, ymm, imm8")),
+        entry("_mm256_permute2f128_pd", "__m256d",
+              ["__m256d a", "__m256d b", "int imm8"],
+              "AVX", "Swizzle", _FP,
+              "Shuffle 128-bit lanes of double-precision data from a and b."),
+        entry("_mm256_permute_ps", "__m256", ["__m256 a", "int imm8"],
+              "AVX", "Swizzle", _FP,
+              "Shuffle single-precision elements in each 128-bit lane of a "
+              "using the control in imm8."),
+        entry("_mm256_permutevar_pd", "__m256d", ["__m256d a", "__m256i b"],
+              "AVX", "Swizzle", _FP,
+              "Shuffle double-precision elements in each 128-bit lane of a "
+              "using the control in the corresponding 64-bit element of b."),
+        entry("_mm256_blend_ps", "__m256",
+              ["__m256 a", "__m256 b", "const int imm8"],
+              "AVX", "Swizzle", _FP,
+              "Blend packed single-precision elements from a and b using imm8."),
+        entry("_mm256_blendv_ps", "__m256",
+              ["__m256 a", "__m256 b", "__m256 mask"],
+              "AVX", "Swizzle", _FP,
+              "Blend packed single-precision elements from a and b using the "
+              "sign bit of mask."),
+        entry("_mm256_broadcast_ss", "__m256", ["float const* mem_addr"],
+              "AVX", "Load", _FP,
+              "Broadcast a single-precision element from memory to all "
+              "elements of dst."),
+        entry("_mm256_broadcast_sd", "__m256d", ["double const* mem_addr"],
+              "AVX", "Load", _FP,
+              "Broadcast a double-precision element from memory to all "
+              "elements of dst."),
+        entry("_mm256_broadcast_ps", "__m256", ["__m128 const* mem_addr"],
+              "AVX", "Load", _FP,
+              "Broadcast 128 bits of 4 single-precision elements from memory "
+              "to both lanes of dst."),
+        entry("_mm256_extractf128_ps", "__m128", ["__m256 a", "const int imm8"],
+              "AVX", "Swizzle", _FP,
+              "Extract the 128-bit lane of a selected by imm8."),
+        entry("_mm256_extractf128_pd", "__m128d", ["__m256d a", "const int imm8"],
+              "AVX", "Swizzle", _FP,
+              "Extract the 128-bit double-precision lane selected by imm8."),
+        entry("_mm256_insertf128_ps", "__m256",
+              ["__m256 a", "__m128 b", "int imm8"],
+              "AVX", "Swizzle", _FP,
+              "Insert b into the 128-bit lane of a selected by imm8."),
+        entry("_mm256_castps256_ps128", "__m128", ["__m256 a"],
+              "AVX", "Cast", _FP,
+              "Cast vector of type __m256 to type __m128 (no operation)."),
+        entry("_mm256_castps128_ps256", "__m256", ["__m128 a"],
+              "AVX", "Cast", _FP,
+              "Cast vector of type __m128 to type __m256; upper bits undefined."),
+        entry("_mm256_castps_pd", "__m256d", ["__m256 a"],
+              "AVX", "Cast", _FP,
+              "Cast vector of type __m256 to type __m256d (no operation)."),
+        entry("_mm256_castpd_ps", "__m256", ["__m256d a"],
+              "AVX", "Cast", _FP,
+              "Cast vector of type __m256d to type __m256 (no operation)."),
+        entry("_mm256_castps_si256", "__m256i", ["__m256 a"],
+              "AVX", "Cast", (_FP, _INT),
+              "Cast vector of type __m256 to type __m256i (no operation)."),
+        entry("_mm256_castsi256_ps", "__m256", ["__m256i a"],
+              "AVX", "Cast", (_FP, _INT),
+              "Cast vector of type __m256i to type __m256 (no operation)."),
+        entry("_mm256_cvtps_epi32", "__m256i", ["__m256 a"],
+              "AVX", "Convert", (_FP, _INT),
+              "Convert packed single-precision elements to packed 32-bit "
+              "integers (round to nearest)."),
+        entry("_mm256_cvtepi32_ps", "__m256", ["__m256i a"],
+              "AVX", "Convert", (_FP, _INT),
+              "Convert packed signed 32-bit integers to packed single-precision "
+              "elements.",
+              op=for_lanes_pseudocode(
+                  256, 32, "dst[i+{hi}:i] := Convert_Int32_To_FP32(a[i+{hi}:i])")),
+        entry("_mm256_hadd_ps", "__m256", ["__m256 a", "__m256 b"],
+              "AVX", "Arithmetic", _FP,
+              "Horizontally add adjacent pairs of single-precision elements "
+              "within each 128-bit lane of a and b."),
+        entry("_mm256_hadd_pd", "__m256d", ["__m256d a", "__m256d b"],
+              "AVX", "Arithmetic", _FP,
+              "Horizontally add adjacent pairs of double-precision elements."),
+        entry("_mm256_dp_ps", "__m256", ["__m256 a", "__m256 b", "const int imm8"],
+              "AVX", "Arithmetic", _FP,
+              "Conditionally multiply packed single-precision elements within "
+              "128-bit lanes, sum, and conditionally store."),
+        entry("_mm256_movemask_ps", "int", ["__m256 a"],
+              "AVX", "Miscellaneous", _FP,
+              "Set each bit of dst to the sign bit of the corresponding "
+              "single-precision element of a."),
+        entry("_mm256_zeroupper", "void", [], "AVX", "General Support", _FP,
+              "Zero the upper 128 bits of all YMM registers."),
+        entry("_mm256_set_ps", "__m256",
+              ["float e7", "float e6", "float e5", "float e4",
+               "float e3", "float e2", "float e1", "float e0"],
+              "AVX", "Set", _FP,
+              "Set packed single-precision elements with the supplied values "
+              "(e0 is the lowest lane)."),
+        entry("_mm256_set_m128", "__m256", ["__m128 hi", "__m128 lo"],
+              "AVX", "Set", _FP,
+              "Set dst from two __m128 halves."),
+        entry("_mm256_maskload_ps", "__m256",
+              ["float const* mem_addr", "__m256i mask"],
+              "AVX", "Load", _FP,
+              "Load packed single-precision elements from memory using the "
+              "sign bit of each mask element."),
+        entry("_mm256_maskstore_ps", "void",
+              ["float* mem_addr", "__m256i mask", "__m256 a"],
+              "AVX", "Store", _FP,
+              "Store packed single-precision elements to memory using the "
+              "sign bit of each mask element."),
+        entry("_mm256_round_ps", "__m256", ["__m256 a", "int rounding"],
+              "AVX", "Special Math Functions", _FP,
+              "Round packed single-precision elements using the rounding mode."),
+        entry("_mm256_floor_ps", "__m256", ["__m256 a"],
+              "AVX", "Special Math Functions", _FP,
+              "Round packed single-precision elements down to integers."),
+        entry("_mm256_cmp_ps", "__m256",
+              ["__m256 a", "__m256 b", "const int imm8"],
+              "AVX", "Compare", _FP,
+              "Compare packed single-precision elements using the predicate "
+              "in imm8."),
+        entry("_mm256_cmp_pd", "__m256d",
+              ["__m256d a", "__m256d b", "const int imm8"],
+              "AVX", "Compare", _FP,
+              "Compare packed double-precision elements using the predicate "
+              "in imm8."),
+    ]
+    return out
+
+
+def _avx2_suite() -> list[IntrinsicSpec]:
+    out: list[IntrinsicSpec] = []
+    for bits in (8, 16, 32, 64):
+        for op_name, c_op in (("add", "+"), ("sub", "-")):
+            out.append(entry(
+                f"_mm256_{op_name}_epi{bits}", "__m256i",
+                ["__m256i a", "__m256i b"], "AVX2", "Arithmetic", _INT,
+                f"{op_name.capitalize()} packed {bits}-bit integers in a and b.",
+                op=lanewise(256, bits, c_op),
+            ))
+    for sfx in ("epi8", "epi16", "epu8", "epu16"):
+        for op_name in ("adds", "subs"):
+            out.append(entry(
+                f"_mm256_{op_name}_{sfx}", "__m256i",
+                ["__m256i a", "__m256i b"], "AVX2", "Arithmetic", _INT,
+                f"Saturating {op_name[:-1]} of packed {sfx} integers.",
+            ))
+    out += [
+        entry("_mm256_mullo_epi16", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Arithmetic", _INT,
+              "Multiply packed 16-bit integers, store the low 16 bits."),
+        entry("_mm256_mullo_epi32", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Arithmetic", _INT,
+              "Multiply packed 32-bit integers, store the low 32 bits."),
+        entry("_mm256_mulhi_epi16", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Arithmetic", _INT,
+              "Multiply packed signed 16-bit integers, store the high 16 bits."),
+        entry("_mm256_madd_epi16", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Arithmetic", _INT,
+              "Multiply packed signed 16-bit integers, horizontally add "
+              "adjacent 32-bit products.",
+              op=for_lanes_pseudocode(
+                  256, 32,
+                  "dst[i+31:i] := SignExtend32(a[i+31:i+16]*b[i+31:i+16]) + "
+                  "SignExtend32(a[i+15:i]*b[i+15:i])")),
+        entry("_mm256_maddubs_epi16", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Arithmetic", _INT,
+              "Vertically multiply unsigned 8-bit integers in a with signed "
+              "8-bit integers in b, horizontally add adjacent pairs with "
+              "signed saturation.",
+              op=for_lanes_pseudocode(
+                  256, 16,
+                  "dst[i+15:i] := Saturate16(a[i+15:i+8]*b[i+15:i+8] + "
+                  "a[i+7:i]*b[i+7:i])")),
+        entry("_mm256_sign_epi8", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Arithmetic", _INT,
+              "Negate packed 8-bit integers in a when the corresponding "
+              "element in b is negative; zero them when b is zero.",
+              op=for_lanes_pseudocode(
+                  256, 8,
+                  "dst[i+7:i] := (b[i+7:i] < 0) ? -a[i+7:i] : "
+                  "((b[i+7:i] == 0) ? 0 : a[i+7:i])")),
+        entry("_mm256_sign_epi16", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Arithmetic", _INT,
+              "Conditionally negate packed 16-bit integers in a by the sign "
+              "of b."),
+        entry("_mm256_abs_epi8", "__m256i", ["__m256i a"],
+              "AVX2", "Special Math Functions", _INT,
+              "Compute the absolute value of packed signed 8-bit integers.",
+              op=for_lanes_pseudocode(256, 8, "dst[i+{hi}:i] := ABS(a[i+{hi}:i])")),
+        entry("_mm256_abs_epi16", "__m256i", ["__m256i a"],
+              "AVX2", "Special Math Functions", _INT,
+              "Compute the absolute value of packed signed 16-bit integers."),
+        entry("_mm256_avg_epu8", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Probability/Statistics", _INT,
+              "Average packed unsigned 8-bit integers with rounding."),
+        entry("_mm256_and_si256", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Logical", _INT, "Bitwise AND of 256 bits.",
+              op="dst[255:0] := (a[255:0] AND b[255:0])"),
+        entry("_mm256_or_si256", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Logical", _INT, "Bitwise OR of 256 bits."),
+        entry("_mm256_xor_si256", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Logical", _INT, "Bitwise XOR of 256 bits."),
+        entry("_mm256_andnot_si256", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Logical", _INT, "Bitwise NOT of a then AND with b."),
+        entry("_mm256_loadu_si256", "__m256i", ["__m256i const* mem_addr"],
+              "AVX", "Load", _INT,
+              "Load 256 bits of integer data from unaligned memory.",
+              op="dst[255:0] := MEM[mem_addr+255:mem_addr]"),
+        entry("_mm256_storeu_si256", "void", ["__m256i* mem_addr", "__m256i a"],
+              "AVX", "Store", _INT,
+              "Store 256 bits of integer data to unaligned memory."),
+        entry("_mm256_setzero_si256", "__m256i", [], "AVX", "Set", _INT,
+              "Return a 256-bit vector with all bits zeroed.",
+              op="dst[MAX:0] := 0"),
+        entry("_mm256_set1_epi8", "__m256i", ["char a"], "AVX", "Set", _INT,
+              "Broadcast 8-bit integer a to all elements of dst.",
+              instr="sequence"),
+        entry("_mm256_set1_epi16", "__m256i", ["short a"], "AVX", "Set", _INT,
+              "Broadcast 16-bit integer a to all elements of dst.",
+              instr="sequence"),
+        entry("_mm256_set1_epi32", "__m256i", ["int a"], "AVX", "Set", _INT,
+              "Broadcast 32-bit integer a to all elements of dst.",
+              instr="sequence"),
+        entry("_mm256_set1_epi64x", "__m256i", ["__int64 a"], "AVX", "Set", _INT,
+              "Broadcast 64-bit integer a to all elements of dst.",
+              instr="sequence"),
+        entry("_mm256_movemask_epi8", "int", ["__m256i a"],
+              "AVX2", "Miscellaneous", _INT,
+              "Create a 32-bit mask from the most significant bits of the "
+              "packed 8-bit integers in a."),
+        entry("_mm256_packs_epi16", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Miscellaneous", _INT,
+              "Convert packed signed 16-bit integers to 8-bit using signed "
+              "saturation, within 128-bit lanes."),
+        entry("_mm256_packs_epi32", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Miscellaneous", _INT,
+              "Convert packed signed 32-bit integers to 16-bit using signed "
+              "saturation, within 128-bit lanes."),
+        entry("_mm256_packus_epi16", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Miscellaneous", _INT,
+              "Convert packed signed 16-bit integers to 8-bit using unsigned "
+              "saturation, within 128-bit lanes."),
+        entry("_mm256_unpacklo_epi8", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Swizzle", _INT,
+              "Unpack and interleave 8-bit integers from the low half of each "
+              "128-bit lane."),
+        entry("_mm256_unpackhi_epi8", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Swizzle", _INT,
+              "Unpack and interleave 8-bit integers from the high half of "
+              "each 128-bit lane."),
+        entry("_mm256_unpacklo_epi16", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Swizzle", _INT,
+              "Unpack and interleave 16-bit integers from the low half of "
+              "each 128-bit lane."),
+        entry("_mm256_unpackhi_epi16", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Swizzle", _INT,
+              "Unpack and interleave 16-bit integers from the high half of "
+              "each 128-bit lane."),
+        entry("_mm256_shuffle_epi8", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Swizzle", _INT,
+              "Shuffle packed 8-bit integers in a within 128-bit lanes "
+              "according to the control bytes in b."),
+        entry("_mm256_shuffle_epi32", "__m256i", ["__m256i a", "const int imm8"],
+              "AVX2", "Swizzle", _INT,
+              "Shuffle 32-bit integers within each 128-bit lane of a."),
+        entry("_mm256_shufflehi_epi16", "__m256i", ["__m256i a", "const int imm8"],
+              "AVX2", "Swizzle", _INT,
+              "Shuffle 16-bit integers in the high 64 bits of each 128-bit "
+              "lane of a using imm8."),
+        entry("_mm256_shufflelo_epi16", "__m256i", ["__m256i a", "const int imm8"],
+              "AVX2", "Swizzle", _INT,
+              "Shuffle 16-bit integers in the low 64 bits of each 128-bit "
+              "lane of a using imm8."),
+        entry("_mm256_permutevar8x32_epi32", "__m256i",
+              ["__m256i a", "__m256i idx"],
+              "AVX2", "Swizzle", _INT,
+              "Shuffle 32-bit integers in a across lanes using the indices "
+              "in idx."),
+        entry("_mm256_permute2x128_si256", "__m256i",
+              ["__m256i a", "__m256i b", "const int imm8"],
+              "AVX2", "Swizzle", _INT,
+              "Shuffle 128-bit lanes selected from a and b by imm8."),
+        entry("_mm256_extracti128_si256", "__m128i",
+              ["__m256i a", "const int imm8"],
+              "AVX2", "Swizzle", _INT,
+              "Extract the 128-bit integer lane of a selected by imm8."),
+        entry("_mm256_inserti128_si256", "__m256i",
+              ["__m256i a", "__m128i b", "const int imm8"],
+              "AVX2", "Swizzle", _INT,
+              "Insert b into the 128-bit lane of a selected by imm8."),
+        entry("_mm256_bslli_epi128", "__m256i", ["__m256i a", "const int imm8"],
+              "AVX2", "Shift", _INT,
+              "Shift each 128-bit lane of a left by imm8 bytes while shifting "
+              "in zeros."),
+        entry("_mm256_bsrli_epi128", "__m256i", ["__m256i a", "const int imm8"],
+              "AVX2", "Shift", _INT,
+              "Shift each 128-bit lane of a right by imm8 bytes while "
+              "shifting in zeros."),
+        entry("_mm256_blendv_epi8", "__m256i",
+              ["__m256i a", "__m256i b", "__m256i mask"],
+              "AVX2", "Swizzle", _INT,
+              "Blend packed 8-bit integers from a and b using the sign bit "
+              "of each mask byte."),
+        entry("_mm256_cmpeq_epi8", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Compare", _INT,
+              "Compare packed 8-bit integers for equality."),
+        entry("_mm256_cmpeq_epi32", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Compare", _INT,
+              "Compare packed 32-bit integers for equality."),
+        entry("_mm256_cmpgt_epi8", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Compare", _INT,
+              "Compare packed signed 8-bit integers for greater-than."),
+        entry("_mm256_cmpgt_epi32", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Compare", _INT,
+              "Compare packed signed 32-bit integers for greater-than."),
+        entry("_mm256_i32gather_epi32", "__m256i",
+              ["int const* base_addr", "__m256i vindex", "const int scale"],
+              "AVX2", "Load", _INT,
+              "Gather 32-bit integers from memory at base_addr + "
+              "vindex*scale.",
+              instr=("vpgatherdd", "ymm, vm32x, ymm")),
+        entry("_mm256_i32gather_ps", "__m256",
+              ["float const* base_addr", "__m256i vindex", "const int scale"],
+              "AVX2", "Load", _FP,
+              "Gather single-precision elements from memory at base_addr + "
+              "vindex*scale."),
+        entry("_mm_i32gather_epi32", "__m128i",
+              ["int const* base_addr", "__m128i vindex", "const int scale"],
+              "AVX2", "Load", _INT,
+              "Gather 32-bit integers from memory at base_addr + "
+              "vindex*scale."),
+        entry("_mm256_sad_epu8", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Miscellaneous", _INT,
+              "Sum of absolute differences of packed unsigned 8-bit integers; "
+              "four 16-bit partial sums in the low lanes of 64-bit results."),
+    ]
+    for bits in (16, 32, 64):
+        out.append(entry(
+            f"_mm256_slli_epi{bits}", "__m256i", ["__m256i a", "int imm8"],
+            "AVX2", "Shift", _INT,
+            f"Shift packed {bits}-bit integers left by imm8, shifting in "
+            f"zeros.",
+            op=for_lanes_pseudocode(
+                256, bits, "dst[i+{hi}:i] := a[i+{hi}:i] << imm8"),
+        ))
+        out.append(entry(
+            f"_mm256_srli_epi{bits}", "__m256i", ["__m256i a", "int imm8"],
+            "AVX2", "Shift", _INT,
+            f"Shift packed {bits}-bit integers right by imm8, shifting in "
+            f"zeros.",
+        ))
+    for bits in (16, 32):
+        out.append(entry(
+            f"_mm256_srai_epi{bits}", "__m256i", ["__m256i a", "int imm8"],
+            "AVX2", "Shift", _INT,
+            f"Shift packed {bits}-bit integers right by imm8, shifting in "
+            f"sign bits.",
+        ))
+    for bits in (16, 32):
+        out.append(entry(
+            f"_mm256_min_epi{bits}", "__m256i", ["__m256i a", "__m256i b"],
+            "AVX2", "Special Math Functions", _INT,
+            f"Minimum of packed signed {bits}-bit integers."))
+        out.append(entry(
+            f"_mm256_max_epi{bits}", "__m256i", ["__m256i a", "__m256i b"],
+            "AVX2", "Special Math Functions", _INT,
+            f"Maximum of packed signed {bits}-bit integers."))
+    out += [
+        entry("_mm256_hadd_epi16", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Arithmetic", _INT,
+              "Horizontally add adjacent pairs of 16-bit integers within "
+              "128-bit lanes."),
+        entry("_mm256_hadd_epi32", "__m256i", ["__m256i a", "__m256i b"],
+              "AVX2", "Arithmetic", _INT,
+              "Horizontally add adjacent pairs of 32-bit integers within "
+              "128-bit lanes."),
+        entry("_mm256_cvtepi8_epi16", "__m256i", ["__m128i a"],
+              "AVX2", "Convert", _INT,
+              "Sign extend packed 8-bit integers to packed 16-bit integers."),
+        entry("_mm256_cvtepi16_epi32", "__m256i", ["__m128i a"],
+              "AVX2", "Convert", _INT,
+              "Sign extend packed 16-bit integers to packed 32-bit integers."),
+        entry("_mm256_cvtepu8_epi16", "__m256i", ["__m128i a"],
+              "AVX2", "Convert", _INT,
+              "Zero extend packed unsigned 8-bit integers to 16-bit integers."),
+    ]
+    return out
+
+
+def _fp16c_rdrand_misc() -> list[IntrinsicSpec]:
+    out = [
+        entry("_mm_cvtph_ps", "__m128", ["__m128i a"],
+              "FP16C", "Convert", _FP,
+              "Convert the lower 4 packed half-precision elements in a to "
+              "packed single-precision elements.",
+              op=for_lanes_pseudocode(
+                  128, 32, "dst[i+{hi}:i] := Convert_FP16_To_FP32(a[j*16+15:j*16])"),
+              instr=("vcvtph2ps", "xmm, xmm")),
+        entry("_mm256_cvtph_ps", "__m256", ["__m128i a"],
+              "FP16C", "Convert", _FP,
+              "Convert 8 packed half-precision elements in a to packed "
+              "single-precision elements.",
+              instr=("vcvtph2ps", "ymm, xmm")),
+        entry("_mm_cvtps_ph", "__m128i", ["__m128 a", "int rounding"],
+              "FP16C", "Convert", _FP,
+              "Convert the 4 packed single-precision elements in a to packed "
+              "half-precision elements."),
+        entry("_mm256_cvtps_ph", "__m128i", ["__m256 a", "int rounding"],
+              "FP16C", "Convert", _FP,
+              "Convert the 8 packed single-precision elements in a to packed "
+              "half-precision elements.",
+              instr=("vcvtps2ph", "xmm, ymm, imm8")),
+        entry("_rdrand16_step", "int", ["unsigned short* val"],
+              "RDRAND", "Random", _INT,
+              "Read a hardware generated 16-bit random value, store it to "
+              "val, return 1 on success.",
+              instr=("rdrand", "r16")),
+        entry("_rdrand32_step", "int", ["unsigned int* val"],
+              "RDRAND", "Random", _INT,
+              "Read a hardware generated 32-bit random value, store it to "
+              "val, return 1 on success.",
+              instr=("rdrand", "r32")),
+        entry("_rdrand64_step", "int", ["unsigned __int64* val"],
+              "RDRAND", "Random", _INT,
+              "Read a hardware generated 64-bit random value, store it to "
+              "val, return 1 on success."),
+        entry("_rdseed16_step", "int", ["unsigned short* val"],
+              "RDSEED", "Random", _INT,
+              "Read a 16-bit NIST SP800-90B/C conditioned entropy sample."),
+        entry("_rdseed32_step", "int", ["unsigned int* val"],
+              "RDSEED", "Random", _INT,
+              "Read a 32-bit NIST SP800-90B/C conditioned entropy sample."),
+        entry("_rdseed64_step", "int", ["unsigned __int64* val"],
+              "RDSEED", "Random", _INT,
+              "Read a 64-bit NIST SP800-90B/C conditioned entropy sample."),
+        entry("_mm_aesenc_si128", "__m128i", ["__m128i a", "__m128i RoundKey"],
+              "AES", "Cryptography", _INT,
+              "Perform one round of AES encryption on a using RoundKey."),
+        entry("_mm_aesdec_si128", "__m128i", ["__m128i a", "__m128i RoundKey"],
+              "AES", "Cryptography", _INT,
+              "Perform one round of AES decryption on a using RoundKey."),
+        entry("_mm_sha1msg1_epu32", "__m128i", ["__m128i a", "__m128i b"],
+              "SHA", "Cryptography", _INT,
+              "Perform an intermediate calculation for the next four SHA1 "
+              "message values."),
+        entry("_mm_sha256msg1_epu32", "__m128i", ["__m128i a", "__m128i b"],
+              "SHA", "Cryptography", _INT,
+              "Perform an intermediate calculation for the next four SHA256 "
+              "message values."),
+        entry("_mm_clmulepi64_si128", "__m128i",
+              ["__m128i a", "__m128i b", "const int imm8"],
+              "PCLMULQDQ", "Cryptography", _INT,
+              "Carry-less multiplication of two 64-bit polynomials selected "
+              "by imm8."),
+        entry("_mm_popcnt_u32", "int", ["unsigned int a"],
+              "POPCNT", "Bit Manipulation", _INT,
+              "Count the number of bits set to 1 in a.",
+              op="dst := POPCNT(a)"),
+        entry("_mm_popcnt_u64", "__int64", ["unsigned __int64 a"],
+              "POPCNT", "Bit Manipulation", _INT,
+              "Count the number of bits set to 1 in a."),
+        entry("_lzcnt_u32", "unsigned int", ["unsigned int a"],
+              "LZCNT", "Bit Manipulation", _INT,
+              "Count the number of leading zero bits in a."),
+        entry("_tzcnt_u32", "unsigned int", ["unsigned int a"],
+              "BMI1", "Bit Manipulation", _INT,
+              "Count the number of trailing zero bits in a."),
+        entry("_pext_u32", "unsigned int", ["unsigned int a", "unsigned int mask"],
+              "BMI2", "Bit Manipulation", _INT,
+              "Extract bits of a selected by mask to contiguous low bits."),
+        entry("_pdep_u32", "unsigned int", ["unsigned int a", "unsigned int mask"],
+              "BMI2", "Bit Manipulation", _INT,
+              "Deposit contiguous low bits of a to positions selected by mask."),
+        entry("_rdtsc", "unsigned __int64", [],
+              "TSC", "OS-Targeted", _INT,
+              "Read the processor time stamp counter."),
+    ]
+    return out
+
+
+def _mmx_core() -> list[IntrinsicSpec]:
+    out: list[IntrinsicSpec] = []
+    for bits, code in ((8, "b"), (16, "w"), (32, "d")):
+        for op_name, c_op in (("add", "+"), ("sub", "-")):
+            out.append(entry(
+                f"_mm_{op_name}_pi{bits}", "__m64", ["__m64 a", "__m64 b"],
+                "MMX", "Arithmetic", _INT,
+                f"{op_name.capitalize()} packed {bits}-bit integers in a "
+                f"and b.",
+                op=lanewise(64, bits, c_op),
+                instr=(f"p{op_name}{code}", "mm, mm"),
+            ))
+        out.append(entry(
+            f"_mm_set1_pi{bits}", "__m64",
+            ["char a" if bits == 8 else "short a" if bits == 16 else "int a"],
+            "MMX", "Set", _INT,
+            f"Broadcast {bits}-bit integer a to all elements of dst.",
+            instr="sequence",
+        ))
+    out += [
+        entry("_mm_and_si64", "__m64", ["__m64 a", "__m64 b"],
+              "MMX", "Logical", _INT, "Bitwise AND of 64 bits."),
+        entry("_mm_or_si64", "__m64", ["__m64 a", "__m64 b"],
+              "MMX", "Logical", _INT, "Bitwise OR of 64 bits."),
+        entry("_mm_xor_si64", "__m64", ["__m64 a", "__m64 b"],
+              "MMX", "Logical", _INT, "Bitwise XOR of 64 bits."),
+        entry("_mm_madd_pi16", "__m64", ["__m64 a", "__m64 b"],
+              "MMX", "Arithmetic", _INT,
+              "Multiply packed signed 16-bit integers, horizontally add "
+              "adjacent 32-bit products."),
+        entry("_m_empty", "void", [], "MMX", "General Support", _INT,
+              "Empty the MMX state, enabling subsequent x87 use.",
+              instr="emms"),
+    ]
+    return out
+
+
+def _avx512_core() -> list[IntrinsicSpec]:
+    out = [
+        entry("_mm512_loadu_ps", "__m512", ["void const* mem_addr"],
+              "AVX512F", "Load", _FP,
+              "Load 16 single-precision elements from unaligned memory.",
+              op="dst[511:0] := MEM[mem_addr+511:mem_addr]"),
+        entry("_mm512_storeu_ps", "void", ["void* mem_addr", "__m512 a"],
+              "AVX512F", "Store", _FP,
+              "Store 16 single-precision elements to unaligned memory."),
+        entry("_mm512_set1_ps", "__m512", ["float a"], "AVX512F", "Set", _FP,
+              "Broadcast single-precision element a to all lanes of dst.",
+              instr="sequence"),
+        entry("_mm512_setzero_ps", "__m512", [], "AVX512F", "Set", _FP,
+              "Return a 512-bit vector with all elements zeroed."),
+        entry("_mm512_add_ps", "__m512", ["__m512 a", "__m512 b"],
+              "AVX512F", "Arithmetic", _FP,
+              "Add packed single-precision elements in a and b.",
+              op=lanewise(512, 32, "+")),
+        entry("_mm512_mul_ps", "__m512", ["__m512 a", "__m512 b"],
+              "AVX512F", "Arithmetic", _FP,
+              "Multiply packed single-precision elements in a and b."),
+        entry("_mm512_fmadd_ps", "__m512", ["__m512 a", "__m512 b", "__m512 c"],
+              "AVX512F", "Arithmetic", _FP,
+              "Fused multiply-add of packed single-precision elements."),
+        entry("_mm512_mask_add_ps", "__m512",
+              ["__m512 src", "__mmask16 k", "__m512 a", "__m512 b"],
+              "AVX512F", "Arithmetic", _FP,
+              "Add packed single-precision elements; copy lanes from src "
+              "where the mask bit is clear."),
+        entry("_mm512_reduce_add_ps", "float", ["__m512 a"],
+              "AVX512F", "Arithmetic", _FP,
+              "Reduce the packed single-precision elements in a by addition.",
+              instr="sequence"),
+        entry("_mm512_rol_epi32", "__m512i", ["__m512i a", "const int imm8"],
+              "AVX512F", "Shift", _INT,
+              "Rotate the bits of each packed 32-bit integer in a left by "
+              "imm8."),
+        entry("_mm_cmp_epi16_mask", "__mmask8",
+              ["__m128i a", "__m128i b", "const int imm8"],
+              ("AVX512BW", "AVX512VL"), "Compare", _INT,
+              "Compare packed signed 16-bit integers using the predicate in "
+              "imm8 and produce a mask."),
+        entry("_mm512_storenrngo_pd", "void", ["void* mc", "__m512d v"],
+              "KNCNI", "Store", _FP,
+              "Store packed double-precision elements with a no-read hint "
+              "using weakly-ordered memory consistency (non-globally ordered).",
+              header="immintrin.h"),
+        entry("_cvtu32_mask16", "__mmask16", ["unsigned int a"],
+              "AVX512F", "Mask", "Mask",
+              "Convert a 32-bit integer to a 16-bit mask register value."),
+        entry("_cvtmask16_u32", "unsigned int", ["__mmask16 a"],
+              "AVX512F", "Mask", "Mask",
+              "Convert a 16-bit mask register value to a 32-bit integer."),
+        entry("_cvtu32_mask8", "__mmask8", ["unsigned int a"],
+              "AVX512DQ", "Mask", "Mask",
+              "Convert a 32-bit integer to an 8-bit mask register value."),
+    ]
+    return out
+
+
+def _svml_core() -> list[IntrinsicSpec]:
+    out: list[IntrinsicSpec] = []
+    funcs = (
+        ("sin", "Trigonometry", "sine"),
+        ("cos", "Trigonometry", "cosine"),
+        ("tan", "Trigonometry", "tangent"),
+        ("exp", "Elementary Math Functions", "exponential"),
+        ("log", "Elementary Math Functions", "natural logarithm"),
+        ("erf", "Probability/Statistics", "error function"),
+        ("cdfnorm", "Probability/Statistics",
+         "cumulative normal distribution function"),
+        ("invsqrt", "Elementary Math Functions", "inverse square root"),
+    )
+    for fn, cat, desc in funcs:
+        for prefix, vt_ps, vt_pd in (("_mm", "__m128", "__m128d"),
+                                     ("_mm256", "__m256", "__m256d")):
+            out.append(entry(
+                f"{prefix}_{fn}_ps", vt_ps, [f"{vt_ps} a"],
+                "SVML" if prefix != "_mm512" else ("SVML", "AVX512F"),
+                cat, _FP,
+                f"Compute the {desc} of packed single-precision elements "
+                f"in a.",
+                instr="sequence", header="immintrin.h",
+            ))
+            out.append(entry(
+                f"{prefix}_{fn}_pd", vt_pd, [f"{vt_pd} a"],
+                "SVML", cat, _FP,
+                f"Compute the {desc} of packed double-precision elements "
+                f"in a.",
+                instr="sequence", header="immintrin.h",
+            ))
+    out.append(entry(
+        "_mm256_pow_ps", "__m256", ["__m256 a", "__m256 b"],
+        "SVML", "Elementary Math Functions", _FP,
+        "Compute a raised to the power b for packed single-precision "
+        "elements.", instr="sequence"))
+    out.append(entry(
+        "_mm256_div_epi32", "__m256i", ["__m256i a", "__m256i b"],
+        "SVML", "Arithmetic", _INT,
+        "Divide packed signed 32-bit integers in a by those in b.",
+        instr="sequence"))
+    return out
+
+
+def core_entries() -> list[IntrinsicSpec]:
+    """Every curated entry, in a deterministic order."""
+    out: list[IntrinsicSpec] = []
+    out += _float_suite("_mm", "ps", "__m128", "float", 32, "SSE")
+    out += _float_suite("_mm", "pd", "__m128d", "double", 64, "SSE2")
+    out += _float_suite("_mm256", "ps", "__m256", "float", 32, "AVX")
+    out += _float_suite("_mm256", "pd", "__m256d", "double", 64, "AVX")
+    out += _sse_extras()
+    out += _sse2_int_suite()
+    # SSE3: exactly the 11 intrinsics of Table 1b.
+    out += [
+        entry("_mm_addsub_ps", "__m128", ["__m128 a", "__m128 b"],
+              "SSE3", "Arithmetic", _FP,
+              "Alternately subtract and add packed single-precision elements."),
+        entry("_mm_addsub_pd", "__m128d", ["__m128d a", "__m128d b"],
+              "SSE3", "Arithmetic", _FP,
+              "Alternately subtract and add packed double-precision elements."),
+        entry("_mm_hadd_ps", "__m128", ["__m128 a", "__m128 b"],
+              "SSE3", "Arithmetic", _FP,
+              "Horizontally add adjacent pairs of single-precision elements.",
+              op=("dst[31:0] := a[63:32] + a[31:0]\n"
+                  "dst[63:32] := a[127:96] + a[95:64]\n"
+                  "dst[95:64] := b[63:32] + b[31:0]\n"
+                  "dst[127:96] := b[127:96] + b[95:64]")),
+        entry("_mm_hadd_pd", "__m128d", ["__m128d a", "__m128d b"],
+              "SSE3", "Arithmetic", _FP,
+              "Horizontally add adjacent pairs of double-precision elements."),
+        entry("_mm_hsub_ps", "__m128", ["__m128 a", "__m128 b"],
+              "SSE3", "Arithmetic", _FP,
+              "Horizontally subtract adjacent pairs of single-precision "
+              "elements."),
+        entry("_mm_hsub_pd", "__m128d", ["__m128d a", "__m128d b"],
+              "SSE3", "Arithmetic", _FP,
+              "Horizontally subtract adjacent pairs of double-precision "
+              "elements."),
+        entry("_mm_lddqu_si128", "__m128i", ["__m128i const* mem_addr"],
+              "SSE3", "Load", _INT,
+              "Load 128 bits of integer data from unaligned memory, "
+              "optimized for cache-line splits."),
+        entry("_mm_loaddup_pd", "__m128d", ["double const* mem_addr"],
+              "SSE3", "Load", _FP,
+              "Load a double-precision element from memory into both lanes."),
+        entry("_mm_movedup_pd", "__m128d", ["__m128d a"],
+              "SSE3", "Move", _FP,
+              "Duplicate the low double-precision element of a."),
+        entry("_mm_movehdup_ps", "__m128", ["__m128 a"],
+              "SSE3", "Move", _FP,
+              "Duplicate odd-indexed single-precision elements of a."),
+        entry("_mm_moveldup_ps", "__m128", ["__m128 a"],
+              "SSE3", "Move", _FP,
+              "Duplicate even-indexed single-precision elements of a."),
+    ]
+    out += _ssse3_sse41_sse42()
+    out += _avx_extras()
+    out += _avx2_suite()
+    out += _fma_suite()
+    out += _fp16c_rdrand_misc()
+    out += _mmx_core()
+    out += _avx512_core()
+    out += _svml_core()
+    return out

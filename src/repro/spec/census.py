@@ -1,0 +1,139 @@
+"""Census over a parsed specification: Tables 1a and 1b.
+
+Counts intrinsics per Table 1b ISA bucket (membership counting, so an
+intrinsic shared between AVX-512 and KNC contributes to both buckets and
+once to the deduplicated total, exactly as the paper counts "5912 in
+total, of which 338 are shared between AVX-512 and KNC").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.spec.model import ISA_ORDER, IntrinsicSpec
+
+# Paper Table 1b, for side-by-side reporting.
+PAPER_TABLE_1B: dict[str, int] = {
+    "MMX": 124, "SSE": 154, "SSE2": 236, "SSE3": 11, "SSSE3": 32,
+    "SSE4.1": 61, "SSE4.2": 19, "AVX": 188, "AVX2": 191, "AVX-512": 3857,
+    "FMA": 32, "KNC": 601, "SVML": 406,
+}
+PAPER_TOTAL = 5912
+PAPER_SHARED_AVX512_KNC = 338
+
+# Table 1a: the paper's 12 classification groups with its examples.
+PAPER_TABLE_1A: dict[str, tuple[str, ...]] = {
+    "Arithmetics": ("_mm256_add_pd", "_mm256_hadd_ps"),
+    "Shuffles": ("_mm256_permutevar_pd", "_mm256_shufflehi_epi16"),
+    "Statistics": ("_mm_avg_epu8", "_mm256_cdfnorm_pd"),
+    "Loads": ("_mm_i32gather_epi32", "_mm256_broadcast_ps"),
+    "Compare": ("_mm_cmp_epi16_mask", "_mm_cmpeq_epi8"),
+    "String": ("_mm_cmpestrm", "_mm_cmpistrz"),
+    "Logical": ("_mm256_or_pd", "_mm256_andnot_pd"),
+    "Stores": ("_mm512_storenrngo_pd", "_mm_store_pd1"),
+    "Random": ("_rdrand16_step", "_rdseed64_step"),
+    "Bitwise": ("_mm256_bslli_epi128", "_mm512_rol_epi32"),
+    "Crypto": ("_mm_aesdec_si128", "_mm_sha1msg1_epu32"),
+    "Conversion": ("_mm256_castps_pd", "_mm256_cvtps_epi32"),
+}
+
+# Map Table 1a group labels onto the spec categories they aggregate.
+GROUP_CATEGORIES: dict[str, tuple[str, ...]] = {
+    "Arithmetics": ("Arithmetic",),
+    "Shuffles": ("Swizzle", "Move"),
+    "Statistics": ("Probability/Statistics",),
+    "Loads": ("Load",),
+    "Compare": ("Compare",),
+    "String": ("String Compare",),
+    "Logical": ("Logical", "Mask"),
+    "Stores": ("Store",),
+    "Random": ("Random",),
+    "Bitwise": ("Bit Manipulation", "Shift"),
+    "Crypto": ("Cryptography",),
+    "Conversion": ("Convert", "Cast"),
+}
+
+
+def isa_memberships(spec: IntrinsicSpec) -> set[str]:
+    """The Table 1b buckets an intrinsic belongs to (possibly several)."""
+    buckets: set[str] = set()
+    for cpuid in spec.cpuids:
+        if cpuid.startswith("AVX512"):
+            buckets.add("AVX-512")
+        elif cpuid in ("KNC", "KNCNI"):
+            buckets.add("KNC")
+        elif cpuid in ("SVML",):
+            buckets.add("SVML")
+        elif cpuid == "FMA":
+            buckets.add("FMA")
+        elif cpuid in ISA_ORDER:
+            buckets.add(cpuid)
+    if not buckets:
+        buckets.add("other")
+    # Shared AVX-512 / KNC entries count in both (paper counts 338 shared).
+    return buckets
+
+
+@dataclass
+class Census:
+    """Aggregate counts for one parsed specification."""
+
+    per_isa: dict[str, int] = field(default_factory=dict)
+    per_group: dict[str, int] = field(default_factory=dict)
+    total_unique: int = 0
+    shared_avx512_knc: int = 0
+    other: int = 0
+
+    def rows(self) -> list[tuple[str, int, int | None]]:
+        """(isa, measured count, paper count) rows in Table 1b order."""
+        out = []
+        for isa in ISA_ORDER:
+            out.append((isa, self.per_isa.get(isa, 0),
+                        PAPER_TABLE_1B.get(isa)))
+        return out
+
+
+def take_census(entries: list[IntrinsicSpec]) -> Census:
+    per_isa: dict[str, int] = defaultdict(int)
+    per_group: dict[str, int] = defaultdict(int)
+    shared = 0
+    other = 0
+    seen: set[str] = set()
+    for e in entries:
+        if e.name in seen:
+            continue
+        seen.add(e.name)
+        buckets = isa_memberships(e)
+        if "AVX-512" in buckets and "KNC" in buckets:
+            shared += 1
+        for b in buckets:
+            if b == "other":
+                other += 1
+            else:
+                per_isa[b] += 1
+        for group, cats in GROUP_CATEGORIES.items():
+            if e.category in cats:
+                per_group[group] += 1
+                break
+    return Census(per_isa=dict(per_isa), per_group=dict(per_group),
+                  total_unique=len(seen), shared_avx512_knc=shared,
+                  other=other)
+
+
+def classification_examples(entries: list[IntrinsicSpec]) -> dict[str, list[str]]:
+    """For Table 1a: two member intrinsics per classification group,
+    preferring the paper's own examples when present in the catalog."""
+    by_name = {e.name for e in entries}
+    out: dict[str, list[str]] = {}
+    for group, examples in PAPER_TABLE_1A.items():
+        found = [x for x in examples if x in by_name]
+        if len(found) < 2:
+            cats = GROUP_CATEGORIES[group]
+            for e in entries:
+                if e.category in cats and e.name not in found:
+                    found.append(e.name)
+                if len(found) >= 2:
+                    break
+        out[group] = found[:2]
+    return out

@@ -1,0 +1,82 @@
+"""Diffing two specification versions.
+
+The paper's generator had to survive Intel "continuously updating the
+XML specifications, improving the description / performance of each
+intrinsic function" (Section 3.4).  This module computes what actually
+changed between two parsed specs — added/removed intrinsics and
+per-field modifications — which is both a maintenance tool and the
+regression oracle for the version-robustness benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spec.model import IntrinsicSpec
+
+_COMPARED_FIELDS = ("rettype", "params", "cpuids", "category", "types",
+                    "description", "operation", "header")
+
+
+@dataclass(frozen=True)
+class FieldChange:
+    name: str
+    fields: tuple[str, ...]
+
+
+@dataclass
+class SpecDiff:
+    """The delta between an old and a new specification."""
+
+    added: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+    changed: list[FieldChange] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.changed)
+
+    def summary(self) -> str:
+        parts = [f"+{len(self.added)} intrinsics",
+                 f"-{len(self.removed)} intrinsics",
+                 f"~{len(self.changed)} modified"]
+        return ", ".join(parts)
+
+
+def diff_specs(old: list[IntrinsicSpec],
+               new: list[IntrinsicSpec]) -> SpecDiff:
+    """Structural diff of two spec snapshots, keyed by intrinsic name."""
+    old_by_name = {e.name: e for e in old}
+    new_by_name = {e.name: e for e in new}
+    out = SpecDiff()
+    out.added = sorted(set(new_by_name) - set(old_by_name))
+    out.removed = sorted(set(old_by_name) - set(new_by_name))
+    for name in sorted(set(old_by_name) & set(new_by_name)):
+        a, b = old_by_name[name], new_by_name[name]
+        fields = tuple(f for f in _COMPARED_FIELDS
+                       if getattr(a, f) != getattr(b, f))
+        if fields:
+            out.changed.append(FieldChange(name=name, fields=fields))
+    return out
+
+
+def diff_versions(old_version: str, new_version: str) -> SpecDiff:
+    """Diff two historical catalog versions (Table 3 entries)."""
+    from repro.spec.catalog import all_entries
+
+    return diff_specs(all_entries(old_version), all_entries(new_version))
+
+
+def isa_growth(old_version: str, new_version: str) -> dict[str, int]:
+    """Per-ISA intrinsic-count delta between two versions."""
+    from repro.spec.catalog import all_entries
+    from repro.spec.census import take_census
+
+    old_census = take_census(all_entries(old_version))
+    new_census = take_census(all_entries(new_version))
+    isas = set(old_census.per_isa) | set(new_census.per_isa)
+    return {isa: new_census.per_isa.get(isa, 0)
+            - old_census.per_isa.get(isa, 0)
+            for isa in sorted(isas)
+            if new_census.per_isa.get(isa, 0)
+            != old_census.per_isa.get(isa, 0)}

@@ -1,0 +1,180 @@
+"""Schema model for the Intel intrinsics XML specification.
+
+Mirrors the structure of the vendor's ``data-*.xml`` (Figure 2 of the
+paper): each ``<intrinsic>`` carries a return type, a name, one or more
+``<CPUID>`` tags, a ``<category>``, ordered ``<parameter>`` tags, a
+``<description>``, a pseudocode ``<operation>``, ``<instruction>`` forms
+and a ``<header>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# The 13 ISAs of Table 1b, in the paper's order.
+ISA_ORDER: tuple[str, ...] = (
+    "MMX",
+    "SSE",
+    "SSE2",
+    "SSE3",
+    "SSSE3",
+    "SSE4.1",
+    "SSE4.2",
+    "AVX",
+    "AVX2",
+    "AVX-512",
+    "FMA",
+    "KNC",
+    "SVML",
+)
+
+# AVX-512 sub-ISAs (the paper: F / BW / CD / DQ / ER / IFMA52 / PF / VBMI / VL).
+AVX512_PARTS: tuple[str, ...] = (
+    "AVX512F", "AVX512BW", "AVX512CD", "AVX512DQ", "AVX512ER",
+    "AVX512IFMA52", "AVX512PF", "AVX512VBMI", "AVX512VL",
+)
+
+# Smaller ISA extensions the paper also includes.
+SMALL_EXTENSIONS: tuple[str, ...] = (
+    "ADX", "AES", "BMI1", "BMI2", "CLFLUSHOPT", "CLWB", "FP16C",
+    "FSGSBASE", "FXSR", "INVPCID", "LZCNT", "MONITOR", "MPX",
+    "PCLMULQDQ", "POPCNT", "PREFETCHWT1", "RDPID", "RDRAND", "RDSEED",
+    "RDTSCP", "RTM", "SHA", "TSC", "XSAVE", "XSAVEC", "XSAVEOPT", "XSS",
+)
+
+# Categories (Table 1a plus the remaining vendor categories).
+CATEGORIES: tuple[str, ...] = (
+    "Arithmetic",
+    "Bit Manipulation",
+    "Cast",
+    "Compare",
+    "Convert",
+    "Cryptography",
+    "Elementary Math Functions",
+    "General Support",
+    "Load",
+    "Logical",
+    "Mask",
+    "Miscellaneous",
+    "Move",
+    "OS-Targeted",
+    "Probability/Statistics",
+    "Random",
+    "Set",
+    "Shift",
+    "Special Math Functions",
+    "Store",
+    "String Compare",
+    "Swizzle",
+    "Trigonometry",
+)
+
+INTRINSIC_TYPES: tuple[str, ...] = ("Floating Point", "Integer", "Mask", "Flag")
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One ordered ``<parameter varname=... type=.../>`` entry."""
+
+    varname: str
+    type: str
+
+    @property
+    def is_pointer(self) -> bool:
+        return "*" in self.type
+
+    @property
+    def is_void_pointer(self) -> bool:
+        return self.type.replace("const ", "").strip() in ("void*", "void const*")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One ``<instruction name=... form=.../>`` entry."""
+
+    name: str
+    form: str = ""
+
+
+@dataclass(frozen=True)
+class IntrinsicSpec:
+    """One fully parsed ``<intrinsic>`` element."""
+
+    name: str
+    rettype: str
+    params: tuple[Parameter, ...]
+    cpuids: tuple[str, ...]
+    category: str
+    types: tuple[str, ...] = ()
+    description: str = ""
+    operation: str = ""
+    instructions: tuple[Instruction, ...] = ()
+    header: str = "immintrin.h"
+
+    @property
+    def primary_isa(self) -> str:
+        """The Table 1b bucket this intrinsic is counted under."""
+        return isa_bucket(self.cpuids)
+
+    @property
+    def has_memory_params(self) -> bool:
+        return any(p.is_pointer for p in self.params)
+
+    @property
+    def is_load_like(self) -> bool:
+        return self.category == "Load" or (
+            self.category == "Miscellaneous" and self.name.endswith("gather")
+        )
+
+    @property
+    def is_store_like(self) -> bool:
+        return self.category == "Store"
+
+    @property
+    def is_sequence(self) -> bool:
+        """True when the intrinsic maps to an instruction *sequence*."""
+        return len(self.instructions) > 1
+
+
+def isa_bucket(cpuids: tuple[str, ...]) -> str:
+    """Fold a CPUID list into one of the paper's 13 Table 1b buckets.
+
+    AVX-512 sub-ISAs all fold into "AVX-512"; intrinsics shared between
+    AVX-512 and KNC are bucketed as AVX-512 (the paper counts them once
+    and notes 338 shared).  Small extensions fold into the ISA they ship
+    with when listed alongside one, else keep their own name.
+    """
+    if not cpuids:
+        return "SSE"
+    names = tuple(cpuids)
+    if any(c.startswith("AVX512") or c == "AVX-512" for c in names):
+        return "AVX-512"
+    if "KNCNI" in names or "KNC" in names:
+        return "KNC"
+    if "SVML" in names:
+        return "SVML"
+    if "FMA" in names:
+        return "FMA"
+    for isa in ("AVX2", "AVX", "SSE4.2", "SSE4.1", "SSSE3", "SSE3",
+                "SSE2", "SSE", "MMX"):
+        if isa in names:
+            return isa
+    return names[0]
+
+
+def validate_spec(spec: IntrinsicSpec) -> list[str]:
+    """Return a list of schema problems (empty when valid)."""
+    problems: list[str] = []
+    if not spec.name.startswith("_"):
+        problems.append(f"{spec.name}: intrinsic names start with '_'")
+    if spec.category not in CATEGORIES:
+        problems.append(f"{spec.name}: unknown category {spec.category!r}")
+    if not spec.cpuids:
+        problems.append(f"{spec.name}: missing CPUID")
+    seen: set[str] = set()
+    for p in spec.params:
+        if p.varname in seen:
+            problems.append(f"{spec.name}: duplicate parameter {p.varname!r}")
+        seen.add(p.varname)
+    return problems

@@ -1,0 +1,78 @@
+"""Version-tolerant parser for the vendor XML specification.
+
+This is the first stage of the paper's Figure 1 pipeline ("Parse XML
+intrinsics specification").  It accepts both schema flavors the historical
+spec releases use: the ``rettype`` attribute style (3.2.2 – 3.3.16) and
+the ``<return type=...>`` element style (3.4), with or without ``<type>``
+tags and instruction ``form`` attributes.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from repro.spec.model import Instruction, IntrinsicSpec, Parameter
+
+
+class SpecParseError(ValueError):
+    """Raised when the XML does not match any known schema flavor."""
+
+
+def _parse_intrinsic(el: ET.Element) -> IntrinsicSpec:
+    name = el.get("name")
+    if not name:
+        raise SpecParseError("<intrinsic> without a name attribute")
+
+    rettype = el.get("rettype")
+    if rettype is None:
+        ret_el = el.find("return")
+        if ret_el is None:
+            raise SpecParseError(f"{name}: no rettype attribute and no "
+                                 "<return> element")
+        rettype = ret_el.get("type", "void")
+
+    params = tuple(
+        Parameter(varname=p.get("varname", f"arg{i}"), type=p.get("type", ""))
+        for i, p in enumerate(el.findall("parameter"))
+    )
+    cpuids = tuple(c.text.strip() for c in el.findall("CPUID") if c.text)
+    category_el = el.find("category")
+    category = category_el.text.strip() if category_el is not None and \
+        category_el.text else "Miscellaneous"
+    types = tuple(t.text.strip() for t in el.findall("type") if t.text)
+    desc_el = el.find("description")
+    description = (desc_el.text or "").strip() if desc_el is not None else ""
+    op_el = el.find("operation")
+    operation = (op_el.text or "").strip() if op_el is not None else ""
+    instructions = tuple(
+        Instruction(name=i.get("name", ""), form=i.get("form", ""))
+        for i in el.findall("instruction")
+    )
+    if el.get("sequence", "").upper() == "TRUE":
+        instructions = instructions + (Instruction(name="sequence"),)
+    header_el = el.find("header")
+    header = header_el.text.strip() if header_el is not None and \
+        header_el.text else "immintrin.h"
+
+    return IntrinsicSpec(
+        name=name, rettype=rettype, params=params, cpuids=cpuids,
+        category=category, types=types, description=description,
+        operation=operation, instructions=instructions, header=header,
+    )
+
+
+def parse_spec_xml(text: str) -> list[IntrinsicSpec]:
+    """Parse one XML specification document into IntrinsicSpec entries."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise SpecParseError(f"malformed specification XML: {exc}") from exc
+    if root.tag != "intrinsics_list":
+        raise SpecParseError(f"unexpected root element <{root.tag}>")
+    return [_parse_intrinsic(el) for el in root.iter("intrinsic")]
+
+
+def parse_spec_file(path: str | Path) -> list[IntrinsicSpec]:
+    """Parse a ``data-*.xml`` file from disk."""
+    return parse_spec_xml(Path(path).read_text())

@@ -1,0 +1,86 @@
+"""Historical spec versions (the Table 3 analog).
+
+The paper salvages six iterations of Intel's XML specification from the
+Wayback Machine (Table 3) and shows its eDSL generator is robust across
+them.  We reconstruct that evolution: earlier versions carry fewer ISAs
+and the 3.4 release changes the XML schema (return type expressed as a
+``<return>`` element instead of a ``rettype`` attribute, and an explicit
+``sequence`` flag on instructions) — the parser must tolerate both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.spec.model import IntrinsicSpec
+
+
+@dataclass(frozen=True)
+class SpecVersion:
+    """One release of the vendor XML specification."""
+
+    version: str
+    date: str                  # as in Table 3 (dd.mm.yyyy)
+    filename: str
+    # ISA prefixes absent from this release.
+    excluded_cpuid_prefixes: tuple[str, ...] = ()
+    # Schema flavor: "attr" (rettype attribute) or "elem" (<return> tag).
+    rettype_style: str = "attr"
+    has_type_tags: bool = True
+    has_instruction_forms: bool = True
+
+
+SPEC_VERSIONS: dict[str, SpecVersion] = {
+    "3.2.2": SpecVersion(
+        version="3.2.2", date="03.09.2014", filename="data-3.2.2.xml",
+        excluded_cpuid_prefixes=("AVX512", "RDPID", "CLWB", "CLFLUSHOPT",
+                                 "XSAVEC", "SHA", "MPX"),
+        has_type_tags=False, has_instruction_forms=False,
+    ),
+    "3.3.1": SpecVersion(
+        version="3.3.1", date="17.10.2014", filename="data-3.3.1.xml",
+        excluded_cpuid_prefixes=("AVX512VBMI", "AVX512IFMA52", "RDPID",
+                                 "CLWB"),
+        has_type_tags=False,
+    ),
+    "3.3.11": SpecVersion(
+        version="3.3.11", date="27.07.2015", filename="data-3.3.11.xml",
+        excluded_cpuid_prefixes=("AVX512VBMI", "RDPID"),
+    ),
+    "3.3.14": SpecVersion(
+        version="3.3.14", date="12.01.2016", filename="data-3.3.14.xml",
+        excluded_cpuid_prefixes=("RDPID",),
+    ),
+    "3.3.16": SpecVersion(
+        version="3.3.16", date="26.01.2016", filename="data-3.3.16.xml",
+    ),
+    "3.4": SpecVersion(
+        version="3.4", date="07.09.2017", filename="data-3.4.xml",
+        rettype_style="elem",
+    ),
+}
+
+DEFAULT_VERSION = "3.3.16"
+
+
+def default_version() -> SpecVersion:
+    return SPEC_VERSIONS[DEFAULT_VERSION]
+
+
+def version_filter(version: str) -> Callable[[IntrinsicSpec], bool]:
+    """Predicate selecting the entries visible in a given spec version."""
+    if version not in SPEC_VERSIONS:
+        raise KeyError(f"unknown spec version {version!r}; "
+                       f"known: {sorted(SPEC_VERSIONS)}")
+    sv = SPEC_VERSIONS[version]
+
+    def visible(e: IntrinsicSpec) -> bool:
+        for cpuid in e.cpuids:
+            if any(cpuid.startswith(p) for p in sv.excluded_cpuid_prefixes):
+                # Excluded unless another CPUID keeps it alive.
+                continue
+            return True
+        return not e.cpuids
+
+    return visible

@@ -1,0 +1,75 @@
+"""Emit vendor-schema XML specification files.
+
+Serializes the catalog into the structure of Intel's ``data-*.xml``
+(Figure 2 of the paper), including the schema drift across historical
+versions described in :mod:`repro.spec.versions`.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from repro.spec.model import IntrinsicSpec
+from repro.spec.versions import SPEC_VERSIONS, SpecVersion
+
+
+def _intrinsic_element(spec: IntrinsicSpec, sv: SpecVersion) -> ET.Element:
+    attrs = {"name": spec.name}
+    if sv.rettype_style == "attr":
+        attrs["rettype"] = spec.rettype
+    el = ET.Element("intrinsic", attrs)
+    if sv.rettype_style == "elem":
+        ET.SubElement(el, "return", {"type": spec.rettype, "varname": "dst"})
+    if sv.has_type_tags:
+        for t in spec.types:
+            ET.SubElement(el, "type").text = t
+    for cpuid in spec.cpuids:
+        ET.SubElement(el, "CPUID").text = cpuid
+    ET.SubElement(el, "category").text = spec.category
+    for p in spec.params:
+        ET.SubElement(el, "parameter", {"varname": p.varname, "type": p.type})
+    ET.SubElement(el, "description").text = spec.description
+    if spec.operation:
+        ET.SubElement(el, "operation").text = "\n" + spec.operation + "\n"
+    for instr in spec.instructions:
+        attrs = {"name": instr.name}
+        if instr.form and sv.has_instruction_forms:
+            attrs["form"] = instr.form
+        if instr.name == "sequence" and sv.rettype_style == "elem":
+            # data-3.4 expresses instruction sequences as a flag.
+            el.set("sequence", "TRUE")
+            continue
+        ET.SubElement(el, "instruction", attrs)
+    ET.SubElement(el, "header").text = spec.header
+    return el
+
+
+def emit_spec_xml(entries: list[IntrinsicSpec], version: str = "3.3.16") -> str:
+    """Serialize catalog entries into one XML document string."""
+    sv = SPEC_VERSIONS[version]
+    root = ET.Element("intrinsics_list", {
+        "version": sv.version,
+        "date": sv.date,
+    })
+    for spec in entries:
+        root.append(_intrinsic_element(spec, sv))
+    ET.indent(root, space="    ")
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def write_spec_version(out_dir: str | Path, version: str = "3.3.16") -> Path:
+    """Write ``data-<version>.xml`` for the entries visible in ``version``."""
+    from repro.spec.catalog import all_entries
+
+    sv = SPEC_VERSIONS[version]
+    out_path = Path(out_dir) / sv.filename
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    text = emit_spec_xml(all_entries(version), version)
+    out_path.write_text(text)
+    return out_path
+
+
+def write_all_versions(out_dir: str | Path) -> list[Path]:
+    """Write every historical spec version (the Table 3 set)."""
+    return [write_spec_version(out_dir, v) for v in SPEC_VERSIONS]

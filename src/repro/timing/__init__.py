@@ -1,0 +1,39 @@
+"""The Haswell cost model.
+
+The paper reports performance in flops/cycle on a Haswell Xeon
+E3-1285L v3 under a warm-cache protocol.  Wall-clock timing of a Python
+interpreter cannot reproduce flops-per-cycle figures, so this package
+prices the *actual instruction mix* of each compiled kernel on an
+analytical Haswell model: issue-port throughput, dependency-chain
+latency, the L1/L2/L3/DRAM hierarchy with line-granularity traffic, and
+the JNI invocation overhead that penalizes native kernels at small sizes
+(Section 3.4: "JNI methods are not inlined and incur additional cost").
+
+Both execution engines lower to the same
+:class:`~repro.timing.kernelmodel.MachineKernel` representation: the
+MiniVM JIT (C1/C2/SLP) for the Java baselines and
+:mod:`repro.timing.staged_lower` for LMS-generated kernels.
+"""
+
+from repro.timing.kernelmodel import (
+    MachineKernel,
+    MachineLoop,
+    MachineOp,
+    SetupAssign,
+)
+from repro.timing.uarch import HASWELL, Microarch
+from repro.timing.cache import CacheHierarchy, HASWELL_CACHES
+from repro.timing.model import CostModel, KernelCost
+
+__all__ = [
+    "CacheHierarchy",
+    "CostModel",
+    "HASWELL",
+    "HASWELL_CACHES",
+    "KernelCost",
+    "MachineKernel",
+    "MachineLoop",
+    "MachineOp",
+    "Microarch",
+    "SetupAssign",
+]

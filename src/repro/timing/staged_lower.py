@@ -1,0 +1,434 @@
+"""Lowering LMS-staged kernels to machine kernels for pricing.
+
+The native backend compiles staged graphs to real machine code; this
+module produces the cost model's view of that code.  Intrinsic nodes map
+to vector machine ops by name pattern (an FMA is an FMA), staged scalar
+arithmetic maps to scalar ALU ops, staged loops map to
+:class:`MachineLoop` with their bound expressions translated, and
+variable accumulators are traced to mark loop-carried dependency chains.
+
+Every native invocation carries the JNI-boundary overhead (call, no
+inlining, plus per-array pinning — the paper's
+``GetPrimitiveArrayCritical``), which produces the small-``n`` SAXPY
+crossover of Figure 6a.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.isa.base import IntrinsicsDef
+from repro.jvm import ast as jast
+from repro.jvm.jit.lower import analyze_affine
+from repro.jvm.jtypes import JDOUBLE, JFLOAT, JINT, JLONG
+from repro.lms import defs as ldefs
+from repro.lms.expr import Const, Exp, Sym
+from repro.lms.schedule import schedule_block
+from repro.lms.staging import StagedFunction
+from repro.lms.types import ArrayType, ScalarType, VectorType
+from repro.timing.kernelmodel import (
+    KernelItem,
+    MachineKernel,
+    MachineLoop,
+    MachineOp,
+    SetupAssign,
+)
+from repro.timing.uarch import HASWELL, Microarch
+
+ARRAY_PIN_CYCLES = 150.0  # GetPrimitiveArrayCritical per array
+
+# gcc -O3 output is close to, but not exactly, the ideal schedule the
+# port model assumes (register moves, imperfect scheduling); calibrated
+# against the paper's Figure 6 peak values.
+NATIVE_INEFFICIENCY = 1.3
+
+
+def _sym_name(sym: Sym) -> str:
+    return f"x{sym.id}"
+
+
+def lms_to_java_expr(exp: Exp, defs: dict[int, ldefs.Stm]) -> jast.Expr:
+    """Translate a staged scalar expression into a Java-AST expression.
+
+    Symbols defined by pure scalar nodes are inlined recursively so loop
+    bounds like ``(n >> 3) << 3`` survive translation; other symbols
+    become ``Local`` references (bound by SetupAssign or loop vars).
+    """
+    if isinstance(exp, Const):
+        tp = exp.tp
+        if isinstance(tp, ScalarType) and tp.is_float:
+            jt = JFLOAT if tp.bits == 32 else JDOUBLE
+        else:
+            jt = JLONG if isinstance(tp, ScalarType) and tp.bits == 64 \
+                else JINT
+        return jast.ConstExpr(exp.value, jt)
+    if isinstance(exp, Sym):
+        return jast.Local(_sym_name(exp))
+    raise TypeError(f"cannot translate {exp!r}")
+
+
+@dataclass
+class _Classified:
+    kind: str
+    is_int: bool = False
+    mem: str | None = None  # "load" | "store" | "gather" | None
+
+
+_NAME_PATTERNS: tuple[tuple[str, _Classified], ...] = (
+    (r"(fmadd|fmsub|fnmadd|fnmsub|fmaddsub|fmsubadd)", _Classified("fma")),
+    (r"(loadu|load|lddqu|loaddup|maskload|broadcast_s[sd]|broadcast_ps"
+     r"|stream_load|extload|loadunpack)", _Classified("load", mem="load")),
+    (r"(storeu|store|maskstore|stream|packstore|extstore|storenr)",
+     _Classified("store", mem="store")),
+    (r"gather", _Classified("gather", mem="gather")),
+    (r"scatter", _Classified("store", mem="store")),
+    (r"(sin|cos|tan|exp|log|pow|erf|cdfnorm|cbrt|hypot|atan|asin|acos"
+     r"|sinh|cosh|tanh|invsqrt|svml)", _Classified("math")),
+    (r"(rdrand|rdseed)", _Classified("rng")),
+    (r"sqrt", _Classified("sqrt")),
+    (r"(div|rem)_(ps|pd|ss|sd)", _Classified("div")),
+    (r"(div|rem)_ep", _Classified("math", is_int=True)),
+    # Multiply-class patterns come before the add family: "madd" would
+    # otherwise be swallowed by the "add" alternation.
+    (r"(mullo|mulhi|mulhrs|maddubs|madd|mul|dp)_(ps|pd|ss|sd)",
+     _Classified("mul")),
+    (r"(mullo|mulhi|mulhrs|maddubs|madd|mul)_(ep|pi)",
+     _Classified("mul", is_int=True)),
+    (r"(add|sub|hadd|hsub|addsub|min|max|avg|abs|sign|sad)_(ps|pd|ss|sd)",
+     _Classified("add")),
+    (r"(add|sub|hadd|hsub|adds|subs|min|max|avg|abs|sign|sad)_(ep|pi|pu)",
+     _Classified("add", is_int=True)),
+    (r"(and|or|xor|andnot|test[zc]|ternarylogic)", _Classified("logic",
+                                                               is_int=True)),
+    (r"(sll|srl|sra|rol|ror|bslli|bsrli)", _Classified("shift",
+                                                       is_int=True)),
+    (r"(unpack|shuffle|permute|blend|pack|alignr|insert|extract"
+     r"|broadcast|movehl|movelh|movehdup|moveldup|movedup|swizzle"
+     r"|compress|expand)", _Classified("shuffle")),
+    (r"(cvt|castps|castpd|castsi|round|floor|ceil|trunc)",
+     _Classified("cvt")),
+    (r"(movemask|popcnt|lzcnt|tzcnt|crc32|pext|pdep|cmpestr|cmpistr)",
+     _Classified("cmp", is_int=True)),
+    (r"reduce", _Classified("reduce")),
+    (r"(cmp|cmpeq|cmpgt|cmplt)", _Classified("cmp")),
+    (r"(set1|setzero|setr|set)_", _Classified("shuffle")),
+)
+
+
+def classify_intrinsic(name: str) -> _Classified:
+    for pattern, cls in _NAME_PATTERNS:
+        if re.search(pattern, name):
+            return cls
+    return _Classified("add")  # something cheap and lane-wise
+
+
+def _lanes_bits(node: IntrinsicsDef) -> tuple[int, int]:
+    tp = node.tp
+    if isinstance(tp, VectorType) and tp.kind != "mask":
+        return max(1, tp.bits // 32), 32
+    # void (stores) or scalar returns: infer from the first vector arg.
+    for arg in node.args:
+        if isinstance(arg, Exp) and isinstance(arg.tp, VectorType):
+            return max(1, arg.tp.bits // 32), 32
+    return 1, 32
+
+
+@dataclass
+class _StagedLowerer:
+    staged: StagedFunction
+    uarch: Microarch = HASWELL
+    defs: dict[int, ldefs.Stm] = field(default_factory=dict)
+    param_name_of: dict[int, str] = field(default_factory=dict)
+    address_syms: set[int] = field(default_factory=set)
+
+    def lower(self) -> MachineKernel:
+        body = schedule_block(self.staged.body)
+        self.defs = {s.sym.id: s for s in _all_stms(body)}
+        for sym, name in zip(self.staged.params, self.staged.param_names):
+            self.param_name_of[sym.id] = name
+        self.address_syms = self._find_address_syms(body)
+        items = self._items(body.stms, loop_vars=[], chain_syms=set())
+        n_arrays = sum(1 for p in self.staged.params
+                       if isinstance(p.tp, ArrayType))
+        return MachineKernel(
+            name=self.staged.name,
+            params=[_sym_name(p) for p in self.staged.params],
+            body=items,
+            call_overhead_cycles=self.uarch.jni_overhead_cycles
+            + ARRAY_PIN_CYCLES * n_arrays,
+            tier="native",
+            inefficiency=NATIVE_INEFFICIENCY,
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _find_address_syms(self, body: ldefs.Block) -> set[int]:
+        """Scalar syms consumed only by memory addressing.
+
+        x86 addressing modes and strength-reduced induction variables
+        absorb affine index arithmetic, so these ops cost nothing in the
+        compiled code (matching what gcc emits for the staged loops).
+        """
+        stms = _all_stms(body)
+        offset_roots: set[int] = set()
+        compute_uses: set[int] = set()
+        for stm in stms:
+            rhs = stm.rhs
+            if isinstance(rhs, IntrinsicsDef):
+                n_regular = len(rhs.params_meta)
+                for arg in rhs.args[n_regular:]:
+                    if isinstance(arg, Sym):
+                        offset_roots.add(arg.id)
+                for arg in rhs.args[:n_regular]:
+                    if isinstance(arg, Sym):
+                        compute_uses.add(arg.id)
+            elif isinstance(rhs, (ldefs.ArrayApply, ldefs.ArrayUpdate)):
+                if isinstance(rhs.index, Sym):
+                    offset_roots.add(rhs.index.id)
+                if isinstance(rhs, ldefs.ArrayUpdate) and \
+                        isinstance(rhs.value, Sym):
+                    compute_uses.add(rhs.value.id)
+            elif isinstance(rhs, (ldefs.ForLoop,)):
+                continue  # bounds are evaluated, not executed per-iter
+            else:
+                for arg in rhs.exp_args:
+                    if isinstance(arg, Sym):
+                        compute_uses.add(arg.id)
+
+        # Expand offset roots through pure scalar arithmetic.
+        address: set[int] = set()
+        frontier = list(offset_roots)
+        while frontier:
+            sid = frontier.pop()
+            if sid in address:
+                continue
+            stm = self.defs.get(sid)
+            if stm is None:
+                continue
+            if isinstance(stm.rhs, (ldefs.BinaryOp, ldefs.Convert)):
+                address.add(sid)
+                for arg in stm.rhs.exp_args:
+                    if isinstance(arg, Sym):
+                        frontier.append(arg.id)
+        return address - compute_uses
+
+    def _stream_of(self, arr: Exp) -> str:
+        if isinstance(arr, Sym):
+            return self.param_name_of.get(arr.id, _sym_name(arr))
+        return "?"
+
+    def _offset_info(self, offset: Exp, loop_vars: list[str]
+                     ) -> tuple[int | None, int, tuple[str, ...]]:
+        try:
+            jexpr = self._java(offset)
+        except TypeError:
+            return None, 0, tuple(loop_vars)
+        aff = analyze_affine(jexpr, set(loop_vars))
+        innermost = loop_vars[-1] if loop_vars else None
+        stride = aff.coeff(innermost) if innermost else 0
+        index_vars = tuple(sorted(v for v, c in aff.coeffs.items()
+                                  if c != 0))
+        return stride, aff.const, index_vars
+
+    def _java(self, exp: Exp) -> jast.Expr:
+        """Translate, inlining pure scalar defs so bounds evaluate."""
+        if isinstance(exp, Const):
+            return lms_to_java_expr(exp, self.defs)
+        if isinstance(exp, Sym):
+            stm = self.defs.get(exp.id)
+            if stm is not None and isinstance(stm.rhs, ldefs.BinaryOp):
+                return jast.Bin(stm.rhs.op, self._java(stm.rhs.lhs),
+                                self._java(stm.rhs.rhs))
+            if stm is not None and isinstance(stm.rhs, ldefs.Convert):
+                return self._java(stm.rhs.operand)
+            return jast.Local(_sym_name(exp))
+        raise TypeError(f"cannot translate {exp!r}")
+
+    # -- chain detection -----------------------------------------------------
+
+    def _chain_syms(self, stms: list[ldefs.Stm]) -> set[int]:
+        """Sym ids on a loop-carried variable-accumulator path."""
+        reads: dict[int, int] = {}  # var sym id -> read result sym id
+        for stm in stms:
+            if isinstance(stm.rhs, ldefs.VarRead):
+                reads[stm.rhs.var.id] = stm.sym.id
+        chain: set[int] = set()
+        for stm in stms:
+            if not isinstance(stm.rhs, ldefs.VarAssign):
+                continue
+            var_id = stm.rhs.var.id
+            if var_id not in reads:
+                continue
+            target = reads[var_id]
+            # Walk back from the assigned value; mark syms whose
+            # transitive inputs include the read.
+            memo: dict[int, bool] = {}
+
+            def depends(sym_id: int) -> bool:
+                if sym_id == target:
+                    return True
+                if sym_id in memo:
+                    return memo[sym_id]
+                memo[sym_id] = False
+                stm2 = self.defs.get(sym_id)
+                if stm2 is None:
+                    return False
+                hit = any(isinstance(a, Sym) and depends(a.id)
+                          for a in stm2.rhs.exp_args)
+                memo[sym_id] = hit
+                return hit
+
+            value = stm.rhs.value
+            if isinstance(value, Sym) and depends(value.id):
+                # Everything on the path from read to assignment.
+                for stm2 in stms:
+                    sid = stm2.sym.id
+                    if sid == target:
+                        continue
+                    if depends(sid) and sid != stm.sym.id:
+                        chain.add(sid)
+        return chain
+
+    # -- lowering ------------------------------------------------------------
+
+    def _items(self, stms: list[ldefs.Stm], loop_vars: list[str],
+               chain_syms: set[int]) -> list[KernelItem]:
+        items: list[KernelItem] = []
+        for stm in stms:
+            items.extend(self._stm(stm, loop_vars, chain_syms))
+        return items
+
+    def _stm(self, stm: ldefs.Stm, loop_vars: list[str],
+             chain_syms: set[int]) -> list[KernelItem]:
+        rhs = stm.rhs
+        on_chain = stm.sym.id in chain_syms
+        loop_var = loop_vars[-1] if loop_vars else None
+        if isinstance(rhs, (ldefs.BinaryOp, ldefs.Convert)) and \
+                stm.sym.id in self.address_syms and loop_vars:
+            return []  # folded into addressing modes
+        if isinstance(rhs, ldefs.BinaryOp):
+            tp = rhs.tp
+            is_int = isinstance(tp, ScalarType) and not tp.is_float
+            kind = {"+": "add", "-": "add", "*": "mul", "/": "div",
+                    "%": "div", "&": "logic", "|": "logic", "^": "logic",
+                    "<<": "shift", ">>": "shift"}.get(rhs.op, "cmp")
+            if kind == "div" and is_int:
+                kind = "mul"  # strength-reduced by the compiler
+            op = MachineOp(kind, bits=32, is_int=is_int,
+                           on_dep_chain=on_chain)
+            if loop_var is None:
+                return [SetupAssign(name=_sym_name(stm.sym),
+                                    expr=self._java(stm.sym), ops=(op,))]
+            return [op]
+        if isinstance(rhs, (ldefs.UnaryOp, ldefs.Select)):
+            return [MachineOp("add", is_int=True, on_dep_chain=on_chain)]
+        if isinstance(rhs, ldefs.Convert):
+            if loop_var is None:
+                return [SetupAssign(name=_sym_name(stm.sym),
+                                    expr=self._java(stm.sym),
+                                    ops=(MachineOp("cvt", is_int=True),))]
+            return [MachineOp("cvt", on_dep_chain=on_chain)]
+        if isinstance(rhs, ldefs.ArrayApply):
+            stride, offset, ivars = self._offset_info(rhs.index, loop_vars)
+            et = rhs.tp
+            bits = et.bits if isinstance(et, ScalarType) else 32
+            return [MachineOp("load", bits=bits,
+                              stream=self._stream_of(rhs.array),
+                              stride_elems=stride, offset_elems=offset,
+                              index_vars=ivars,
+                              is_int=isinstance(et, ScalarType)
+                              and not et.is_float)]
+        if isinstance(rhs, ldefs.ArrayUpdate):
+            stride, offset, ivars = self._offset_info(rhs.index, loop_vars)
+            et = rhs.value.tp
+            bits = et.bits if isinstance(et, ScalarType) else 32
+            return [MachineOp("store", bits=bits,
+                              stream=self._stream_of(rhs.array),
+                              stride_elems=stride, offset_elems=offset,
+                              index_vars=ivars,
+                              is_int=isinstance(et, ScalarType)
+                              and not et.is_float)]
+        if isinstance(rhs, (ldefs.VarDecl, ldefs.VarRead)):
+            return []  # register-allocated
+        if isinstance(rhs, ldefs.VarAssign):
+            return []
+        if isinstance(rhs, ldefs.ReflectMutable):
+            return []
+        if isinstance(rhs, ldefs.ForLoop):
+            chain = self._chain_syms(list(rhs.body.stms))
+            body = self._items(list(rhs.body.stms),
+                               loop_vars=loop_vars + [_sym_name(rhs.index)],
+                               chain_syms=chain)
+            return [MachineLoop(
+                var=_sym_name(rhs.index),
+                start=self._java(rhs.start), end=self._java(rhs.end),
+                step=self._java(rhs.step), body=body)]
+        if isinstance(rhs, ldefs.IfThenElse):
+            then_items = self._items(list(rhs.then_block.stms), loop_vars,
+                                     chain_syms)
+            else_items = self._items(list(rhs.else_block.stms), loop_vars,
+                                     chain_syms)
+            longer = then_items if len(then_items) >= len(else_items) \
+                else else_items
+            return [MachineOp("branch", is_int=True)] + longer
+        if isinstance(rhs, ldefs.WhileLoop):
+            # Price as a loop with unknown trip count of 1 (rare in
+            # kernels; the paper's examples never use staged while).
+            body = self._items(list(rhs.body.stms), loop_vars, chain_syms)
+            return [MachineOp("branch", is_int=True)] + body
+        if isinstance(rhs, IntrinsicsDef):
+            return [self._intrinsic(stm, rhs, loop_vars, on_chain)]
+        return []
+
+    def _intrinsic(self, stm: ldefs.Stm, rhs: IntrinsicsDef,
+                   loop_vars: list[str], on_chain: bool) -> MachineOp:
+        cls = classify_intrinsic(rhs.intrinsic_name)
+        lanes, bits = _lanes_bits(rhs)
+        stream = None
+        stride: int | None = 1
+        offset = 0
+        ivars: tuple[str, ...] = ()
+        if cls.mem is not None:
+            mem_idx = rhs.mem_indices()
+            if mem_idx:
+                n_regular = len(rhs.params_meta)
+                arr = rhs.args[mem_idx[0]]
+                off_exp = rhs.args[n_regular]
+                stream = self._stream_of(arr)
+                if isinstance(off_exp, Exp):
+                    stride, offset, ivars = self._offset_info(
+                        off_exp, loop_vars)
+                # Vector loads move lanes elements per unit offset; the
+                # element stride for adjacency is in array elements.
+        return MachineOp(
+            kind=cls.kind if cls.mem is None else cls.mem,
+            bits=bits, lanes=lanes, stream=stream,
+            stride_elems=stride, offset_elems=offset, index_vars=ivars,
+            on_dep_chain=on_chain, is_int=cls.is_int)
+
+
+def _all_stms(block: ldefs.Block) -> list[ldefs.Stm]:
+    out: list[ldefs.Stm] = []
+    for stm in block.stms:
+        out.append(stm)
+        for inner in stm.rhs.blocks:
+            out.extend(_all_stms(inner))
+    return out
+
+
+def lower_staged(staged: StagedFunction,
+                 uarch: Microarch = HASWELL) -> MachineKernel:
+    """Lower a staged function to the cost model's machine kernel."""
+    return _StagedLowerer(staged, uarch).lower()
+
+
+def param_env(staged: StagedFunction, values: dict[str, float]
+              ) -> dict[str, float]:
+    """Build the cost-model environment from named parameter values."""
+    env: dict[str, float] = {}
+    for sym, name in zip(staged.params, staged.param_names):
+        if name in values:
+            env[_sym_name(sym)] = values[name]
+            env[name] = values[name]
+    return env

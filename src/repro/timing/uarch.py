@@ -1,0 +1,95 @@
+"""Microarchitecture parameters (Haswell, the paper's test machine).
+
+Latencies and throughputs follow Intel's optimization manual and Agner
+Fog's tables for Haswell (Xeon E3-1285L v3): two FMA/multiply ports, one
+FP add port (the Haswell quirk), two load ports and one store port, a
+4-uop issue width.  The cost model uses these as resource caps per loop
+iteration and sums latencies along loop-carried dependency chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Microarch:
+    """Per-cycle resource caps and per-op latencies."""
+
+    name: str
+    issue_width: float = 4.0
+    # Throughput caps: ops per cycle by resource class.
+    fp_add_per_cycle: float = 1.0      # Haswell: FP add only on port 1
+    fp_mul_fma_per_cycle: float = 2.0  # ports 0 and 1
+    fp_total_per_cycle: float = 2.0
+    loads_per_cycle: float = 2.0
+    stores_per_cycle: float = 1.0
+    int_alu_per_cycle: float = 4.0
+    int_vec_per_cycle: float = 2.0      # paddb/pminsb...: ports 1,5
+    int_vec_logic_per_cycle: float = 3.0  # vpand/vpxor: ports 0,1,5
+    int_vec_shift_per_cycle: float = 1.0  # vpsrlw/vpsllw: port 0
+    int_vec_mul_per_cycle: float = 1.0  # pmaddubsw/pmaddwd: port 0
+    shuffle_per_cycle: float = 1.0     # port 5
+    branch_per_cycle: float = 2.0
+    cvt_per_cycle: float = 1.0
+    # Serialized (unpipelined-ish) op costs in cycles per op.
+    div_cycles: dict[int, float] = field(default_factory=lambda: {
+        32: 5.0, 64: 8.0})  # per vector op (vdivps ~ 5c recip tput)
+    sqrt_cycles: float = 7.0
+    math_cycles: float = 20.0          # SVML-class polynomial routines
+    rng_cycles: float = 300.0          # RDRAND is ~300+ cycles on Haswell
+    gather_cycles_per_lane: float = 2.0
+    # Latencies (cycles) for dependency chains.
+    lat_fp_add: float = 3.0
+    lat_fp_mul: float = 5.0
+    lat_fma: float = 5.0
+    lat_fp_div: float = 13.0
+    lat_int_alu: float = 1.0
+    lat_int_mul: float = 3.0
+    lat_cvt: float = 3.0
+    lat_load: float = 4.0              # L1 hit
+    lat_shuffle: float = 1.0
+    # Native vector register width.
+    vector_bits: int = 256
+    # Fixed cost of crossing the managed/native boundary (JNI call:
+    # argument marshalling, no inlining, callee-saved spills).
+    jni_overhead_cycles: float = 450.0
+
+    def latency_of(self, kind: str, is_int: bool, on_fma: bool = False
+                   ) -> float:
+        if kind == "load":
+            return self.lat_load
+        if kind == "add":
+            return self.lat_int_alu if is_int else self.lat_fp_add
+        if kind == "mul":
+            return self.lat_int_mul if is_int else self.lat_fp_mul
+        if kind == "fma":
+            return self.lat_fma
+        if kind == "div":
+            return self.lat_fp_div
+        if kind == "cvt":
+            return self.lat_cvt
+        if kind in ("logic", "shift", "mov", "cmp"):
+            return self.lat_int_alu
+        if kind == "shuffle":
+            return self.lat_shuffle
+        if kind == "reduce":
+            return self.lat_fp_add * 3  # log2(8) stages
+        return 1.0
+
+
+HASWELL = Microarch(name="Haswell (Xeon E3-1285L v3)")
+
+# The artifact notes "Broadwell, Skylake, Kaby Lake or later would also
+# work"; Skylake's relevant deltas: FP add runs on both FMA ports at
+# latency 4 (no more port-1-only adds), slightly better divider, and
+# higher sustained L2 bandwidth (modelled in the cache hierarchy).
+SKYLAKE = Microarch(
+    name="Skylake",
+    fp_add_per_cycle=2.0,
+    lat_fp_add=4.0,
+    lat_fp_mul=4.0,
+    lat_fma=4.0,
+    lat_fp_div=11.0,
+    div_cycles={32: 4.0, 64: 8.0},
+)

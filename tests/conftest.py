@@ -1,0 +1,35 @@
+"""Shared fixtures and skip conditions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codegen.compiler import inspect_system
+
+
+def _system():
+    return inspect_system()
+
+
+requires_compiler = pytest.mark.skipif(
+    _system().best_compiler is None,
+    reason="no C compiler on this host",
+)
+
+requires_avx2_fma = pytest.mark.skipif(
+    not _system().supports("AVX2", "FMA"),
+    reason="host CPU lacks AVX2/FMA",
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC60)
+
+
+@pytest.fixture
+def base_isas():
+    from repro.isa import load_isas
+    return load_isas("SSE", "SSE2", "SSE3", "SSSE3", "SSE4.1",
+                     "AVX", "AVX2", "FMA", "FP16C")

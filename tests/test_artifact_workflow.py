@@ -1,0 +1,129 @@
+"""The paper artifact's experiment workflow (Appendix A.4), end to end.
+
+The artifact drives everything through SBT test targets; the analogs:
+
+* ``test-only cgo.TestPlatform``      -> platform inspection
+* ``test-only cgo.GenerateIntrinsics``-> the repro-gen-intrinsics CLI
+* ``test-only cgo.TestSaxpy``         -> the SAXPY benchmark path
+* ``test-only cgo.TestMultiSaxpy``    -> the ISA-agnostic SAXPY
+* ``test-only cgo.TestMMM``           -> the MMM benchmark path
+* ``test-only cgo.TestPrecision``     -> the variable-precision path
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen import inspect_system
+from repro.isa.cli import main as gen_cli
+
+
+class TestPlatform:
+    """cgo.TestPlatform: inspect CPU, ISAs, compilers, runtime."""
+
+    def test_inspection_completes(self):
+        system = inspect_system()
+        assert system.cpu
+        # The runtime can always fall back to the simulator, but the
+        # inspection itself must report a coherent picture.
+        for isa in system.isas:
+            assert isinstance(isa, str) and isa
+
+
+class TestGenerateIntrinsics:
+    """cgo.GenerateIntrinsics: XML + eDSL source on disk."""
+
+    def test_cli_generates_everything(self, tmp_path, capsys):
+        rc = gen_cli(["--out", str(tmp_path), "--all-xml"])
+        assert rc == 0
+        xmls = sorted(p.name for p in (tmp_path / "xml").iterdir())
+        assert "data-3.3.16.xml" in xmls and "data-3.4.xml" in xmls
+        assert len(xmls) == 6  # Table 3's versions
+        edsl = list((tmp_path / "edsl").glob("*.py"))
+        assert len(edsl) >= 13  # at least one module per ISA
+        total = sum(p.stat().st_size for p in edsl)
+        assert total > 1_000_000  # realistic generated-code volume
+        out = capsys.readouterr().out
+        assert "generated eDSLs" in out
+        for isa in ("AVX-512", "SSE3", "FMA", "KNC", "SVML"):
+            assert isa in out
+
+    def test_generated_modules_importable(self, tmp_path):
+        gen_cli(["--out", str(tmp_path)])
+        sse3 = tmp_path / "edsl" / "sse3.py"
+        assert sse3.exists()
+        compile(sse3.read_text(), str(sse3), "exec")
+
+
+class TestSaxpyWorkflow:
+    """cgo.TestSaxpy / cgo.TestMultiSaxpy."""
+
+    def test_saxpy_performance_profile(self):
+        from repro.kernels import make_staged_saxpy
+        from repro.timing import CostModel
+        from repro.timing.staged_lower import lower_staged, param_env
+
+        staged = make_staged_saxpy()
+        kernel = lower_staged(staged)
+        cm = CostModel()
+        profile = []
+        for e in range(6, 23, 4):
+            n = 2 ** e
+            cost = cm.cost(kernel, param_env(staged,
+                                             {"n": n, "scalar": 1.0}),
+                           footprints={"a": 4.0 * n, "b": 4.0 * n})
+            profile.append(2.0 * n / cost.cycles)
+        # The profile rises from JNI-dominated to compute and falls to
+        # memory-bound, like the artifact's printed output.
+        assert profile[0] < 1.0
+        assert max(profile) > 3.0
+
+    def test_multi_saxpy_runs_on_this_host(self, rng):
+        from repro.kernels.multi_saxpy import make_multi_saxpy
+        from repro.simd import execute_staged
+
+        staged = make_multi_saxpy()  # host-selected ABI
+        n = 41
+        a = rng.normal(size=n).astype(np.float32)
+        b = rng.normal(size=n).astype(np.float32)
+        expected = a + 0.75 * b
+        execute_staged(staged, [a, b, 0.75, n])
+        assert np.allclose(a, expected, rtol=1e-6)
+
+
+class TestPrecisionWorkflow:
+    """cgo.TestPrecision: every precision produces a consistent value
+    and a performance figure."""
+
+    @pytest.mark.parametrize("bits", [32, 16, 8, 4])
+    def test_precision_end_to_end(self, bits, rng):
+        from repro.quant import (
+            dot_ps_step, make_staged_dot, quantize_stochastic,
+            reference_dot,
+        )
+        from repro.simd import execute_staged
+        from repro.timing import CostModel
+        from repro.timing.staged_lower import lower_staged, param_env
+
+        n = dot_ps_step(bits) * 2
+        x = rng.normal(size=n).astype(np.float32)
+        y = rng.normal(size=n).astype(np.float32)
+        qx = quantize_stochastic(x, bits, np.random.default_rng(3))
+        qy = quantize_stochastic(y, bits, np.random.default_rng(4))
+        staged = make_staged_dot(bits)
+        if bits == 32:
+            value = execute_staged(staged, [qx.data, qy.data, n])
+        elif bits == 16:
+            value = execute_staged(staged, [qx.data.view(np.int16),
+                                            qy.data.view(np.int16), n])
+        else:
+            inv = 1.0 / (qx.scale * qy.scale)
+            value = execute_staged(staged, [qx.data, qy.data, inv, n])
+        assert float(value) == pytest.approx(reference_dot(qx, qy),
+                                             rel=1e-3, abs=1e-2)
+
+        big = 2 ** 18
+        cost = CostModel().cost(
+            lower_staged(staged),
+            param_env(staged, {"n": big, "inv_scale": 1.0}),
+            footprints={"a": big, "b": big})
+        assert 2.0 * big / cost.cycles > 1.0

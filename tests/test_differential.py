@@ -1,0 +1,126 @@
+"""Differential testing: native C backend vs the SIMD machine.
+
+Classic compiler validation: generate random (but well-defined) staged
+scalar kernels, compile them through gcc/clang, and require bit-exact
+agreement with the simulator.  Shift counts are masked at staging time
+and division is excluded, so every generated program has one defined
+meaning; ``-fwrapv`` gives signed wraparound the same semantics in C as
+in the graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.codegen.compiler import inspect_system
+from repro.codegen.native import compile_to_native
+from repro.lms import stage_function
+from repro.lms.expr import Exp, const
+from repro.lms.ops import convert, select
+from repro.lms.types import FLOAT, INT32
+from repro.simd.machine import execute_staged
+from tests.conftest import requires_compiler
+
+pytestmark = requires_compiler
+
+_INT_BINOPS = ("+", "-", "*", "&", "|", "^")
+_FLOAT_BINOPS = ("+", "-", "*")
+
+
+class _ExprGen:
+    """Builds a random staged expression over (int a, int b, float x)."""
+
+    def __init__(self, choices: list[int]):
+        self.choices = choices
+        self.pos = 0
+
+    def pick(self, n: int) -> int:
+        value = self.choices[self.pos % len(self.choices)]
+        self.pos += 1
+        return value % n
+
+    def int_expr(self, a: Exp, b: Exp, depth: int) -> Exp:
+        kind = self.pick(4 if depth > 0 else 3)
+        if kind == 0:
+            return a
+        if kind == 1:
+            return b
+        if kind == 2:
+            return const(self.pick(201) - 100)
+        op_idx = self.pick(len(_INT_BINOPS) + 2)
+        lhs = self.int_expr(a, b, depth - 1)
+        rhs = self.int_expr(a, b, depth - 1)
+        if op_idx < len(_INT_BINOPS):
+            from repro.lms.ops import binary
+            return binary(_INT_BINOPS[op_idx], lhs, rhs)
+        if op_idx == len(_INT_BINOPS):
+            from repro.lms.ops import binary
+            # Mask the shift count so it is always defined in C.
+            return binary("<<", lhs, rhs & 31)
+        from repro.lms.ops import binary
+        return binary(">>", lhs, rhs & 31)
+
+    def float_expr(self, a: Exp, b: Exp, x: Exp, depth: int) -> Exp:
+        kind = self.pick(4 if depth > 0 else 3)
+        if kind == 0:
+            return x
+        if kind == 1:
+            return convert(self.int_expr(a, b, max(0, depth - 1)), FLOAT)
+        if kind == 2:
+            return const(float(self.pick(41) - 20) / 4.0, FLOAT)
+        op_idx = self.pick(len(_FLOAT_BINOPS) + 1)
+        lhs = self.float_expr(a, b, x, depth - 1)
+        rhs = self.float_expr(a, b, x, depth - 1)
+        from repro.lms.ops import binary
+        if op_idx < len(_FLOAT_BINOPS):
+            return binary(_FLOAT_BINOPS[op_idx], lhs, rhs)
+        return select(binary("<", lhs, rhs), lhs, rhs)
+
+
+_counter = [0]
+
+
+def _build_kernel(choices: list[int], as_float: bool):
+    gen = _ExprGen(choices)
+    _counter[0] += 1
+    name = f"diff_{'f' if as_float else 'i'}{_counter[0]}"
+
+    if as_float:
+        def fn(a, b, x):
+            return gen.float_expr(a, b, x, depth=3)
+
+        return stage_function(fn, [INT32, INT32, FLOAT], name)
+
+    def fn(a, b, x):
+        return gen.int_expr(a, b, depth=3)
+
+    return stage_function(fn, [INT32, INT32, FLOAT], name)
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(choices=st.lists(st.integers(0, 10_000), min_size=8, max_size=40),
+       a=st.integers(-(2**31), 2**31 - 1),
+       b=st.integers(-(2**31), 2**31 - 1))
+def test_integer_kernels_agree(choices, a, b):
+    staged = _build_kernel(choices, as_float=False)
+    kernel = compile_to_native(staged)
+    native = kernel(a, b, 0.0)
+    simulated = execute_staged(staged, [a, b, 0.0])
+    assert np.int32(native) == simulated, kernel.c_source
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(choices=st.lists(st.integers(0, 10_000), min_size=8, max_size=40),
+       a=st.integers(-1000, 1000),
+       b=st.integers(-1000, 1000),
+       x=st.floats(-100.0, 100.0, width=32, allow_nan=False))
+def test_float_kernels_agree_bitwise(choices, a, b, x):
+    staged = _build_kernel(choices, as_float=True)
+    kernel = compile_to_native(staged)
+    native = np.float32(kernel(a, b, x))
+    simulated = np.float32(execute_staged(staged, [a, b, x]))
+    assert native.tobytes() == simulated.tobytes(), kernel.c_source

@@ -1,0 +1,58 @@
+"""Every example script must run clean (the artifact's smoke tests)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "mmm_blocked.py",
+    "build_your_own_isa.py",
+    "string_search.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_reproduce_figures(tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "reproduce_figures.py"),
+         str(tmp_path)],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr
+    for name in ("fig6a_saxpy.csv", "fig6b_mmm.csv",
+                 "fig7_precision.csv"):
+        assert (tmp_path / name).exists()
+        lines = (tmp_path / name).read_text().splitlines()
+        assert len(lines) > 10
+
+
+def test_sgd_example_components():
+    """The SGD example's pieces at a tiny size (the full script trains
+    four models and is exercised manually / by the artifact run)."""
+    sys.path.insert(0, str(EXAMPLES))
+    try:
+        import variable_precision_sgd as sgd
+    finally:
+        sys.path.pop(0)
+
+    rng = np.random.default_rng(0)
+    dim, n_samples = 16, 8
+    true_w = rng.normal(size=dim).astype(np.float32)
+    features = rng.normal(size=(n_samples, dim)).astype(np.float32)
+    targets = (features @ true_w).astype(np.float32)
+    for bits in (32, 8):
+        mse = sgd.train(bits, features, targets, epochs=3, lr=0.02)
+        assert np.isfinite(mse)

@@ -1,0 +1,176 @@
+"""End-to-end shape checks: the paper's headline claims must hold on
+the modelled Haswell, qualitatively and to rough factors."""
+
+import numpy as np
+import pytest
+
+from repro.jvm import MiniVM, TieredState
+from repro.kernels import (
+    java_mmm_blocked_method,
+    java_mmm_triple_method,
+    java_saxpy_method,
+    make_staged_mmm,
+    make_staged_saxpy,
+)
+from repro.quant import java_dot_method, make_staged_dot
+from repro.timing import CostModel
+from repro.timing.staged_lower import lower_staged, param_env
+
+
+@pytest.fixture(scope="module")
+def cm():
+    return CostModel()
+
+
+def _java_kernel(method):
+    vm = MiniVM()
+    vm.load(method)
+    vm.force_tier(method.name, TieredState.C2)
+    return vm.machine_kernel(method.name)
+
+
+def _saxpy_fc(cm, n):
+    sf = make_staged_saxpy()
+    k_lms = lower_staged(sf)
+    k_java = _java_kernel(java_saxpy_method())
+    fp = {"a": 4.0 * n, "b": 4.0 * n}
+    flops = 2.0 * n
+    java = flops / cm.cost(k_java, {"n": n, "s": 1.0},
+                           footprints=fp).cycles
+    lms = flops / cm.cost(k_lms, param_env(sf, {"n": n, "scalar": 1.0}),
+                          footprints=fp).cycles
+    return java, lms
+
+
+class TestFigure6aShape:
+    """SAXPY: Java wins small (JNI overhead), LMS wins mid-sizes,
+    both converge when memory-bound."""
+
+    def test_java_wins_in_l1(self, cm):
+        java, lms = _saxpy_fc(cm, 2 ** 7)
+        assert java > lms
+
+    def test_lms_wins_at_l2(self, cm):
+        java, lms = _saxpy_fc(cm, 2 ** 13)
+        assert lms > 1.3 * java
+
+    def test_convergence_in_dram(self, cm):
+        java, lms = _saxpy_fc(cm, 2 ** 22)
+        assert lms == pytest.approx(java, rel=0.15)
+
+    def test_crossover_exists(self, cm):
+        better = [(_saxpy_fc(cm, 2 ** e)[1] > _saxpy_fc(cm, 2 ** e)[0])
+                  for e in range(6, 23, 2)]
+        assert not better[0] and any(better)
+
+
+class TestFigure6bShape:
+    """MMM at n=1024: LMS ~5x over blocked Java, more over triple."""
+
+    def test_speedups(self, cm):
+        n = 1024
+        flops = 2.0 * n ** 3
+        fp = {k: 4.0 * n * n for k in ("a", "b", "c")}
+        sf = make_staged_mmm()
+        lms = flops / cm.cost(lower_staged(sf), param_env(sf, {"n": n}),
+                              footprints=fp).cycles
+        tri = flops / cm.cost(_java_kernel(java_mmm_triple_method()),
+                              {"n": n}, footprints=fp).cycles
+        blk = flops / cm.cost(_java_kernel(java_mmm_blocked_method()),
+                              {"n": n}, footprints=fp).cycles
+        # Paper: 5x over blocked, 7.8x over triple; allow a 2x band.
+        assert 3.0 < lms / blk < 10.0
+        assert 4.0 < lms / tri < 16.0
+        assert lms > 3.0  # paper's LMS curve sits around 4 f/c
+
+    def test_triple_loop_degrades_beyond_cache(self, cm):
+        k = _java_kernel(java_mmm_triple_method())
+        small = 2.0 * 64 ** 3 / cm.cost(
+            k, {"n": 64}, footprints={x: 4.0 * 64 ** 2
+                                      for x in "abc"}).cycles
+        big = 2.0 * 1024 ** 3 / cm.cost(
+            k, {"n": 1024}, footprints={x: 4.0 * 1024 ** 2
+                                        for x in "abc"}).cycles
+        assert big < small  # the column walk starts missing
+
+    def test_blocked_java_immune_to_size(self, cm):
+        k = _java_kernel(java_mmm_blocked_method())
+        vals = []
+        for n in (64, 512, 1024):
+            fp = {x: 4.0 * n * n for x in "abc"}
+            vals.append(2.0 * n ** 3 /
+                        cm.cost(k, {"n": n}, footprints=fp).cycles)
+        assert max(vals) / min(vals) < 1.3
+
+
+class TestFigure7Shape:
+    """Variable precision at n=2^20."""
+
+    @pytest.fixture(scope="class")
+    def rates(self, cm):
+        out = {}
+        n = 2 ** 20
+        for bits in (32, 16, 8, 4):
+            elem = {32: 4, 16: 2, 8: 1, 4: 0.5}[bits]
+            fp = {"a": elem * n, "b": elem * n}
+            sf = make_staged_dot(bits)
+            lms = 2.0 * n / cm.cost(
+                lower_staged(sf),
+                param_env(sf, {"n": n, "inv_scale": 1.0}),
+                footprints=fp).cycles
+            jk = _java_kernel(java_dot_method(bits))
+            params = {"n": n, "inv_scale": 1.0}
+            java = 2.0 * n / cm.cost(jk, params, footprints=fp).cycles
+            out[bits] = (java, lms)
+        return out
+
+    def test_lms_beats_java_everywhere(self, rates):
+        for bits, (java, lms) in rates.items():
+            assert lms > 2 * java, bits
+
+    def test_speedup_ordering(self, rates):
+        """4-bit shows the largest speedup, 32-bit the smallest —
+        the paper's 40x vs 5.4x ordering."""
+        speedups = {bits: lms / java for bits, (java, lms) in rates.items()}
+        assert speedups[4] > speedups[8] > speedups[32]
+        assert speedups[4] > 25.0
+        assert 3.0 < speedups[32] < 9.0
+
+    def test_java_4bit_is_worst_java(self, rates):
+        javas = {bits: java for bits, (java, lms) in rates.items()}
+        assert javas[4] == min(javas.values())
+
+    def test_lms_narrow_precisions_fastest(self, rates):
+        lms = {bits: v for bits, (j, v) in rates.items()}
+        assert lms[8] > lms[16] > lms[32]
+        assert lms[4] > lms[16]
+
+
+class TestTable1bShape:
+    def test_census_structure_vs_paper(self):
+        from repro.spec.catalog import all_entries
+        from repro.spec.census import PAPER_TABLE_1B, take_census
+
+        census = take_census(all_entries("3.3.16"))
+        # Every bucket within a factor 3 of the paper (synthesized
+        # catalog; exact anchors covered in test_spec_catalog).
+        for isa, paper in PAPER_TABLE_1B.items():
+            mine = census.per_isa.get(isa, 0)
+            assert mine > paper / 3, (isa, mine, paper)
+
+
+class TestGeneratedVersusHandwritten:
+    def test_zero_overhead_claim(self):
+        """Host-language abstraction must leave no trace: the staged
+        MMM built with comprehensions/zip/closures produces a graph of
+        intrinsics only (plus index arithmetic and loops)."""
+        from repro.lms.schedule import schedule_block
+        from repro.lms.defs import iter_defs
+        from repro.isa.base import IntrinsicsDef
+        from repro.lms.defs import BinaryOp, ForLoop
+
+        sf = make_staged_mmm()
+        body = schedule_block(sf.body)
+        allowed = (IntrinsicsDef, BinaryOp, ForLoop)
+        for stm, _ in iter_defs(body):
+            assert isinstance(stm.rhs, allowed), stm

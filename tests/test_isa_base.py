@@ -1,0 +1,121 @@
+"""The generated-intrinsic runtime base: reflection, effects, mirroring."""
+
+import pytest
+
+from repro.isa import load_isas
+from repro.isa.base import IntrinsicsError, reflect_intrinsic
+from repro.lms import staging_scope
+from repro.lms.defs import ForLoop
+from repro.lms.expr import Const, Sym
+from repro.lms.graph import current_builder
+from repro.lms.schedule import schedule_block
+from repro.lms.types import FLOAT, INT32, M256, array_of
+
+
+@pytest.fixture(scope="module")
+def avx():
+    return load_isas("AVX", "AVX2", "FMA", "RDRAND")
+
+
+class TestReflection:
+    def test_node_carries_spec_metadata(self, avx):
+        cls = avx.node_class("_mm256_fmadd_ps")
+        assert cls.intrinsic_name == "_mm256_fmadd_ps"
+        assert cls.category == ("Arithmetic",)
+        assert cls.intrinsic_types == ("Floating Point",)
+        assert cls.header == "immintrin.h"
+        assert cls.ret_type is M256
+        assert [k for _, _, k in cls.params_meta] == ["vec"] * 3
+
+    def test_mem_indices(self, avx):
+        load_cls = avx.node_class("_mm256_loadu_ps")
+        assert load_cls.mem_indices() == [0]
+        assert load_cls.mem_effects == ("r",)
+        store_cls = avx.node_class("_mm256_storeu_ps")
+        assert store_cls.mem_indices() == [0]
+        assert store_cls.mem_effects == ("w",)
+
+    def test_missing_offset_rejected(self, avx):
+        with staging_scope() as b:
+            arr = b.fresh(array_of(FLOAT))
+            with pytest.raises(IntrinsicsError, match="memory offsets"):
+                reflect_intrinsic(avx.node_class("_mm256_loadu_ps"), arr)
+
+    def test_const_immediate_accepted(self, avx):
+        with staging_scope() as b:
+            v = avx._mm256_set1_ps(1.0)
+            # A staged Const is usable where an immediate is required.
+            out = avx._mm256_permute2f128_ps(v, v, Const(0x20, INT32))
+            assert out.tp is M256
+
+    def test_mask_type_checked(self, avx):
+        with staging_scope() as b:
+            x = b.fresh(FLOAT)
+            with pytest.raises(IntrinsicsError):
+                avx._mm256_fmadd_ps(x, x, x)
+
+
+class TestEffectsAtStagingTime:
+    def test_rng_orders_against_everything(self, avx):
+        from repro.lms.types import UINT16
+
+        with staging_scope() as b:
+            arr = b.fresh(array_of(UINT16))
+            r1 = avx._rdrand16_step(arr, 0)
+            r2 = avx._rdrand16_step(arr, 1)
+            # Global effects serialize: the second depends on the first.
+            stm2 = b.lookup(r2)
+            assert r1.id in stm2.effects.deps
+
+    def test_store_to_different_arrays_independent(self, avx):
+        with staging_scope() as b:
+            a = b.fresh(array_of(FLOAT))
+            c = b.fresh(array_of(FLOAT))
+            v = avx._mm256_set1_ps(0.0)
+            s1 = avx._mm256_storeu_ps(a, v, 0)
+            s2 = avx._mm256_storeu_ps(c, v, 0)
+            stm2 = b.lookup(s2)
+            assert s1.id not in stm2.effects.deps
+
+    def test_load_survives_dce_only_if_used(self, avx):
+        from repro.lms import stage_function, forloop
+
+        def fn(a, n):
+            def body(i):
+                dead = avx._mm256_loadu_ps(a, i)  # unused load
+                live = avx._mm256_loadu_ps(a, i + 8)
+                avx._mm256_storeu_ps(a, live, i)
+
+            forloop(0, n, step=16, body=body)
+
+        sf = stage_function(fn, [array_of(FLOAT), INT32])
+        body = schedule_block(sf.body)
+        loop = next(s.rhs for s in body.stms if isinstance(s.rhs, ForLoop))
+        loads = [s for s in loop.body.stms
+                 if getattr(s.rhs, "intrinsic_name", "") ==
+                 "_mm256_loadu_ps"]
+        # Effectful reads are kept (a load can fault / sync with
+        # stores), so DCE must NOT drop the unused one.
+        assert len(loads) == 2
+
+
+class TestRemirror:
+    def test_remirror_rebuilds_with_substitution(self, avx):
+        from repro.lms.graph import IRBuilder, finish_root_block
+        from repro.lms.transform import Transformer
+
+        with staging_scope() as b:
+            v = avx._mm256_set1_ps(2.0)
+            w = avx._mm256_add_ps(v, v)
+            stm = b.lookup(w)
+
+        builder = IRBuilder()
+        with staging_scope(builder):
+            replacement = avx._mm256_set1_ps(3.0)
+            t = Transformer({v.id: replacement})
+            new = t.mirror(stm.rhs, stm)
+            assert isinstance(new, Sym)
+            new_stm = builder.lookup(new)
+            assert new_stm.rhs.intrinsic_name == "_mm256_add_ps"
+            assert all(a.same(replacement)
+                       for a in new_stm.rhs.exp_args)

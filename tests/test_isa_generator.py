@@ -1,0 +1,140 @@
+"""The eDSL generator: the four building blocks, effects, splitting."""
+
+import pytest
+
+from repro.isa.generator import (
+    PART_SIZE,
+    class_name_for,
+    generate_edsl_modules,
+    generate_intrinsic_source,
+    generate_isa_source,
+    infer_mutability,
+)
+from repro.isa.registry import load_isas
+from repro.spec import emit_spec_xml, parse_spec_xml
+from repro.spec.catalog import all_entries
+
+
+@pytest.fixture(scope="module")
+def by_name():
+    return {e.name: e for e in all_entries("3.3.16")}
+
+
+class TestClassNames:
+    def test_paper_example(self):
+        assert class_name_for("_mm256_add_pd") == "MM256_ADD_PD"
+
+    def test_rdrand(self):
+        assert class_name_for("_rdrand16_step") == "RDRAND16_STEP"
+
+    def test_mmx_empty(self):
+        assert class_name_for("_m_empty") == "M_EMPTY"
+
+
+class TestMutabilityInference:
+    """The paper's heuristic: loads read, stores write."""
+
+    def test_load_reads(self, by_name):
+        kinds, glob = infer_mutability(by_name["_mm256_loadu_ps"])
+        assert kinds == ("r",) and not glob
+
+    def test_store_writes(self, by_name):
+        kinds, glob = infer_mutability(by_name["_mm256_storeu_ps"])
+        assert kinds == ("w",) and not glob
+
+    def test_maskstore_writes(self, by_name):
+        kinds, _ = infer_mutability(by_name["_mm256_maskstore_ps"])
+        assert kinds == ("w",)
+
+    def test_gather_reads(self, by_name):
+        kinds, _ = infer_mutability(by_name["_mm256_i32gather_epi32"])
+        assert kinds == ("r",)
+
+    def test_rdrand_global_and_writes(self, by_name):
+        kinds, glob = infer_mutability(by_name["_rdrand16_step"])
+        assert kinds == ("w",) and glob
+
+    def test_fences_are_global(self, by_name):
+        _, glob = infer_mutability(by_name["_mm_sfence"])
+        assert glob
+
+    def test_pure_arithmetic(self, by_name):
+        kinds, glob = infer_mutability(by_name["_mm256_add_pd"])
+        assert kinds == () and not glob
+
+    def test_sincos_pointer_conservative(self, by_name):
+        kinds, _ = infer_mutability(by_name["_mm256_sincos_ps"])
+        assert kinds == ("rw",)
+
+
+class TestGeneratedSource:
+    def test_contains_four_building_blocks(self, by_name):
+        src = generate_intrinsic_source(by_name["_mm256_add_pd"])
+        assert "class MM256_ADD_PD(IntrinsicsDef):" in src   # definition
+        assert "def _mm256_add_pd(a, b):" in src             # SSA ctor
+        assert "reflect_intrinsic(MM256_ADD_PD, a, b)" in src
+        assert "intrinsic_name = '_mm256_add_pd'" in src
+        assert "category = ('Arithmetic',)" in src
+        assert "header = 'immintrin.h'" in src
+
+    def test_memory_offsets_appended(self, by_name):
+        src = generate_intrinsic_source(by_name["_mm256_storeu_ps"])
+        assert "def _mm256_storeu_ps(mem_addr, a, mem_addr_offset):" in src
+
+    def test_description_becomes_docstring(self, by_name):
+        src = generate_intrinsic_source(by_name["_mm256_add_pd"])
+        assert "Add packed double-precision" in src
+
+    def test_source_is_valid_python(self, by_name):
+        src = generate_intrinsic_source(by_name["_mm_cmpestrm"])
+        compile(src, "<gen>", "exec")  # must not raise
+
+
+class TestSplitting:
+    """The 64KB-method-limit analog: large ISAs split into parts."""
+
+    def test_small_isa_single_module(self):
+        specs = [e for e in all_entries() if "SSE3" in e.cpuids]
+        mods = generate_isa_source("SSE3", specs)
+        assert len(mods) == 1
+        assert mods[0].name.endswith("sse3")
+
+    def test_avx512_splits(self):
+        specs = [e for e in all_entries()
+                 if any(c.startswith("AVX512") for c in e.cpuids)]
+        assert len(specs) > PART_SIZE
+        mods = generate_isa_source("AVX-512", specs)
+        assert len(mods) == -(-len(specs) // PART_SIZE)
+        assert all("part" in m.name for m in mods)
+
+    def test_all_parts_compile(self):
+        specs = [e for e in all_entries()
+                 if any(c.startswith("AVX512") for c in e.cpuids)]
+        for gm in generate_isa_source("AVX-512", specs)[:2]:
+            compile(gm.source, gm.name, "exec")
+
+
+class TestFullPipeline:
+    """Figure 1 end-to-end: XML -> parse -> generate -> import -> use."""
+
+    def test_xml_pipeline_equals_direct(self):
+        direct = [e for e in all_entries() if "SSE3" in e.cpuids]
+        xml = emit_spec_xml(direct, "3.3.16")
+        parsed = parse_spec_xml(xml)
+        gen_direct = generate_isa_source("SSE3", direct)[0].source
+        gen_parsed = generate_isa_source("SSE3", parsed)[0].source
+        assert gen_direct == gen_parsed
+
+    def test_generation_robust_across_versions(self):
+        """Table 3: the generator handles every historical version."""
+        from repro.spec import SPEC_VERSIONS
+
+        for version in sorted(SPEC_VERSIONS):
+            entries = all_entries(version)
+            xml = emit_spec_xml(entries[:300], version)
+            parsed = parse_spec_xml(xml)
+            per_isa = generate_edsl_modules(parsed, version)
+            assert per_isa, version
+            for mods in per_isa.values():
+                for gm in mods:
+                    compile(gm.source, gm.name, "exec")

@@ -1,0 +1,174 @@
+"""MiniVM front half: Java typing rules, bytecode, interpretation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.jvm import (
+    ArrayLoad, ArrayStore, Assign, Bin, Block, ConstExpr, Conv, For, If,
+    KernelMethod, Local, MiniVM, Param, Return,
+)
+from repro.jvm.ast import JavaTypeError, check_method
+from repro.jvm.bytecode import compile_method
+from repro.jvm.interpreter import Interpreter, JavaArithmeticError
+from repro.jvm.jtypes import (
+    JBYTE, JDOUBLE, JFLOAT, JINT, JLONG, JSHORT, promote_pair,
+)
+
+L, C, B, A = Local, ConstExpr, Bin, ArrayLoad
+
+
+def expr_method(expr, params):
+    return KernelMethod(name="m", params=params,
+                        body=Block([Return(expr)]))
+
+
+def run_expr(expr, params, args):
+    cm = compile_method(expr_method(expr, params))
+    return Interpreter().run(cm, args)
+
+
+class TestTypeRules:
+    def test_byte_arithmetic_promotes_to_int(self):
+        m = expr_method(B("*", L("a"), L("b")),
+                        [Param("a", JBYTE), Param("b", JBYTE)])
+        check_method(m)
+        assert m.return_type == JINT
+
+    def test_promote_pair_table(self):
+        assert promote_pair(JBYTE, JSHORT) == JINT
+        assert promote_pair(JINT, JLONG) == JLONG
+        assert promote_pair(JLONG, JFLOAT) == JFLOAT
+        assert promote_pair(JFLOAT, JDOUBLE) == JDOUBLE
+
+    def test_lossy_assignment_rejected(self):
+        m = KernelMethod("m", [Param("a", JBYTE)], Block([
+            Assign("x", C(0, JBYTE)),
+            Assign("x", B("+", L("x"), L("a"))),  # int into byte local
+        ]))
+        with pytest.raises(JavaTypeError, match="lossy"):
+            check_method(m)
+
+    def test_lossy_store_rejected(self):
+        m = KernelMethod("m", [Param("a", JBYTE, True)], Block([
+            ArrayStore("a", C(0, JINT), C(1000, JINT)),
+        ]))
+        with pytest.raises(JavaTypeError, match="lossy"):
+            check_method(m)
+
+    def test_explicit_cast_accepted(self):
+        m = KernelMethod("m", [Param("a", JBYTE, True)], Block([
+            ArrayStore("a", C(0, JINT), Conv(C(1000, JINT), JBYTE)),
+        ]))
+        check_method(m)  # no raise
+
+    def test_float_shift_rejected(self):
+        with pytest.raises(JavaTypeError):
+            check_method(expr_method(
+                B("<<", L("a"), C(1, JINT)), [Param("a", JFLOAT)]))
+
+    def test_unknown_local(self):
+        with pytest.raises(JavaTypeError, match="unknown local"):
+            check_method(expr_method(L("ghost"), []))
+
+    def test_boolean_condition_required(self):
+        m = KernelMethod("m", [Param("a", JINT)], Block([
+            If(L("a"), Block([Return(L("a"))])),
+        ]))
+        with pytest.raises(JavaTypeError, match="boolean"):
+            check_method(m)
+
+
+class TestInterpreterSemantics:
+    @given(st.integers(-(2**31), 2**31 - 1), st.integers(-(2**31), 2**31 - 1))
+    @settings(max_examples=40)
+    def test_int_add_wraps(self, x, y):
+        got = run_expr(B("+", L("a"), L("b")),
+                       [Param("a", JINT), Param("b", JINT)], [x, y])
+        expected = (x + y + 2**31) % 2**32 - 2**31
+        assert int(got) == expected
+
+    def test_java_division_truncates(self):
+        got = run_expr(B("/", L("a"), L("b")),
+                       [Param("a", JINT), Param("b", JINT)], [-7, 2])
+        assert int(got) == -3
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(JavaArithmeticError):
+            run_expr(B("/", L("a"), L("b")),
+                     [Param("a", JINT), Param("b", JINT)], [1, 0])
+
+    def test_ushr(self):
+        got = run_expr(B(">>>", L("a"), C(1, JINT)),
+                       [Param("a", JINT)], [-2])
+        assert int(got) == 0x7FFFFFFF
+
+    def test_byte_times_byte_no_overflow(self):
+        got = run_expr(B("*", L("a"), L("b")),
+                       [Param("a", JBYTE), Param("b", JBYTE)], [100, 100])
+        assert int(got) == 10000
+
+    def test_shift_masking(self):
+        # Java masks shift counts: x << 33 == x << 1 for int.
+        got = run_expr(B("<<", L("a"), C(33, JINT)),
+                       [Param("a", JINT)], [1])
+        assert int(got) == 2
+
+    def test_narrowing_cast(self):
+        got = run_expr(Conv(L("a"), JBYTE), [Param("a", JINT)], [300])
+        assert int(got) == 44
+
+    def test_loop_and_arrays(self):
+        m = KernelMethod("fill", [Param("a", JINT, True),
+                                  Param("n", JINT)], Block([
+            For("i", C(0, JINT), L("n"), C(1, JINT), Block([
+                ArrayStore("a", L("i"), B("*", L("i"), L("i"))),
+            ])),
+        ]))
+        cm = compile_method(m)
+        arr = np.zeros(6, dtype=np.int32)
+        Interpreter().run(cm, [arr, 6])
+        assert arr.tolist() == [0, 1, 4, 9, 16, 25]
+
+
+class TestProfiling:
+    def test_invocation_and_backedge_counters(self):
+        m = KernelMethod("loopy", [Param("n", JINT)], Block([
+            Assign("s", C(0, JINT)),
+            For("i", C(0, JINT), L("n"), C(1, JINT), Block([
+                Assign("s", B("+", L("s"), L("i"))),
+            ])),
+            Return(L("s")),
+        ]))
+        cm = compile_method(m)
+        interp = Interpreter()
+        for _ in range(3):
+            interp.run(cm, [10])
+        assert cm.invocations == 3
+        assert cm.backedges == 30
+
+    def test_tier_progression(self):
+        m = KernelMethod("hot", [Param("n", JINT)],
+                         Block([Return(L("n"))]))
+        vm = MiniVM(compile_threshold=20)
+        vm.load(m)
+        from repro.jvm import TieredState
+        assert vm.tier_of("hot") == TieredState.INTERPRETED
+        vm.warm_up("hot", 1, runs=2)
+        assert vm.tier_of("hot") == TieredState.C1
+        vm.warm_up("hot", 1, runs=30)
+        assert vm.tier_of("hot") == TieredState.C2
+
+    def test_duplicate_load_rejected(self):
+        m = KernelMethod("dup", [], Block([Return(C(1, JINT))]))
+        vm = MiniVM()
+        vm.load(m)
+        with pytest.raises(ValueError):
+            vm.load(m)
+
+    def test_machine_kernel_requires_tier(self):
+        m = KernelMethod("cold", [], Block([Return(C(1, JINT))]))
+        vm = MiniVM()
+        vm.load(m)
+        with pytest.raises(RuntimeError, match="interpreted"):
+            vm.machine_kernel("cold")

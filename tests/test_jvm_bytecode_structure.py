@@ -1,0 +1,128 @@
+"""Bytecode compiler output: instruction structure, slots, branches."""
+
+import numpy as np
+import pytest
+
+from repro.jvm import (
+    ArrayLoad, ArrayStore, Assign, Bin, Block, ConstExpr, For, If,
+    KernelMethod, Local, Param, Return,
+)
+from repro.jvm.bytecode import compile_method
+from repro.jvm.interpreter import Interpreter
+from repro.jvm.jtypes import JFLOAT, JINT
+
+L, C, B, A = Local, ConstExpr, Bin, ArrayLoad
+
+
+class TestSlotAllocation:
+    def test_params_get_distinct_slots(self):
+        m = KernelMethod("m", [Param("a", JINT), Param("b", JINT),
+                               Param("arr", JFLOAT, True)],
+                         Block([Return(B("+", L("a"), L("b")))]))
+        cm = compile_method(m)
+        slots = set(cm.slot_of.values()) | set(cm.array_slots.values())
+        assert len(slots) == 3
+
+    def test_locals_allocated_on_first_assign(self):
+        m = KernelMethod("m", [Param("a", JINT)], Block([
+            Assign("x", B("*", L("a"), L("a"))),
+            Assign("y", B("+", L("x"), C(1, JINT))),
+            Return(L("y")),
+        ]))
+        cm = compile_method(m)
+        assert "x" in cm.slot_of and "y" in cm.slot_of
+        assert cm.slot_of["x"] != cm.slot_of["y"]
+
+
+class TestLoopStructure:
+    def test_for_emits_one_backedge(self):
+        m = KernelMethod("m", [Param("n", JINT)], Block([
+            Assign("s", C(0, JINT)),
+            For("i", C(0, JINT), L("n"), C(1, JINT), Block([
+                Assign("s", B("+", L("s"), L("i"))),
+            ])),
+            Return(L("s")),
+        ]))
+        cm = compile_method(m)
+        backward = [i for i, ins in enumerate(cm.code)
+                    if ins.op == "jmp" and ins.a <= i]
+        assert len(backward) == 1
+        exits = [ins for ins in cm.code if ins.op == "jmpifnot"]
+        assert len(exits) == 1
+        assert exits[0].a is not None  # patched
+
+    def test_nested_loops(self):
+        inner = For("j", C(0, JINT), L("n"), C(1, JINT), Block([
+            Assign("s", B("+", L("s"), C(1, JINT))),
+        ]))
+        m = KernelMethod("m", [Param("n", JINT)], Block([
+            Assign("s", C(0, JINT)),
+            For("i", C(0, JINT), L("n"), C(1, JINT), Block([inner])),
+            Return(L("s")),
+        ]))
+        cm = compile_method(m)
+        assert int(Interpreter().run(cm, [5])) == 25
+        backward = [i for i, ins in enumerate(cm.code)
+                    if ins.op == "jmp" and ins.a <= i]
+        assert len(backward) == 2
+
+
+class TestBranchStructure:
+    def test_if_without_else(self):
+        m = KernelMethod("m", [Param("a", JINT)], Block([
+            Assign("r", C(0, JINT)),
+            If(B(">", L("a"), C(0, JINT)), Block([
+                Assign("r", C(1, JINT)),
+            ])),
+            Return(L("r")),
+        ]))
+        cm = compile_method(m)
+        interp = Interpreter()
+        assert int(interp.run(cm, [5])) == 1
+        assert int(interp.run(cm, [-5])) == 0
+        # One conditional branch, no unconditional jump needed.
+        assert sum(1 for i in cm.code if i.op == "jmpifnot") == 1
+
+    def test_if_with_else(self):
+        m = KernelMethod("m", [Param("a", JINT)], Block([
+            If(B(">", L("a"), C(0, JINT)),
+               Block([Return(C(1, JINT))]),
+               Block([Return(C(-1, JINT))])),
+        ]))
+        cm = compile_method(m)
+        interp = Interpreter()
+        assert int(interp.run(cm, [5])) == 1
+        assert int(interp.run(cm, [-5])) == -1
+
+    def test_fallthrough_returns_none(self):
+        m = KernelMethod("m", [Param("a", JFLOAT, True)], Block([
+            ArrayStore("a", C(0, JINT), C(1.0, JFLOAT)),
+        ]))
+        cm = compile_method(m)
+        assert cm.code[-1].op == "ret"
+        arr = np.zeros(1, dtype=np.float32)
+        assert Interpreter().run(cm, [arr]) is None
+        assert arr[0] == 1.0
+
+
+class TestInstructionMix:
+    def test_array_ops_use_slots(self):
+        m = KernelMethod("m", [Param("a", JFLOAT, True),
+                               Param("b", JFLOAT, True)], Block([
+            ArrayStore("b", C(0, JINT), A("a", C(0, JINT))),
+        ]))
+        cm = compile_method(m)
+        aloads = [i for i in cm.code if i.op == "aload"]
+        astores = [i for i in cm.code if i.op == "astore"]
+        assert len(aloads) == 1 and len(astores) == 1
+        assert aloads[0].a == cm.array_slots["a"]
+        assert astores[0].a == cm.array_slots["b"]
+
+    def test_expression_is_postorder(self):
+        m = KernelMethod("m", [Param("a", JINT), Param("b", JINT)],
+                         Block([Return(B("*", B("+", L("a"), L("b")),
+                                         C(2, JINT)))]))
+        cm = compile_method(m)
+        ops = [i.op for i in cm.code]
+        # loads then add then push 2 then mul then return.
+        assert ops == ["load", "load", "bin", "push", "bin", "retval"]

@@ -1,0 +1,163 @@
+"""The tiered JIT: C1, C2, unrolling and the SLP autovectorizer."""
+
+import pytest
+
+from repro.jvm import (
+    ArrayLoad, ArrayStore, Assign, Bin, Block, ConstExpr, Conv, For,
+    KernelMethod, Local, Param, Return,
+)
+from repro.jvm.jit import compile_c1, compile_c2
+from repro.jvm.jit.lower import analyze_affine
+from repro.jvm.jit.slp import VECTOR_BITS, attempt_slp
+from repro.jvm.jtypes import JBYTE, JFLOAT, JINT
+from repro.kernels import java_saxpy_method
+from repro.quant import java_dot_method
+from repro.timing.kernelmodel import MachineLoop, MachineOp
+
+L, C, B, A = Local, ConstExpr, Bin, ArrayLoad
+
+
+def _loops(kernel):
+    out = []
+
+    def walk(items):
+        for item in items:
+            if isinstance(item, MachineLoop):
+                out.append(item)
+                walk(item.body)
+
+    walk(kernel.body)
+    return out
+
+
+class TestAffine:
+    def test_linear(self):
+        aff = analyze_affine(B("+", B("*", L("i"), C(4, JINT)), C(2, JINT)),
+                             {"i"})
+        assert aff.coeff("i") == 4 and aff.const == 2
+
+    def test_symbolic_scale(self):
+        # i * n: the coefficient is unknown (symbolic) -> None.
+        aff = analyze_affine(B("*", L("i"), L("n")), {"i"})
+        assert aff.coeff("i") is None
+
+    def test_invariant_only(self):
+        aff = analyze_affine(B("+", L("base"), C(3, JINT)), {"i"})
+        assert aff.coeff("i") == 0
+
+    def test_shift_scale(self):
+        aff = analyze_affine(B("<<", L("i"), C(3, JINT)), {"i"})
+        assert aff.coeff("i") == 8
+
+
+class TestTiers:
+    def test_c1_scalar_and_inefficient(self):
+        k = compile_c1(java_saxpy_method())
+        assert k.tier == "c1"
+        assert k.inefficiency > 1.5
+        ops = [op for loop in _loops(k) for op in loop.body
+               if isinstance(op, MachineOp)]
+        assert all(op.lanes == 1 for op in ops)
+
+    def test_c2_vectorizes_saxpy(self):
+        k = compile_c2(java_saxpy_method())
+        assert k.tier == "c2"
+        assert ("i", "vectorized") in k.slp_log
+        main = _loops(k)[0]
+        vec_ops = [op for op in main.body if op.lanes > 1]
+        assert vec_ops, "main loop must hold SSE packs"
+        # HotSpot emits SSE-width packs: 4 float lanes.
+        assert all(op.lanes * op.bits == VECTOR_BITS for op in vec_ops)
+
+    def test_c2_emits_scalar_tail(self):
+        k = compile_c2(java_saxpy_method())
+        loops = _loops(k)
+        assert len(loops) == 2
+        assert loops[1].var.endswith("$tail")
+
+
+class TestSlpLimits:
+    """The paper-documented HotSpot limits, by construction."""
+
+    def test_reduction_rejected(self):
+        k = compile_c2(java_dot_method(32))
+        assert any("reduction" in reason for _, reason in k.slp_log)
+        ops = [op for loop in _loops(k) for op in loop.body
+               if isinstance(op, MachineOp)]
+        assert all(op.lanes == 1 for op in ops)
+
+    def test_strided_access_rejected(self):
+        # a[i*2] has stride 2: memory packs need adjacency.
+        m = KernelMethod("strided", [Param("a", JFLOAT, True),
+                                     Param("n", JINT)], Block([
+            For("i", C(0, JINT), L("n"), C(1, JINT), Block([
+                ArrayStore("a", B("*", L("i"), C(2, JINT)),
+                           C(1.0, JFLOAT)),
+            ])),
+        ]))
+        k = compile_c2(m)
+        assert any("stride" in reason for _, reason in k.slp_log)
+
+    def test_conversion_rejected(self):
+        # byte -> int promotion traffic defeats pack formation.
+        m = KernelMethod("conv", [Param("a", JBYTE, True),
+                                  Param("b", JBYTE, True),
+                                  Param("n", JINT)], Block([
+            For("i", C(0, JINT), L("n"), C(1, JINT), Block([
+                ArrayStore("a", L("i"), Conv(
+                    B("+", A("a", L("i")), A("b", L("i"))), JBYTE)),
+            ])),
+        ]))
+        k = compile_c2(m)
+        # The byte loads fail tiling before the conversion is reached;
+        # either way the loop must stay scalar.
+        assert all("scalar" in outcome for _, outcome in k.slp_log)
+
+    def test_conversion_rejected_directly(self):
+        body = []
+        for u in range(8):
+            body += [
+                MachineOp("load", bits=32, stream="a", stride_elems=1,
+                          offset_elems=u),
+                MachineOp("cvt", bits=32),
+                MachineOp("store", bits=32, stream="b", stride_elems=1,
+                          offset_elems=u),
+            ]
+        res = attempt_slp(body, 8)
+        assert not res.success and "conversion" in res.reason
+
+    def test_slp_disable_flag(self):
+        k = compile_c2(java_saxpy_method(), enable_slp=False)
+        assert any("disabled" in reason for _, reason in k.slp_log)
+        ops = [op for loop in _loops(k) for op in loop.body
+               if isinstance(op, MachineOp)]
+        assert all(op.lanes == 1 for op in ops)
+
+    def test_direct_slp_on_synthetic_packs(self):
+        body = []
+        for u in range(8):
+            body += [
+                MachineOp("load", bits=32, stream="a", stride_elems=1,
+                          offset_elems=u),
+                MachineOp("add", bits=32),
+                MachineOp("store", bits=32, stream="a", stride_elems=1,
+                          offset_elems=u),
+            ]
+        res = attempt_slp(body, 8)
+        assert res.success
+        assert all(op.lanes == 4 for op in res.vector_ops)
+        assert len(res.vector_ops) == 6  # 3 groups x (8/4)
+
+    def test_non_adjacent_offsets_rejected(self):
+        body = []
+        for u in range(8):
+            body.append(MachineOp("load", bits=32, stream="a",
+                                  stride_elems=1, offset_elems=u * 2))
+        res = attempt_slp(body, 8)
+        assert not res.success and "adjacent" in res.reason
+
+    def test_dep_chain_rejected_directly(self):
+        body = [MachineOp("add", bits=32, on_dep_chain=True)
+                for _ in range(8)]
+        res = attempt_slp(body, 8)
+        assert not res.success and "reduction" in res.reason

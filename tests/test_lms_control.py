@@ -1,0 +1,161 @@
+"""Staged control flow and scheduling (DCE)."""
+
+import numpy as np
+import pytest
+
+from repro.lms import (
+    const,
+    forloop,
+    if_then_else,
+    stage_function,
+    while_loop,
+)
+from repro.lms.defs import ForLoop, IfThenElse, WhileLoop
+from repro.lms.ops import Variable, array_apply, array_update
+from repro.lms.schedule import count_statements, schedule_block
+from repro.lms.types import BOOL, FLOAT, INT32, array_of
+from repro.simd.machine import SimdMachine
+
+
+def run(sf, args):
+    return SimdMachine().run(sf, args)
+
+
+class TestForloop:
+    def test_builds_loop_node(self):
+        def fn(a, n):
+            forloop(0, n, step=1, body=lambda i: array_update(a, i, 0.0))
+
+        sf = stage_function(fn, [array_of(FLOAT), INT32])
+        loops = [s for s in sf.body.stms if isinstance(s.rhs, ForLoop)]
+        assert len(loops) == 1
+        assert loops[0].rhs.index in loops[0].rhs.body.bound or \
+            loops[0].rhs.index is not None
+
+    def test_executes_with_stride(self):
+        def fn(a, n):
+            forloop(0, n, step=2, body=lambda i: array_update(a, i, 1.0))
+
+        sf = stage_function(fn, [array_of(FLOAT), INT32])
+        a = np.zeros(8, dtype=np.float32)
+        run(sf, [a, 8])
+        assert a.tolist() == [1, 0, 1, 0, 1, 0, 1, 0]
+
+    def test_empty_range(self):
+        def fn(a, n):
+            forloop(4, n, step=1, body=lambda i: array_update(a, i, 1.0))
+
+        sf = stage_function(fn, [array_of(FLOAT), INT32])
+        a = np.zeros(4, dtype=np.float32)
+        run(sf, [a, 2])  # 4 >= 2: zero iterations
+        assert not a.any()
+
+    def test_requires_body(self):
+        with pytest.raises(TypeError):
+            stage_function(lambda n: forloop(0, n), [INT32])
+
+
+class TestIfThenElse:
+    def test_returns_merged_value(self):
+        def fn(a, b):
+            return if_then_else(a < b, lambda: a, lambda: b)
+
+        sf = stage_function(fn, [INT32, INT32])
+        assert int(run(sf, [3, 7])) == 3
+        assert int(run(sf, [9, 7])) == 7
+
+    def test_branch_type_mismatch(self):
+        def fn(a, b):
+            return if_then_else(a < b, lambda: a, lambda: const(1.0, FLOAT))
+
+        with pytest.raises(TypeError):
+            stage_function(fn, [INT32, INT32])
+
+    def test_condition_must_be_boolean(self):
+        def fn(a):
+            return if_then_else(a, lambda: a, lambda: a)
+
+        with pytest.raises(TypeError):
+            stage_function(fn, [INT32])
+
+    def test_effects_in_branches(self):
+        def fn(a, flag):
+            if_then_else(flag == 1,
+                         lambda: array_update(a, 0, 1.0),
+                         lambda: array_update(a, 0, 2.0))
+
+        sf = stage_function(fn, [array_of(FLOAT), INT32])
+        a = np.zeros(1, dtype=np.float32)
+        run(sf, [a, 1])
+        assert a[0] == 1.0
+        run(sf, [a, 0])
+        assert a[0] == 2.0
+
+
+class TestWhileLoop:
+    def test_countdown(self):
+        def fn(n):
+            v = Variable(n)
+            count = Variable(const(0, INT32))
+            while_loop(lambda: v.get() > 0,
+                       lambda: (v.set(v.get() - 1),
+                                count.set(count.get() + 1)))
+            return count.get()
+
+        sf = stage_function(fn, [INT32])
+        assert int(run(sf, [5])) == 5
+
+    def test_zero_iterations(self):
+        def fn(n):
+            v = Variable(n)
+            while_loop(lambda: v.get() > 100, lambda: v.set(v.get() + 1))
+            return v.get()
+
+        sf = stage_function(fn, [INT32])
+        assert int(run(sf, [7])) == 7
+
+
+class TestScheduling:
+    def test_dead_pure_code_eliminated(self):
+        def fn(a, b):
+            dead = a * b + a  # never used
+            return a + b
+
+        sf = stage_function(fn, [INT32, INT32])
+        before = count_statements(sf.body)
+        after = count_statements(schedule_block(sf.body))
+        assert after < before
+        assert after == 1
+
+    def test_effectful_code_survives(self):
+        def fn(a):
+            array_update(a, 0, 1.0)  # result unused but observable
+
+        sf = stage_function(fn, [array_of(FLOAT)])
+        assert count_statements(schedule_block(sf.body)) == 1
+
+    def test_loop_body_scheduled_recursively(self):
+        def fn(a, n):
+            def body(i):
+                dead = i * 42
+                array_update(a, i, 0.0)
+
+            forloop(0, n, step=1, body=body)
+
+        sf = stage_function(fn, [array_of(FLOAT), INT32])
+        body = schedule_block(sf.body)
+        loop = next(s.rhs for s in body.stms if isinstance(s.rhs, ForLoop))
+        kinds = [type(s.rhs).__name__ for s in loop.body.stms]
+        assert "BinaryOp" not in kinds
+
+    def test_values_needed_by_loop_kept(self):
+        def fn(a, n):
+            bound = (n >> 3) << 3
+            forloop(0, bound, step=1,
+                    body=lambda i: array_update(a, i, 0.0))
+
+        sf = stage_function(fn, [array_of(FLOAT), INT32])
+        body = schedule_block(sf.body)
+        from repro.lms.defs import BinaryOp
+        bins = [s for s in body.stms if isinstance(s.rhs, BinaryOp)]
+        assert len(bins) == 2  # the shift pair computing the bound

@@ -1,0 +1,142 @@
+"""The effect system: serialization of reads/writes, blocks, variables."""
+
+import pytest
+
+from repro.lms import stage_function
+from repro.lms.defs import ArrayApply, ArrayUpdate, ForLoop
+from repro.lms.effects import EffectContext, Effects, read, write
+from repro.lms.ops import Variable, array_apply, array_update
+from repro.lms.schedule import schedule_block
+from repro.lms.types import FLOAT, INT32, array_of
+from repro.lms import forloop, const
+
+
+class TestEffectSummaries:
+    def test_pure(self):
+        assert Effects().pure
+        assert not read(1).pure
+        assert not write(1).pure
+
+    def test_merge(self):
+        m = read(1).merge(write(2))
+        assert m.reads == {1} and m.writes == {2}
+
+    def test_local_containers_filtered(self):
+        eff = Effects(reads=frozenset({1, 2}), writes=frozenset({2}))
+        out = eff.without_containers(frozenset({2}))
+        assert out.reads == {1} and not out.writes
+
+
+class TestEffectContext:
+    def test_read_depends_on_last_write(self):
+        ctx = EffectContext()
+        ctx.record(10, write(1))
+        deps = ctx.dependencies_for(read(1))
+        assert deps == {10}
+
+    def test_write_depends_on_reads_since(self):
+        ctx = EffectContext()
+        ctx.record(10, write(1))
+        ctx.record(11, read(1))
+        ctx.record(12, read(1))
+        deps = ctx.dependencies_for(write(1))
+        assert deps == {10, 11, 12}
+
+    def test_independent_containers_dont_interfere(self):
+        ctx = EffectContext()
+        ctx.record(10, write(1))
+        assert ctx.dependencies_for(read(2)) == set()
+
+    def test_global_barrier(self):
+        ctx = EffectContext()
+        ctx.record(10, write(1))
+        ctx.record(11, Effects(is_global=True))
+        assert 11 in ctx.dependencies_for(read(1))
+        assert 11 in ctx.dependencies_for(read(2))
+
+
+class TestStagedEffects:
+    def test_store_then_load_ordered(self):
+        def fn(a):
+            array_update(a, 0, 1.0)
+            return array_apply(a, 0)
+
+        sf = stage_function(fn, [array_of(FLOAT)])
+        body = schedule_block(sf.body)
+        kinds = [type(s.rhs).__name__ for s in body.stms]
+        assert kinds.index("ArrayUpdate") < kinds.index("ArrayApply")
+        load = next(s for s in body.stms if isinstance(s.rhs, ArrayApply))
+        store = next(s for s in body.stms if isinstance(s.rhs, ArrayUpdate))
+        assert store.sym.id in load.effects.deps
+
+    def test_loads_not_cse_across_store(self):
+        def fn(a):
+            x = array_apply(a, 0)
+            array_update(a, 0, x + 1.0)
+            y = array_apply(a, 0)
+            return y
+
+        sf = stage_function(fn, [array_of(FLOAT)])
+        loads = [s for s in schedule_block(sf.body).stms
+                 if isinstance(s.rhs, ArrayApply)]
+        assert len(loads) == 2
+
+    def test_function_effect_summary(self):
+        def fn(a, b):
+            array_update(a, 0, array_apply(b, 0))
+
+        sf = stage_function(fn, [array_of(FLOAT), array_of(FLOAT)])
+        a_sym, b_sym = sf.params
+        assert a_sym.id in sf.effects.writes
+        assert b_sym.id in sf.effects.reads
+        assert sf.mutated_params() == [a_sym]
+
+    def test_loop_carries_body_effects(self):
+        def fn(a, n):
+            forloop(0, n, step=1,
+                    body=lambda i: array_update(a, i, 0.0))
+
+        sf = stage_function(fn, [array_of(FLOAT), INT32])
+        loop = next(s for s in sf.body.stms if isinstance(s.rhs, ForLoop))
+        assert sf.params[0].id in loop.effects.writes
+
+
+class TestVariables:
+    def test_variable_roundtrip(self):
+        def fn(a):
+            v = Variable(const(0.0, FLOAT))
+            v.set(a)
+            return v.get()
+
+        sf = stage_function(fn, [FLOAT])
+        assert sf.result_type is FLOAT
+
+    def test_variable_is_block_local(self):
+        """Inner variables must not leak into the function summary."""
+
+        def fn(a, n):
+            v = Variable(const(0.0, FLOAT))
+
+            def body(i):
+                v.set(v.get() + array_apply(a, i))
+
+            forloop(0, n, step=1, body=body)
+            return v.get()
+
+        sf = stage_function(fn, [array_of(FLOAT), INT32])
+        # Only the array read shows in the function-level effects.
+        assert sf.effects.reads == {sf.params[0].id}
+        assert not sf.effects.writes
+
+    def test_accumulation_ordering(self):
+        """Sets and gets of one variable serialize in program order."""
+
+        def fn():
+            v = Variable(const(1, INT32))
+            v.set(v.get() + 1)
+            v.set(v.get() * 2)
+            return v.get()
+
+        sf = stage_function(fn, [])
+        from repro.simd.machine import SimdMachine
+        assert int(SimdMachine().run(sf, [])) == 4

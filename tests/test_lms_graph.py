@@ -1,0 +1,150 @@
+"""Graph construction: SSA, CSE, constant folding, staging scopes."""
+
+import pytest
+
+from repro.lms import (
+    Const,
+    Sym,
+    const,
+    current_builder,
+    stage_function,
+    staging_scope,
+)
+from repro.lms.defs import BinaryOp
+from repro.lms.expr import lift
+from repro.lms.graph import StagingError
+from repro.lms.ops import binary, convert, fresh, select
+from repro.lms.types import BOOL, DOUBLE, FLOAT, INT32, INT64, INT8
+
+
+class TestConstLifting:
+    def test_int_default(self):
+        c = const(42)
+        assert c.tp is INT32 and c.value == 42
+
+    def test_large_int_is_long(self):
+        assert const(2**40).tp is INT64
+
+    def test_float_default_double(self):
+        assert const(1.5).tp is DOUBLE
+
+    def test_bool(self):
+        assert const(True).tp is BOOL
+
+    def test_explicit_type(self):
+        assert const(1, INT8).tp is INT8
+
+    def test_unliftable(self):
+        with pytest.raises(TypeError):
+            const("hello")
+
+    def test_lift_matches_float_context(self):
+        with staging_scope():
+            x = current_builder().fresh(FLOAT)
+            lifted = lift(2, like=x)
+            assert lifted.tp is FLOAT
+            assert lifted.value == 2.0
+
+
+class TestScopes:
+    def test_no_scope_error(self):
+        with pytest.raises(StagingError):
+            current_builder()
+
+    def test_nested_scopes_are_independent(self):
+        with staging_scope() as outer:
+            a = outer.fresh(INT32)
+            with staging_scope() as inner:
+                assert current_builder() is inner
+            assert current_builder() is outer
+
+    def test_operations_need_scope(self):
+        with staging_scope():
+            x = fresh(INT32)
+        with pytest.raises(StagingError):
+            _ = x + 1
+
+
+class TestCSE:
+    def test_pure_ops_are_shared(self):
+        def fn(a, b):
+            return (a + b) * (a + b)
+
+        sf = stage_function(fn, [INT32, INT32])
+        adds = [s for s in sf.body.stms
+                if isinstance(s.rhs, BinaryOp) and s.rhs.op == "+"]
+        assert len(adds) == 1
+
+    def test_different_ops_not_shared(self):
+        def fn(a, b):
+            return (a + b) + (a - b)
+
+        sf = stage_function(fn, [INT32, INT32])
+        bins = [s for s in sf.body.stms if isinstance(s.rhs, BinaryOp)]
+        assert len(bins) == 3
+
+
+class TestConstantFolding:
+    def test_fold_add(self):
+        with staging_scope():
+            r = binary("+", const(2), const(3))
+            assert isinstance(r, Const) and r.value == 5
+
+    def test_fold_shift(self):
+        with staging_scope():
+            r = binary("<<", binary(">>", const(20), const(3)), const(3))
+            assert isinstance(r, Const) and r.value == 16
+
+    def test_fold_comparison(self):
+        with staging_scope():
+            r = binary("<", const(1), const(2))
+            assert isinstance(r, Const) and r.value is True
+
+    def test_division_by_zero_not_folded(self):
+        with staging_scope():
+            r = binary("/", const(1), const(0))
+            assert isinstance(r, Sym)
+
+
+class TestTypePromotion:
+    def test_int_float_promotes(self):
+        def fn(a, b):
+            return a + b
+
+        sf = stage_function(fn, [INT32, FLOAT])
+        assert sf.result_type is FLOAT
+
+    def test_widths_promote(self):
+        def fn(a, b):
+            return a + b
+
+        sf = stage_function(fn, [INT8, INT32])
+        assert sf.result_type is INT32
+
+    def test_comparison_is_boolean(self):
+        def fn(a, b):
+            return a < b
+
+        sf = stage_function(fn, [INT32, INT32])
+        assert sf.result_type is BOOL
+
+    def test_bitwise_on_float_rejected(self):
+        def fn(a, b):
+            return a & b
+
+        with pytest.raises(TypeError):
+            stage_function(fn, [FLOAT, FLOAT])
+
+    def test_convert(self):
+        def fn(a):
+            return convert(a, FLOAT)
+
+        sf = stage_function(fn, [INT32])
+        assert sf.result_type is FLOAT
+
+    def test_select_types(self):
+        def fn(a, b):
+            return select(a < b, a, b)
+
+        sf = stage_function(fn, [INT32, INT32])
+        assert sf.result_type is INT32

@@ -1,0 +1,96 @@
+"""Transformers and mirroring (the third generated building block)."""
+
+import numpy as np
+
+from repro.lms import const, forloop, stage_function
+from repro.lms.defs import ForLoop
+from repro.lms.ops import array_apply, array_update
+from repro.lms.schedule import count_statements, schedule_block
+from repro.lms.transform import mirror_block
+from repro.lms.types import FLOAT, INT32, array_of
+from repro.simd.machine import SimdMachine
+
+
+def _stage_scale(factor_exp=None):
+    def fn(a, n):
+        def body(i):
+            array_update(a, i, array_apply(a, i) * 2.0)
+
+        forloop(0, n, step=1, body=body)
+
+    return stage_function(fn, [array_of(FLOAT), INT32])
+
+
+class TestMirrorBlock:
+    def test_identity_mirror_preserves_semantics(self):
+        sf = _stage_scale()
+        new_builder_block, builder = mirror_block(sf.body)
+        # Rebind to fresh params of the same types via substitution.
+        assert count_statements(new_builder_block) >= \
+            count_statements(schedule_block(sf.body))
+
+    def test_mirror_with_substitution_executes(self):
+        sf = _stage_scale()
+        # Mirror the body substituting the original params with fresh
+        # syms, then wrap into a new StagedFunction and run it.
+        from repro.lms.graph import IRBuilder, staging_scope, \
+            finish_root_block
+        from repro.lms.staging import StagedFunction
+        from repro.lms.transform import Transformer
+
+        builder = IRBuilder()
+        with staging_scope(builder):
+            new_params = [builder.fresh(p.tp) for p in sf.params]
+            t = Transformer({old.id: new for old, new in
+                             zip(sf.params, new_params)})
+            t.transform_statements(sf.body)
+            body, effects = finish_root_block(builder, None)
+        mirrored = StagedFunction(
+            name="mirrored", params=new_params,
+            param_names=list(sf.param_names), body=body,
+            effects=effects, builder=builder)
+
+        a = np.arange(4, dtype=np.float32)
+        SimdMachine().run(mirrored, [a, 4])
+        assert a.tolist() == [0.0, 2.0, 4.0, 6.0]
+
+    def test_mirrored_loop_gets_fresh_index(self):
+        sf = _stage_scale()
+        old_loop = next(s.rhs for s in sf.body.stms
+                        if isinstance(s.rhs, ForLoop))
+        new_block, _ = mirror_block(sf.body)
+        new_loop = next(s.rhs for s in new_block.stms
+                        if isinstance(s.rhs, ForLoop))
+        assert new_loop.index is not old_loop.index
+
+    def test_intrinsics_remirror(self):
+        from repro.isa import load_isas
+        from repro.lms.ops import reflect_mutable
+
+        cir = load_isas("AVX")
+
+        def fn(a, n):
+            def body(i):
+                v = cir._mm256_loadu_ps(a, i)
+                cir._mm256_storeu_ps(a, cir._mm256_add_ps(v, v), i)
+
+            forloop(0, n, step=8, body=body)
+
+        sf = stage_function(fn, [array_of(FLOAT), INT32])
+        from repro.lms.graph import IRBuilder, staging_scope, \
+            finish_root_block
+        from repro.lms.staging import StagedFunction
+        from repro.lms.transform import Transformer
+
+        builder = IRBuilder()
+        with staging_scope(builder):
+            new_params = [builder.fresh(p.tp) for p in sf.params]
+            t = Transformer({old.id: new for old, new in
+                             zip(sf.params, new_params)})
+            t.transform_statements(sf.body)
+            body, effects = finish_root_block(builder, None)
+        mirrored = StagedFunction("m", new_params, list(sf.param_names),
+                                  body, effects, builder)
+        a = np.ones(8, dtype=np.float32)
+        SimdMachine().run(mirrored, [a, 8])
+        assert a.tolist() == [2.0] * 8

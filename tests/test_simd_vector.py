@@ -1,0 +1,87 @@
+"""VecValue / MaskValue: bit-accurate register values."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lms.types import M128, M128I, M256, M256D, M256I
+from repro.simd.vector import MaskValue, VecValue
+
+
+class TestConstruction:
+    def test_zero(self):
+        v = VecValue.zero(M256)
+        assert v.data.size == 32 and not v.data.any()
+
+    def test_from_lanes(self):
+        v = VecValue.from_lanes(M128, np.float32, [1, 2, 3, 4])
+        assert v.view(np.float32).tolist() == [1, 2, 3, 4]
+
+    def test_from_lanes_wrong_size(self):
+        with pytest.raises(ValueError):
+            VecValue.from_lanes(M128, np.float32, [1, 2, 3])
+
+    def test_broadcast(self):
+        v = VecValue.broadcast(M256I, np.int8, -5)
+        assert (v.view(np.int8) == -5).all()
+        assert v.view(np.int8).size == 32
+
+    def test_raw_bytes_size_checked(self):
+        with pytest.raises(ValueError):
+            VecValue(M128, np.zeros(8, dtype=np.uint8))
+
+
+class TestViews:
+    def test_views_share_storage_semantically(self):
+        v = VecValue.from_lanes(M128I, np.int32, [1, 2, 3, 4])
+        as16 = v.view(np.int16)
+        assert as16.size == 8
+        assert as16[0] == 1 and as16[2] == 2  # little endian
+
+    def test_lanes_returns_copy(self):
+        v = VecValue.from_lanes(M128I, np.int32, [1, 2, 3, 4])
+        lanes = v.lanes(np.int32)
+        lanes[0] = 99
+        assert v.view(np.int32)[0] == 1
+
+    def test_cast_preserves_bits(self):
+        v = VecValue.from_lanes(M256, np.float32, [1.5] * 8)
+        i = v.cast(M256I)
+        assert i.view(np.float32).tolist() == [1.5] * 8
+
+    def test_cast_width_mismatch(self):
+        v = VecValue.zero(M256)
+        with pytest.raises(ValueError):
+            v.cast(M128)
+
+    def test_low_half(self):
+        v = VecValue.from_lanes(M256, np.float32, list(range(8)))
+        lo = v.low_half(M128)
+        assert lo.view(np.float32).tolist() == [0, 1, 2, 3]
+
+
+class TestEquality:
+    @given(st.lists(st.integers(-128, 127), min_size=16, max_size=16))
+    def test_roundtrip_bytes(self, values):
+        v = VecValue.from_lanes(M128I, np.int8, values)
+        w = VecValue.from_bytes(M128I, v.data.tobytes())
+        assert v == w
+
+    def test_different_types_unequal(self):
+        a = VecValue.zero(M256)
+        b = VecValue.zero(M256D)
+        assert a != b
+
+
+class TestMaskValue:
+    def test_truncation(self):
+        m = MaskValue(8, 0x1FF)
+        assert m.value == 0xFF
+
+    def test_lane_testing(self):
+        m = MaskValue(8, 0b1010)
+        assert not m.test(0) and m.test(1) and not m.test(2) and m.test(3)
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_equality(self, bits):
+        assert MaskValue(16, bits) == MaskValue(16, bits)

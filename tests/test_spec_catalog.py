@@ -1,0 +1,115 @@
+"""The intrinsics catalog: structure, counts, Table 1 anchors."""
+
+import pytest
+
+from repro.spec.catalog import all_entries
+from repro.spec.census import (
+    PAPER_TABLE_1A,
+    PAPER_TABLE_1B,
+    classification_examples,
+    take_census,
+)
+from repro.spec.model import CATEGORIES, ISA_ORDER, validate_spec
+
+
+@pytest.fixture(scope="module")
+def entries():
+    return all_entries("3.3.16")
+
+
+@pytest.fixture(scope="module")
+def census(entries):
+    return take_census(entries)
+
+
+class TestCatalogIntegrity:
+    def test_no_duplicate_names(self, entries):
+        names = [e.name for e in entries]
+        assert len(names) == len(set(names))
+
+    def test_every_entry_valid(self, entries):
+        problems = [p for e in entries for p in validate_spec(e)]
+        assert problems == []
+
+    def test_every_category_known(self, entries):
+        assert {e.category for e in entries} <= set(CATEGORIES)
+
+    def test_substantial_scale(self, entries):
+        # The vendor set has 5912; our synthetic reconstruction must be
+        # of comparable order to exercise the generator realistically.
+        assert len(entries) >= 2500
+
+    def test_all_13_isas_populated(self, census):
+        for isa in ISA_ORDER:
+            assert census.per_isa.get(isa, 0) > 0, f"{isa} is empty"
+
+
+class TestTable1bAnchors:
+    """Counts the paper states exactly and we reproduce exactly."""
+
+    def test_sse3_is_exactly_11(self, census):
+        assert census.per_isa["SSE3"] == PAPER_TABLE_1B["SSE3"] == 11
+
+    def test_fma_is_exactly_32(self, census):
+        assert census.per_isa["FMA"] == PAPER_TABLE_1B["FMA"] == 32
+
+    def test_avx512_is_largest(self, census):
+        biggest = max(census.per_isa, key=census.per_isa.get)
+        assert biggest == "AVX-512"
+
+    def test_avx512_knc_sharing(self, census):
+        assert census.shared_avx512_knc > 200
+
+    def test_relative_ordering_matches_paper(self, census):
+        """The per-ISA ordering of the synthesized catalog follows the
+        vendor set for the big buckets."""
+        c = census.per_isa
+        assert c["AVX-512"] > c["KNC"] > c["SVML"] > c["SSE2"]
+        assert c["SSE2"] > c["SSE3"]
+        assert c["AVX"] > c["SSE4.2"]
+
+
+class TestTable1aExamples:
+    def test_paper_examples_present(self, entries):
+        names = {e.name for e in entries}
+        flat = [x for pair in PAPER_TABLE_1A.values() for x in pair]
+        missing = [x for x in flat if x not in names]
+        assert missing == [], f"Table 1a examples missing: {missing}"
+
+    def test_classification_has_two_examples_each(self, entries):
+        examples = classification_examples(entries)
+        assert set(examples) == set(PAPER_TABLE_1A)
+        for group, pair in examples.items():
+            assert len(pair) == 2, group
+
+
+class TestSpecificEntries:
+    def test_mm256_add_pd_matches_figure_2(self, entries):
+        e = next(x for x in entries if x.name == "_mm256_add_pd")
+        assert e.rettype == "__m256d"
+        assert [p.varname for p in e.params] == ["a", "b"]
+        assert [p.type for p in e.params] == ["__m256d", "__m256d"]
+        assert e.cpuids == ("AVX",)
+        assert e.category == "Arithmetic"
+        assert "FOR j := 0 to 3" in e.operation
+        assert e.header == "immintrin.h"
+
+    def test_crc32_has_unsigned_types(self, entries):
+        e = next(x for x in entries if x.name == "_mm_crc32_u16")
+        assert e.rettype == "unsigned int"
+        assert e.params[1].type == "unsigned short"
+
+    def test_memory_intrinsics_flagged(self, entries):
+        load = next(x for x in entries if x.name == "_mm256_loadu_ps")
+        assert load.has_memory_params and load.is_load_like
+        store = next(x for x in entries if x.name == "_mm256_storeu_ps")
+        assert store.has_memory_params and store.is_store_like
+
+    def test_rdrand_writes_through_pointer(self, entries):
+        e = next(x for x in entries if x.name == "_rdrand16_step")
+        assert e.category == "Random"
+        assert e.params[0].is_pointer
+
+    def test_instruction_sequences_marked(self, entries):
+        e = next(x for x in entries if x.name == "_mm256_set1_ps")
+        assert any(i.name == "sequence" for i in e.instructions)

@@ -1,0 +1,60 @@
+"""Spec-version diffing: the maintenance view of Table 3."""
+
+import pytest
+
+from repro.spec.catalog.build import entry
+from repro.spec.diff import diff_specs, diff_versions, isa_growth
+
+
+def _e(name="_mm_x", desc="d", category="Arithmetic"):
+    return entry(name, "__m128", ["__m128 a"], "SSE", category,
+                 "Floating Point", desc)
+
+
+class TestDiffSpecs:
+    def test_empty_diff(self):
+        specs = [_e()]
+        d = diff_specs(specs, specs)
+        assert d.is_empty
+
+    def test_addition_and_removal(self):
+        d = diff_specs([_e("_mm_a")], [_e("_mm_b")])
+        assert d.added == ["_mm_b"]
+        assert d.removed == ["_mm_a"]
+
+    def test_field_change_detected(self):
+        d = diff_specs([_e(desc="old text")], [_e(desc="improved text")])
+        assert len(d.changed) == 1
+        assert d.changed[0].fields == ("description",)
+
+    def test_multiple_field_changes(self):
+        d = diff_specs([_e(desc="x", category="Arithmetic")],
+                       [_e(desc="y", category="Logical")])
+        assert set(d.changed[0].fields) == {"category", "description"}
+
+    def test_summary_format(self):
+        d = diff_specs([_e("_mm_a"), _e("_mm_c", desc="1")],
+                       [_e("_mm_b"), _e("_mm_c", desc="2")])
+        assert d.summary() == "+1 intrinsics, -1 intrinsics, ~1 modified"
+
+
+class TestHistoricalVersions:
+    def test_avx512_arrives_after_3_2_2(self):
+        d = diff_versions("3.2.2", "3.3.16")
+        assert len(d.added) > 1000
+        assert d.removed == []  # the vendor never removed intrinsics
+        assert any(name.startswith("_mm512_") for name in d.added)
+
+    def test_adjacent_versions_small_delta(self):
+        d = diff_versions("3.3.14", "3.3.16")
+        assert len(d.added) < 50
+        assert d.removed == []
+
+    def test_same_version_is_empty(self):
+        assert diff_versions("3.3.16", "3.3.16").is_empty
+
+    def test_isa_growth_report(self):
+        growth = isa_growth("3.2.2", "3.3.16")
+        assert growth.get("AVX-512", 0) > 1000
+        # Stable legacy ISAs do not appear in the report.
+        assert "SSE3" not in growth

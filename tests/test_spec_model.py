@@ -1,0 +1,106 @@
+"""Schema-model details: buckets, parameters, validation."""
+
+import pytest
+
+from repro.spec.model import (
+    AVX512_PARTS,
+    ISA_ORDER,
+    Instruction,
+    IntrinsicSpec,
+    Parameter,
+    isa_bucket,
+    validate_spec,
+)
+
+
+def spec(name="_mm_test", ret="__m128", params=(), cpuids=("SSE",),
+         category="Arithmetic", **kw):
+    return IntrinsicSpec(name=name, rettype=ret, params=tuple(params),
+                         cpuids=tuple(cpuids), category=category, **kw)
+
+
+class TestParameters:
+    def test_pointer_detection(self):
+        assert Parameter("mem_addr", "float const*").is_pointer
+        assert Parameter("mem", "void*").is_void_pointer
+        assert not Parameter("a", "__m128").is_pointer
+
+    def test_const_pointer_variants(self):
+        assert Parameter("m", "void const*").is_void_pointer
+        assert not Parameter("m", "float const*").is_void_pointer
+
+
+class TestIsaBucket:
+    def test_avx512_parts_fold(self):
+        for part in AVX512_PARTS:
+            assert isa_bucket((part,)) == "AVX-512"
+        assert isa_bucket(("AVX512BW", "AVX512VL")) == "AVX-512"
+
+    def test_shared_avx512_knc_counts_as_avx512(self):
+        assert isa_bucket(("AVX512F", "KNCNI")) == "AVX-512"
+
+    def test_knc_alone(self):
+        assert isa_bucket(("KNCNI",)) == "KNC"
+
+    def test_svml_with_avx512(self):
+        # SVML on 512-bit registers stays in the AVX-512 bucket per the
+        # fold order (AVX-512 takes precedence), matching the census.
+        assert isa_bucket(("SVML",)) == "SVML"
+        assert isa_bucket(("SVML", "AVX512F")) == "AVX-512"
+
+    def test_sse_family_precedence(self):
+        assert isa_bucket(("SSE4.1",)) == "SSE4.1"
+        assert isa_bucket(("AVX", "FMA")) == "FMA"
+        assert isa_bucket(("AVX2", "AVX")) == "AVX2"
+
+    def test_small_extension_keeps_name(self):
+        assert isa_bucket(("RDRAND",)) == "RDRAND"
+
+    def test_order_matches_paper(self):
+        assert ISA_ORDER[0] == "MMX"
+        assert ISA_ORDER[-1] == "SVML"
+        assert len(ISA_ORDER) == 13
+
+
+class TestValidation:
+    def test_valid_spec(self):
+        assert validate_spec(spec()) == []
+
+    def test_name_must_start_with_underscore(self):
+        problems = validate_spec(spec(name="mm_add"))
+        assert any("start with" in p for p in problems)
+
+    def test_unknown_category(self):
+        problems = validate_spec(spec(category="Sorcery"))
+        assert any("category" in p for p in problems)
+
+    def test_missing_cpuid(self):
+        problems = validate_spec(spec(cpuids=()))
+        assert any("CPUID" in p for p in problems)
+
+    def test_duplicate_parameter_names(self):
+        problems = validate_spec(spec(params=(
+            Parameter("a", "__m128"), Parameter("a", "__m128"))))
+        assert any("duplicate" in p for p in problems)
+
+
+class TestDerivedProperties:
+    def test_load_store_flags(self):
+        load = spec(category="Load",
+                    params=(Parameter("mem", "float const*"),))
+        assert load.is_load_like and load.has_memory_params
+        store = spec(category="Store",
+                     params=(Parameter("mem", "float*"),))
+        assert store.is_store_like
+
+    def test_instruction_sequence_flag(self):
+        multi = spec()
+        assert not multi.is_sequence
+        multi2 = IntrinsicSpec(
+            name="_mm_x", rettype="__m128", params=(), cpuids=("SSE",),
+            category="Arithmetic",
+            instructions=(Instruction("movaps"), Instruction("addps")))
+        assert multi2.is_sequence
+
+    def test_primary_isa(self):
+        assert spec(cpuids=("AVX512F", "KNCNI")).primary_isa == "AVX-512"

@@ -1,0 +1,124 @@
+"""XML emission and version-tolerant parsing (Figure 2 / Table 3)."""
+
+import pytest
+
+from repro.spec import (
+    SPEC_VERSIONS,
+    emit_spec_xml,
+    parse_spec_xml,
+)
+from repro.spec.catalog import all_entries
+from repro.spec.parser import SpecParseError
+from repro.spec.versions import version_filter
+from repro.spec.xmlgen import write_all_versions
+
+
+@pytest.fixture(scope="module")
+def entries():
+    return all_entries("3.3.16")[:200]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("version", sorted(SPEC_VERSIONS))
+    def test_roundtrip_every_version(self, entries, version):
+        text = emit_spec_xml(entries, version)
+        back = parse_spec_xml(text)
+        assert len(back) == len(entries)
+        for orig, parsed in zip(entries, back):
+            assert parsed.name == orig.name
+            assert parsed.rettype == orig.rettype
+            assert parsed.params == orig.params
+            assert parsed.cpuids == orig.cpuids
+            assert parsed.category == orig.category
+            assert parsed.header == orig.header
+
+    def test_full_catalog_roundtrip_default_version(self):
+        full = all_entries("3.3.16")
+        back = parse_spec_xml(emit_spec_xml(full, "3.3.16"))
+        assert [e.name for e in back] == [e.name for e in full]
+
+    def test_operation_preserved(self, entries):
+        add_pd = next(e for e in entries if e.name == "_mm256_add_pd")
+        back = parse_spec_xml(emit_spec_xml([add_pd], "3.3.16"))[0]
+        assert "FOR j := 0 to 3" in back.operation
+        assert "dst[MAX:256] := 0" in back.operation
+
+
+class TestSchemaFlavors:
+    def test_3_4_uses_return_element(self, entries):
+        text = emit_spec_xml(entries[:5], "3.4")
+        assert "<return " in text
+        assert 'rettype="' not in text
+
+    def test_legacy_uses_rettype_attribute(self, entries):
+        text = emit_spec_xml(entries[:5], "3.3.16")
+        assert 'rettype="' in text
+        assert "<return " not in text
+
+    def test_3_2_2_has_no_type_tags(self, entries):
+        text = emit_spec_xml(entries[:5], "3.2.2")
+        assert "<type>" not in text
+        text316 = emit_spec_xml(entries[:5], "3.3.16")
+        assert "<type>" in text316
+
+    def test_sequence_flag_in_3_4(self):
+        full = all_entries("3.4")
+        set1 = [e for e in full if e.name == "_mm256_set1_ps"]
+        text = emit_spec_xml(set1, "3.4")
+        assert 'sequence="TRUE"' in text
+        back = parse_spec_xml(text)[0]
+        assert any(i.name == "sequence" for i in back.instructions)
+
+
+class TestVersionFilters:
+    def test_3_2_2_excludes_avx512(self):
+        flt = version_filter("3.2.2")
+        entries = [e for e in all_entries("3.3.16") if not flt(e)]
+        assert entries, "3.2.2 must exclude something"
+        assert all(any(c.startswith(("AVX512", "SHA", "MPX", "CLWB",
+                                     "CLFLUSHOPT", "XSAVEC", "RDPID"))
+                       for c in e.cpuids)
+                   for e in entries)
+
+    def test_version_monotonicity(self):
+        sizes = {v: len(all_entries(v)) for v in sorted(SPEC_VERSIONS)}
+        assert sizes["3.2.2"] < sizes["3.3.1"] <= sizes["3.3.11"] \
+            <= sizes["3.3.14"] <= sizes["3.3.16"] <= sizes["3.4"]
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(KeyError):
+            version_filter("9.9")
+
+
+class TestParserErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(SpecParseError):
+            parse_spec_xml("<intrinsics_list><intrinsic")
+
+    def test_wrong_root(self):
+        with pytest.raises(SpecParseError):
+            parse_spec_xml("<not_a_spec/>")
+
+    def test_intrinsic_without_name(self):
+        with pytest.raises(SpecParseError):
+            parse_spec_xml(
+                "<intrinsics_list><intrinsic rettype='int'/>"
+                "</intrinsics_list>")
+
+    def test_missing_rettype_and_return(self):
+        with pytest.raises(SpecParseError):
+            parse_spec_xml(
+                "<intrinsics_list><intrinsic name='_mm_x'/>"
+                "</intrinsics_list>")
+
+
+class TestFileOutput:
+    def test_write_all_versions(self, tmp_path):
+        paths = write_all_versions(tmp_path)
+        assert len(paths) == len(SPEC_VERSIONS)
+        names = {p.name for p in paths}
+        # Table 3's file names.
+        assert "data-3.3.16.xml" in names
+        assert "data-3.4.xml" in names
+        for p in paths:
+            assert p.stat().st_size > 10_000

@@ -1,0 +1,225 @@
+"""The Haswell cost model: trip counts, bounds, residency, overheads."""
+
+import pytest
+
+from repro.jvm import (
+    Bin, Block, ConstExpr, For, KernelMethod, Local, Param,
+)
+from repro.jvm.jtypes import JINT
+from repro.timing import CostModel, HASWELL, HASWELL_CACHES, MachineKernel
+from repro.timing.cache import assign_streams
+from repro.timing.kernelmodel import (
+    BoundEvalError,
+    MachineLoop,
+    MachineOp,
+    SetupAssign,
+    eval_bound,
+    trip_count,
+)
+
+L, C, B = Local, ConstExpr, Bin
+
+
+def loop(var, end_expr, body, step=1, start=None):
+    return MachineLoop(var=var,
+                       start=start or C(0, JINT),
+                       end=end_expr, step=C(step, JINT), body=body)
+
+
+def kernel(body, overhead=0.0, inefficiency=1.0):
+    return MachineKernel(name="k", params=["n"], body=body,
+                         call_overhead_cycles=overhead,
+                         inefficiency=inefficiency)
+
+
+class TestBoundEvaluation:
+    def test_arithmetic(self):
+        expr = B("<<", B(">>", L("n"), C(3, JINT)), C(3, JINT))
+        assert eval_bound(expr, {"n": 21}) == 16
+
+    def test_unbound_raises(self):
+        with pytest.raises(BoundEvalError):
+            eval_bound(L("ghost"), {})
+
+    def test_trip_count_rounding(self):
+        lp = loop("i", C(21, JINT), [], step=8)
+        assert trip_count(lp, {}) == 3
+        lp0 = loop("i", C(0, JINT), [], step=8)
+        assert trip_count(lp0, {}) == 0
+
+
+class TestCaches:
+    def test_residency_levels(self):
+        assert HASWELL_CACHES.residency(16 * 1024).name == "L1"
+        assert HASWELL_CACHES.residency(100 * 1024).name == "L2"
+        assert HASWELL_CACHES.residency(4 << 20).name == "L3"
+        assert HASWELL_CACHES.residency(1 << 30).name == "DRAM"
+
+    def test_shared_footprints_compete(self):
+        streams = assign_streams({"a": 20 * 1024, "b": 20 * 1024},
+                                 HASWELL_CACHES)
+        # 40KB combined exceeds the 32KB L1.
+        assert streams["a"].level.name == "L2"
+
+
+class TestThroughputBounds:
+    def test_fma_throughput(self):
+        body = [loop("i", L("n"), [MachineOp("fma", lanes=8)], step=8)]
+        cost = CostModel().cost(kernel(body), {"n": 1 << 16})
+        # 1 FMA + loop overhead (3 int ops -> <1 cycle) per iteration:
+        # uop-bound at 4/cycle -> 1 cycle per iteration.
+        per_iter = cost.cycles / (1 << 13)
+        assert per_iter == pytest.approx(1.0, rel=0.05)
+
+    def test_fp_add_port_limit(self):
+        # Haswell: 2 FP adds per cycle would need 2 add ports; it has 1.
+        body = [loop("i", L("n"), [MachineOp("add"), MachineOp("add"),
+                                   MachineOp("add"), MachineOp("add")])]
+        cost = CostModel().cost(kernel(body), {"n": 1000})
+        assert cost.cycles >= 4000
+
+    def test_latency_chain_binds_reductions(self):
+        body = [loop("i", L("n"), [
+            MachineOp("load", stream="a"),
+            MachineOp("mul"),
+            MachineOp("add", on_dep_chain=True),
+        ])]
+        cost = CostModel().cost(kernel(body), {"n": 1000},
+                                footprints={"a": 4000})
+        # fadd latency 3 per iteration.
+        assert cost.cycles == pytest.approx(3000, rel=0.01)
+        assert max(cost.bounds, key=cost.bounds.get) == "latency"
+
+    def test_inefficiency_scales_compute_not_latency(self):
+        body = [loop("i", L("n"), [MachineOp("add", on_dep_chain=True)])]
+        base = CostModel().cost(kernel(body), {"n": 1000}).cycles
+        taxed = CostModel().cost(kernel(body, inefficiency=2.0),
+                                 {"n": 1000}).cycles
+        assert base == taxed  # latency-bound either way
+
+    def test_serial_ops(self):
+        body = [loop("i", L("n"), [MachineOp("rng")])]
+        cost = CostModel().cost(kernel(body), {"n": 100})
+        assert cost.cycles >= 100 * HASWELL.rng_cycles
+
+
+class TestMemoryModel:
+    def test_l1_resident_is_port_bound(self):
+        body = [loop("i", L("n"), [
+            MachineOp("load", lanes=8, stream="a", index_vars=("i",)),
+        ], step=8)]
+        cost = CostModel().cost(kernel(body), {"n": 1024},
+                                footprints={"a": 4 * 1024})
+        assert max(cost.bounds, key=cost.bounds.get) == "compute"
+
+    def test_dram_streaming_binds(self):
+        n = 1 << 22
+        body = [loop("i", L("n"), [
+            MachineOp("load", lanes=8, stream="a", index_vars=("i",)),
+        ], step=8)]
+        cost = CostModel().cost(kernel(body), {"n": n},
+                                footprints={"a": 4.0 * n})
+        assert max(cost.bounds, key=cost.bounds.get) == "memory"
+
+    def test_strided_access_pays_full_lines(self):
+        n = 1 << 22
+        unit = [loop("i", L("n"), [
+            MachineOp("load", stream="a", stride_elems=1,
+                      index_vars=("i",))])]
+        strided = [loop("i", L("n"), [
+            MachineOp("load", stream="a", stride_elems=None,
+                      index_vars=("i",))])]
+        fp = {"a": 4.0 * n * 64}
+        cm = CostModel()
+        assert cm.cost(kernel(strided), {"n": n}, footprints=fp).cycles > \
+            4 * cm.cost(kernel(unit), {"n": n}, footprints=fp).cycles
+
+    def test_reuse_in_invariant_loop_hits_l1(self):
+        """An access invariant in an outer loop with a small inner
+        working set must be priced from L1 (the blocking payoff)."""
+        inner = loop("j", C(8, JINT), [
+            MachineOp("load", stream="b", stride_elems=1,
+                      index_vars=("j",)),
+        ])
+        outer = loop("i", L("n"), [inner])
+        cost = CostModel().cost(kernel([outer]), {"n": 1 << 20},
+                                footprints={"b": 1 << 30})
+        # 8 loads per outer iteration, all L1: compute-bound.
+        assert max(cost.bounds, key=cost.bounds.get) == "compute"
+
+
+class TestVectorWidthSplits:
+    def test_512bit_ops_split_on_haswell(self):
+        """Haswell has 256-bit datapaths: one 512-bit op costs two uops."""
+        body256 = [loop("i", L("n"), [MachineOp("fma", lanes=8)], step=8)]
+        body512 = [loop("i", L("n"), [MachineOp("fma", lanes=16)],
+                        step=16)]
+        cm = CostModel()
+        n = 1 << 16
+        c256 = cm.cost(kernel(body256), {"n": n}).cycles
+        c512 = cm.cost(kernel(body512), {"n": n}).cycles
+        # The 512-bit op splits into two 256-bit uops, so doubling the
+        # lanes must NOT halve the cycles; only the loop overhead
+        # amortization remains.
+        assert c256 / 2 < c512 <= c256
+
+
+class TestCallOverhead:
+    def test_jni_overhead_amortizes(self):
+        body = [loop("i", L("n"), [MachineOp("fma", lanes=8)], step=8)]
+        cm = CostModel()
+        small = cm.cost(kernel(body, overhead=450.0), {"n": 64})
+        large = cm.cost(kernel(body, overhead=450.0), {"n": 1 << 20})
+        flops = lambda n: 2.0 * n
+        assert flops(64) / small.cycles < 0.3
+        assert flops(1 << 20) / large.cycles > 10.0
+
+    def test_calls_multiplier(self):
+        body = [MachineOp("add")]
+        cm = CostModel()
+        one = cm.cost(kernel(body, overhead=100.0), {}, calls=1).cycles
+        ten = cm.cost(kernel(body, overhead=100.0), {}, calls=10).cycles
+        assert ten == pytest.approx(10 * one)
+
+
+class TestStagedLowering:
+    def test_saxpy_kernel_shape(self):
+        from repro.kernels import make_staged_saxpy
+        from repro.timing.staged_lower import lower_staged, param_env
+
+        sf = make_staged_saxpy()
+        k = lower_staged(sf)
+        assert k.tier == "native"
+        assert k.call_overhead_cycles > 400  # JNI + 2 array pins
+        loops = [i for i in k.body if isinstance(i, MachineLoop)]
+        assert len(loops) == 2
+        kinds = [op.kind for op in loops[0].body
+                 if isinstance(op, MachineOp)]
+        assert kinds.count("load") == 2
+        assert kinds.count("fma") == 1
+        assert kinds.count("store") == 1
+
+    def test_accumulator_chain_detected(self):
+        from repro.quant import make_staged_dot
+        from repro.timing.staged_lower import lower_staged
+
+        k = lower_staged(make_staged_dot(32))
+        loops = [i for i in k.body if isinstance(i, MachineLoop)]
+        chain_ops = [op for op in loops[0].body
+                     if isinstance(op, MachineOp) and op.on_dep_chain]
+        assert len(chain_ops) == 1
+        assert chain_ops[0].kind == "add"
+
+    def test_classification(self):
+        from repro.timing.staged_lower import classify_intrinsic
+
+        assert classify_intrinsic("_mm256_fmadd_ps").kind == "fma"
+        assert classify_intrinsic("_mm256_loadu_ps").mem == "load"
+        assert classify_intrinsic("_mm256_maddubs_epi16").kind == "mul"
+        assert classify_intrinsic("_mm256_madd_epi16").kind == "mul"
+        assert classify_intrinsic("_mm256_hadd_ps").kind == "add"
+        assert classify_intrinsic("_mm256_sin_ps").kind == "math"
+        assert classify_intrinsic("_rdrand16_step").kind == "rng"
+        assert classify_intrinsic("_mm256_i32gather_epi32").mem == "gather"
+        assert classify_intrinsic("_mm256_permute2f128_ps").kind == \
+            "shuffle"
