@@ -10,19 +10,42 @@ macros and reflection.
 
 from repro.codegen.cgen import emit_c_source
 from repro.codegen.compiler import (
+    CompileAttempt,
+    CompileError,
     CompilerInfo,
+    PermanentCompileError,
     SystemInfo,
+    TransientCompileError,
+    compile_with_fallback,
+    compiler_chain,
     detect_compilers,
+    flag_ladder,
     inspect_system,
 )
-from repro.codegen.native import NativeKernel, compile_to_native
+from repro.codegen.native import (
+    NativeArtifact,
+    NativeKernel,
+    build_native,
+    compile_to_native,
+    link_native,
+)
 
 __all__ = [
+    "CompileAttempt",
+    "CompileError",
     "CompilerInfo",
+    "NativeArtifact",
     "NativeKernel",
+    "PermanentCompileError",
     "SystemInfo",
+    "TransientCompileError",
+    "build_native",
     "compile_to_native",
+    "compile_with_fallback",
+    "compiler_chain",
     "detect_compilers",
     "emit_c_source",
+    "flag_ladder",
     "inspect_system",
+    "link_native",
 ]

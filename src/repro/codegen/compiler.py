@@ -8,13 +8,16 @@ paper's preference order), and derive the best flag mix for each.
 
 from __future__ import annotations
 
+import os
 import platform
 import re
 import shutil
 import subprocess
+import time
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
+from typing import Callable, Iterator, Sequence
 
 # Map CPU feature flags (as /proc/cpuinfo spells them) to ISA names.
 _FLAG_TO_ISA = {
@@ -98,9 +101,35 @@ def _compiler_version(path: str) -> str:
         return "unknown"
 
 
-@lru_cache(maxsize=1)
-def detect_compilers() -> tuple[CompilerInfo, ...]:
-    """Search the PATH for icc, gcc and clang."""
+def _parse_cc_override(spec: str) -> tuple[CompilerInfo, ...]:
+    """Parse ``REPRO_CC``: a comma list of ``name=path`` or bare paths.
+
+    A bare path infers the flag dialect from the basename (``icc`` /
+    ``clang`` / default ``gcc``), so a test can point the runtime at a
+    fake compiler script without it being on the PATH.
+    """
+    found: list[CompilerInfo] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" in part:
+            name, path = (s.strip() for s in part.split("=", 1))
+        else:
+            path = part
+            base = Path(part).name
+            name = ("icc" if "icc" in base
+                    else "clang" if "clang" in base else "gcc")
+        found.append(CompilerInfo(name=name, path=path,
+                                  version=_compiler_version(path)))
+    return tuple(found)
+
+
+@lru_cache(maxsize=4)
+def _detect_compilers_cached(cc_override: str | None
+                             ) -> tuple[CompilerInfo, ...]:
+    if cc_override:
+        return _parse_cc_override(cc_override)
     found: list[CompilerInfo] = []
     for name in ("icc", "gcc", "clang"):
         path = shutil.which(name)
@@ -108,6 +137,15 @@ def detect_compilers() -> tuple[CompilerInfo, ...]:
             found.append(CompilerInfo(name=name, path=path,
                                       version=_compiler_version(path)))
     return tuple(found)
+
+
+def detect_compilers() -> tuple[CompilerInfo, ...]:
+    """Search the PATH for icc, gcc and clang.
+
+    ``REPRO_CC`` overrides discovery entirely (see
+    :func:`_parse_cc_override`).
+    """
+    return _detect_compilers_cached(os.environ.get("REPRO_CC") or None)
 
 
 def _cpu_flags() -> tuple[str, set[str]]:
@@ -128,8 +166,7 @@ def _cpu_flags() -> tuple[str, set[str]]:
 
 
 @lru_cache(maxsize=1)
-def inspect_system() -> SystemInfo:
-    """Inspect the CPU and toolchain (the CPUID step of Figure 3)."""
+def _inspect_cpu() -> tuple[str, frozenset[str]]:
     model, flags = _cpu_flags()
     isas = {"MMX"} if flags else set()
     for flag, isa in _FLAG_TO_ISA.items():
@@ -137,31 +174,220 @@ def inspect_system() -> SystemInfo:
             isas.add(isa)
     if any(i.startswith("AVX512") for i in isas):
         isas.add("AVX-512")
-    return SystemInfo(cpu=model, isas=frozenset(isas),
-                      compilers=detect_compilers())
+    return model, frozenset(isas)
+
+
+def inspect_system() -> SystemInfo:
+    """Inspect the CPU and toolchain (the CPUID step of Figure 3).
+
+    The CPU probe is cached for the process lifetime; the compiler set
+    is re-resolved so ``REPRO_CC`` changes take effect immediately.
+    """
+    model, isas = _inspect_cpu()
+    return SystemInfo(cpu=model, isas=isas, compilers=detect_compilers())
 
 
 class CompileError(RuntimeError):
     """A native compilation failed; carries the compiler diagnostics."""
 
 
+class TransientCompileError(CompileError):
+    """A compilation failed for reasons likely to clear on retry:
+    compiler timeout, a failed ``exec``, a signal, or an exhausted
+    system resource.  The resilience layer retries these with bounded
+    exponential backoff before degrading down the ladder."""
+
+
+class PermanentCompileError(CompileError):
+    """A compilation failed deterministically (diagnostics, bad flags).
+    Retrying the same invocation is pointless; the resilience layer
+    moves straight to the next rung of the fallback ladder."""
+
+
+# stderr signatures of failures worth retrying verbatim.
+_TRANSIENT_RE = re.compile(
+    r"(?i)resource temporarily unavailable|cannot allocate memory"
+    r"|virtual memory exhausted|no space left on device|text file busy"
+    r"|interrupted system call|input/output error",
+)
+
+
+def _compile_timeout() -> float:
+    try:
+        return float(os.environ.get("REPRO_COMPILE_TIMEOUT", "120"))
+    except ValueError:
+        return 120.0
+
+
 def compile_shared_library(source: str, workdir: Path,
                            isas: frozenset[str],
                            compiler: CompilerInfo | None = None,
-                           name: str = "kernel") -> Path:
-    """Compile C source into a shared library and return its path."""
+                           name: str = "kernel",
+                           flags: Sequence[str] | None = None,
+                           timeout: float | None = None) -> Path:
+    """Compile C source into a shared library and return its path.
+
+    ``flags`` overrides the compiler's derived flag set (used by the
+    fallback ladder).  Failures raise :class:`TransientCompileError` or
+    :class:`PermanentCompileError`; both are :class:`CompileError`.
+    """
     system = inspect_system()
     cc = compiler or system.best_compiler
     if cc is None:
-        raise CompileError("no C compiler found on this system")
+        raise PermanentCompileError("no C compiler found on this system")
     workdir.mkdir(parents=True, exist_ok=True)
     c_path = workdir / f"{name}.c"
     so_path = workdir / f"{name}.so"
     c_path.write_text(source)
-    cmd = [cc.path, *cc.flags_for(isas), str(c_path), "-o", str(so_path)]
-    result = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    use_flags = list(flags) if flags is not None else cc.flags_for(isas)
+    cmd = [cc.path, *use_flags, str(c_path), "-o", str(so_path)]
+    if timeout is None:
+        timeout = _compile_timeout()
+    try:
+        result = subprocess.run(cmd, capture_output=True, text=True,
+                                timeout=timeout)
+    except subprocess.TimeoutExpired as exc:
+        raise TransientCompileError(
+            f"{cc.name} timed out after {timeout}s ({' '.join(cmd)})"
+        ) from exc
+    except OSError as exc:
+        raise TransientCompileError(
+            f"{cc.name} could not be invoked ({cc.path}): {exc}"
+        ) from exc
     if result.returncode != 0:
-        raise CompileError(
-            f"{cc.name} failed ({' '.join(cmd)}):\n{result.stderr}"
-        )
+        msg = f"{cc.name} failed ({' '.join(cmd)}):\n{result.stderr}"
+        if result.returncode < 0 or _TRANSIENT_RE.search(result.stderr or ""):
+            raise TransientCompileError(msg)
+        raise PermanentCompileError(msg)
     return so_path
+
+
+def compiler_chain(system: SystemInfo | None = None
+                   ) -> tuple[CompilerInfo, ...]:
+    """All detected compilers in the paper's preference order
+    (icc, gcc, clang) — the degradation chain of the fallback ladder."""
+    compilers = (system or inspect_system()).compilers
+    ordered = [c for name in ("icc", "gcc", "clang")
+               for c in compilers if c.name == name]
+    ordered += [c for c in compilers if c not in ordered]
+    return tuple(ordered)
+
+
+def flag_ladder(cc: CompilerInfo, isas: frozenset[str],
+                required: frozenset[str] | None = None
+                ) -> Iterator[tuple[str, list[str]]]:
+    """Yield ``(rung, flags)`` pairs, most aggressive first.
+
+    Rungs: full flags at ``-O3``; the same at ``-O2``; then ``-O2``
+    with the per-ISA ``-m*`` flags pruned to the ISAs the kernel
+    actually needs (``required``).  Identical consecutive rungs are
+    deduplicated, so when ``isas == required`` the ladder has two rungs.
+    """
+    base = cc.flags_for(isas)
+    o2 = ["-O2" if f == "-O3" else f for f in base]
+    rungs: list[tuple[str, list[str]]] = [("O3", base), ("O2", o2)]
+    if required is not None:
+        isa_flags = set(_ISA_TO_FLAG.values())
+        keep = {_ISA_TO_FLAG[i] for i in required if i in _ISA_TO_FLAG}
+        minimal = [f for f in o2 if f not in isa_flags or f in keep]
+        rungs.append(("O2-minimal-isa", minimal))
+    seen: set[tuple[str, ...]] = set()
+    for rung, fl in rungs:
+        key = tuple(fl)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield rung, fl
+
+
+@dataclass
+class CompileAttempt:
+    """One compiler invocation (or refusal), as recorded in a report."""
+
+    compiler: str
+    version: str
+    rung: str
+    flags: tuple[str, ...]
+    outcome: str            # "ok" | "transient" | "permanent"
+    detail: str = ""
+    duration_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "compiler": self.compiler, "version": self.version,
+            "rung": self.rung, "flags": list(self.flags),
+            "outcome": self.outcome, "detail": self.detail,
+            "duration_s": self.duration_s,
+        }
+
+
+def _max_retries() -> int:
+    try:
+        return max(0, int(os.environ.get("REPRO_COMPILE_RETRIES", "2")))
+    except ValueError:
+        return 2
+
+
+def compile_with_fallback(source: str, workdir: Path,
+                          isas: frozenset[str],
+                          required: frozenset[str] | None = None,
+                          compilers: Sequence[CompilerInfo] | None = None,
+                          name: str = "kernel",
+                          attempts: list[CompileAttempt] | None = None,
+                          max_retries: int | None = None,
+                          retry_base: float = 0.05,
+                          retry_cap: float = 1.0,
+                          sleep: Callable[[float], None] = time.sleep,
+                          ) -> tuple[Path, CompilerInfo, tuple[str, ...]]:
+    """Compile down the resilience ladder.
+
+    For each compiler in the icc→gcc→clang chain, walk the flag ladder;
+    transient failures are retried up to ``max_retries`` times (default
+    ``REPRO_COMPILE_RETRIES``, 2) with bounded exponential backoff,
+    permanent ones drop straight to the next rung.  Every invocation is
+    appended to ``attempts``.  Returns ``(so_path, compiler, flags)``
+    of the first success or raises :class:`PermanentCompileError` once
+    the whole ladder is exhausted.
+    """
+    ccs = list(compilers) if compilers is not None \
+        else list(compiler_chain())
+    if not ccs:
+        raise PermanentCompileError("no C compiler found on this system")
+    retries = _max_retries() if max_retries is None else max(0, max_retries)
+    last: CompileError | None = None
+    for cc in ccs:
+        for rung, fl in flag_ladder(cc, isas, required):
+            for try_no in range(retries + 1):
+                start = time.monotonic()
+                try:
+                    so = compile_shared_library(
+                        source, workdir, isas, compiler=cc, name=name,
+                        flags=fl)
+                except TransientCompileError as exc:
+                    last = exc
+                    if attempts is not None:
+                        attempts.append(CompileAttempt(
+                            cc.name, cc.version, rung, tuple(fl),
+                            "transient", str(exc)[:500],
+                            time.monotonic() - start))
+                    if try_no < retries:
+                        sleep(min(retry_cap, retry_base * (2 ** try_no)))
+                        continue
+                    break
+                except PermanentCompileError as exc:
+                    last = exc
+                    if attempts is not None:
+                        attempts.append(CompileAttempt(
+                            cc.name, cc.version, rung, tuple(fl),
+                            "permanent", str(exc)[:500],
+                            time.monotonic() - start))
+                    break
+                if attempts is not None:
+                    attempts.append(CompileAttempt(
+                        cc.name, cc.version, rung, tuple(fl), "ok", "",
+                        time.monotonic() - start))
+                return so, cc, tuple(fl)
+    raise PermanentCompileError(
+        f"all compile attempts for {name!r} failed "
+        f"({len(ccs)} compiler(s), ladder exhausted); last error: {last}"
+    )

@@ -11,7 +11,11 @@ automatically from the staged function.
 
 from __future__ import annotations
 
+import atexit
 import ctypes
+import itertools
+import os
+import shutil
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -21,9 +25,11 @@ import numpy as np
 
 from repro.codegen.cgen import EXPORT_PREFIX, emit_c_source
 from repro.codegen.compiler import (
-    CompileError,
+    CompileAttempt,
+    CompilerInfo,
     SystemInfo,
-    compile_shared_library,
+    compile_with_fallback,
+    compiler_chain,
     inspect_system,
 )
 from repro.lms.staging import StagedFunction
@@ -94,13 +100,22 @@ class NativeKernel:
         return self._fn(*converted)
 
 
-def required_isas(staged: StagedFunction) -> frozenset[str]:
-    """The ISAs a staged function's intrinsics need, from their CPUIDs."""
+def required_isas(staged: StagedFunction,
+                  version: str | None = None) -> frozenset[str]:
+    """The ISAs a staged function's intrinsics need, from their CPUIDs.
+
+    ``version`` selects the spec release to resolve intrinsics against;
+    it defaults to ``REPRO_SPEC_VERSION`` and then to the registry's
+    default, so Table-3 version experiments exercise the real link path.
+    """
     from repro.isa.base import IntrinsicsDef
     from repro.lms.defs import iter_defs
     from repro.spec.catalog import all_entries
+    from repro.spec.versions import DEFAULT_VERSION
 
-    by_name = {e.name: e for e in all_entries("3.4")}
+    version = (version or os.environ.get("REPRO_SPEC_VERSION")
+               or DEFAULT_VERSION)
+    by_name = {e.name: e for e in all_entries(version)}
     needed: set[str] = set()
     for stm, _ in iter_defs(staged.body):
         if isinstance(stm.rhs, IntrinsicsDef):
@@ -110,39 +125,122 @@ def required_isas(staged: StagedFunction) -> frozenset[str]:
     return frozenset(needed)
 
 
-def compile_to_native(staged: StagedFunction,
-                      workdir: str | Path | None = None,
-                      check_isas: bool = True) -> NativeKernel:
-    """Generate C, compile it and link it back (Figure 3's runtime path)."""
+def check_kernel_isas(name: str, isas: frozenset[str], system: SystemInfo,
+                      compilers: Sequence[CompilerInfo]) -> None:
+    """Raise :class:`NativeLinkError` if the host cannot run or no
+    available compiler can build a kernel needing ``isas``."""
+    unsupported = {i for i in isas
+                   if i not in system.isas and i not in ("SVML", "KNCNI")}
+    if unsupported:
+        raise NativeLinkError(
+            f"host CPU lacks ISAs {sorted(unsupported)} required by {name}"
+        )
+    if "SVML" in isas and not any(c.name == "icc" for c in compilers):
+        raise NativeLinkError(
+            "SVML intrinsics need the Intel compiler; use the "
+            "simulator backend"
+        )
+
+
+_session_root: Path | None = None
+_build_seq = itertools.count()
+
+
+def _session_workdir(name: str) -> Path:
+    """A per-build directory under one atexit-cleaned session root.
+
+    Replaces the old leak where every ``compile_to_native`` call left a
+    ``tempfile.mkdtemp`` behind for the life of the machine; persistent
+    artifacts belong to the disk kernel cache instead.
+    """
+    global _session_root
+    if _session_root is None or not _session_root.exists():
+        _session_root = Path(tempfile.mkdtemp(prefix="repro-native-"))
+        atexit.register(shutil.rmtree, str(_session_root),
+                        ignore_errors=True)
+    wd = _session_root / f"{next(_build_seq):04d}-{name}"
+    wd.mkdir(parents=True, exist_ok=True)
+    return wd
+
+
+@dataclass
+class NativeArtifact:
+    """A compiled-but-not-yet-linked kernel: the unit the resilience
+    layer smoke-tests in a forked child before trusting it in-process."""
+
+    staged: StagedFunction
+    c_source: str
+    so_path: Path
+    symbol: str
+    isas: frozenset[str]
+    system: SystemInfo
+    compiler: CompilerInfo | None = None
+    flags: tuple[str, ...] = ()
+
+
+def build_native(staged: StagedFunction,
+                 workdir: str | Path | None = None,
+                 check_isas: bool = True,
+                 compilers: Sequence[CompilerInfo] | None = None,
+                 attempts: list[CompileAttempt] | None = None,
+                 max_retries: int | None = None) -> NativeArtifact:
+    """Generate C and compile it down the fallback ladder — no linking.
+
+    The returned artifact has not been loaded into this process; link
+    it with :func:`link_native` (or let
+    :func:`repro.core.resilience.acquire_native` smoke-test it first).
+    """
     system = inspect_system()
-    if system.best_compiler is None:
+    ccs = list(compilers) if compilers is not None \
+        else list(compiler_chain(system))
+    if not ccs:
         raise NativeLinkError("no C compiler available")
 
     isas = required_isas(staged)
     if check_isas:
-        unsupported = {i for i in isas
-                       if i not in system.isas and i not in ("SVML", "KNCNI")}
-        if unsupported:
-            raise NativeLinkError(
-                f"host CPU lacks ISAs {sorted(unsupported)} required by "
-                f"{staged.name}"
-            )
-        if "SVML" in isas and system.best_compiler.name != "icc":
-            raise NativeLinkError(
-                "SVML intrinsics need the Intel compiler; use the "
-                "simulator backend"
-            )
+        check_kernel_isas(staged.name, isas, system, ccs)
 
     symbol = EXPORT_PREFIX + staged.name
     source = emit_c_source(staged, export_name=symbol)
     wd = Path(workdir) if workdir is not None else \
-        Path(tempfile.mkdtemp(prefix="repro-native-"))
-    so_path = compile_shared_library(source, wd, isas, name=staged.name)
+        _session_workdir(staged.name)
+    so_path, cc, flags = compile_with_fallback(
+        source, wd, isas, required=isas, compilers=ccs,
+        name=staged.name, attempts=attempts, max_retries=max_retries)
+    return NativeArtifact(staged=staged, c_source=source, so_path=so_path,
+                          symbol=symbol, isas=isas, system=system,
+                          compiler=cc, flags=flags)
 
-    lib = ctypes.CDLL(str(so_path))
-    fn = getattr(lib, symbol)
-    fn.argtypes = [_ctype_for(p.tp) for p in staged.params]
-    fn.restype = _ctype_for(staged.result_type)
-    return NativeKernel(staged=staged, c_source=source,
-                        library_path=so_path, symbol=symbol, _fn=fn,
-                        system=system)
+
+def ctype_signature(staged: StagedFunction) -> tuple[list, Any]:
+    """The ctypes ``(argtypes, restype)`` of a staged function's export."""
+    return ([_ctype_for(p.tp) for p in staged.params],
+            _ctype_for(staged.result_type))
+
+
+def link_native(artifact: NativeArtifact) -> NativeKernel:
+    """Load an artifact's shared library into this process via ctypes."""
+    try:
+        lib = ctypes.CDLL(str(artifact.so_path))
+        fn = getattr(lib, artifact.symbol)
+    except (OSError, AttributeError) as exc:
+        raise NativeLinkError(
+            f"cannot link {artifact.so_path}: {exc}") from exc
+    fn.argtypes, fn.restype = ctype_signature(artifact.staged)
+    return NativeKernel(staged=artifact.staged, c_source=artifact.c_source,
+                        library_path=artifact.so_path,
+                        symbol=artifact.symbol, _fn=fn,
+                        system=artifact.system)
+
+
+def compile_to_native(staged: StagedFunction,
+                      workdir: str | Path | None = None,
+                      check_isas: bool = True) -> NativeKernel:
+    """Generate C, compile it and link it back (Figure 3's runtime path).
+
+    This is the direct, trusting path: no smoke-run, no quarantine, no
+    disk cache.  The managed pipeline (:mod:`repro.core.pipeline`) goes
+    through :func:`repro.core.resilience.acquire_native` instead.
+    """
+    return link_native(build_native(staged, workdir=workdir,
+                                    check_isas=check_isas))

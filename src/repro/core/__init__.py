@@ -26,14 +26,28 @@ from repro.core.pipeline import (
     compile_staged,
     native_placeholder,
 )
+from repro.core.resilience import (
+    CompileReport,
+    KernelQuarantinedError,
+    PermanentCompileError,
+    TransientCompileError,
+    acquire_native,
+    quarantined_kernels,
+)
 
 __all__ = [
     "BackendKind",
+    "CompileReport",
     "CompiledKernel",
+    "KernelQuarantinedError",
     "NativePlaceholder",
+    "PermanentCompileError",
     "SignatureMismatchError",
+    "TransientCompileError",
     "UnsatisfiedLinkError",
+    "acquire_native",
     "compile_kernel",
     "compile_staged",
     "native_placeholder",
+    "quarantined_kernels",
 ]

@@ -11,6 +11,14 @@ same immediates) reuses the compiled artifact.
 from __future__ import annotations
 
 import hashlib
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
 
 from repro.lms.defs import Block, Stm
 from repro.lms.expr import Const, Exp, Sym
@@ -57,33 +65,195 @@ def graph_hash(staged: StagedFunction) -> str:
     return digest[:24]
 
 
+def cache_root() -> Path:
+    """The persistent kernel-cache directory.
+
+    ``REPRO_CACHE_DIR`` overrides; otherwise XDG conventions apply
+    (``$XDG_CACHE_HOME/repro-kernels``, default ``~/.cache/repro-kernels``).
+    """
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-kernels"
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return max(1, int(os.environ.get(name, str(default))))
+    except ValueError:
+        return default
+
+
+@dataclass
+class DiskCacheEntry:
+    """A validated on-disk artifact: the shared library plus metadata."""
+
+    so_path: Path
+    meta: dict
+
+
+class DiskKernelCache:
+    """The persistent tier: compiled ``.so`` artifacts on disk.
+
+    Entries are keyed by ``(graph_hash, compiler version, flags, ISA
+    set)`` and written atomically (write to a temp file in the cache
+    directory, then ``os.replace``).  Loads verify a SHA-256 checksum of
+    the library against the metadata sidecar; any corruption —
+    unreadable metadata, missing library, checksum mismatch — is a
+    silent miss that also removes the entry, forcing a recompile.  The
+    entry count is LRU-bounded (by mtime; reads touch entries).
+    """
+
+    def __init__(self, root: str | Path | None = None,
+                 max_entries: int | None = None) -> None:
+        self.root = Path(root).expanduser() if root is not None \
+            else cache_root()
+        self.max_entries = max_entries if max_entries is not None \
+            else _env_int("REPRO_CACHE_DISK_ENTRIES", 128)
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def artifact_key(graph_hash_: str, compiler_version: str,
+                     flags: Iterable[str], isas: Iterable[str]) -> str:
+        token = "\n".join([graph_hash_, compiler_version,
+                           " ".join(flags), " ".join(sorted(isas))])
+        return hashlib.sha256(token.encode()).hexdigest()[:32]
+
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        return self.root / f"{key}.so", self.root / f"{key}.json"
+
+    def _drop(self, key: str) -> None:
+        for p in self._paths(key):
+            try:
+                p.unlink()
+            except OSError:
+                pass
+
+    def get(self, key: str) -> DiskCacheEntry | None:
+        with self._lock:
+            so_path, meta_path = self._paths(key)
+            try:
+                meta = json.loads(meta_path.read_text())
+                blob = so_path.read_bytes()
+            except (OSError, ValueError):
+                self._drop(key)
+                self.misses += 1
+                return None
+            if not isinstance(meta, dict) or \
+                    hashlib.sha256(blob).hexdigest() != meta.get("checksum"):
+                self._drop(key)
+                self.misses += 1
+                return None
+            for p in (so_path, meta_path):
+                try:
+                    os.utime(p)  # touch for LRU recency
+                except OSError:
+                    pass
+            self.hits += 1
+            return DiskCacheEntry(so_path=so_path, meta=meta)
+
+    def invalidate(self, key: str) -> None:
+        """Remove an entry (e.g. after its artifact was quarantined)."""
+        with self._lock:
+            self._drop(key)
+
+    def put(self, key: str, so_bytes: bytes, meta: dict) -> Path:
+        with self._lock:
+            self.root.mkdir(parents=True, exist_ok=True)
+            so_path, meta_path = self._paths(key)
+            meta = dict(meta)
+            meta["checksum"] = hashlib.sha256(so_bytes).hexdigest()
+            for target, payload in ((so_path, so_bytes),
+                                    (meta_path,
+                                     json.dumps(meta).encode())):
+                fd, tmp = tempfile.mkstemp(dir=self.root,
+                                           prefix=f".{target.name}.")
+                try:
+                    os.write(fd, payload)
+                    os.fsync(fd)
+                finally:
+                    os.close(fd)
+                os.replace(tmp, target)
+            self._evict()
+            return so_path
+
+    def _evict(self) -> None:
+        try:
+            metas = sorted(self.root.glob("*.json"),
+                           key=lambda p: p.stat().st_mtime)
+        except OSError:
+            return
+        excess = len(metas) - self.max_entries
+        for meta_path in metas[:max(0, excess)]:
+            self._drop(meta_path.stem)
+
+    def __len__(self) -> int:
+        return len(list(self.root.glob("*.json")))
+
+
 class KernelCache:
-    """An in-process cache of compiled kernels.
+    """The in-process tier of the kernel cache.
 
     Keys combine the structural graph hash with the requested backend,
     so forcing the simulator does not serve a native kernel (or vice
-    versa).
+    versa).  Get/put are thread-safe; entries are LRU-bounded.  A miss
+    is counted when ``get_for`` comes back empty (the caller will
+    compile); ``put_for`` only stores.  The ``disk`` property exposes
+    the persistent artifact tier rooted at the current ``cache_root()``.
     """
 
-    def __init__(self) -> None:
-        self._kernels: dict[tuple[str, str], object] = {}
+    def __init__(self, maxsize: int | None = None) -> None:
+        self._kernels: OrderedDict[tuple[str, str], object] = OrderedDict()
+        self._maxsize = maxsize if maxsize is not None \
+            else _env_int("REPRO_CACHE_MEM_ENTRIES", 256)
         self.hits = 0
         self.misses = 0
+        self._lock = threading.Lock()
+        self._disk: DiskKernelCache | None = None
+
+    @property
+    def disk(self) -> DiskKernelCache:
+        with self._lock:
+            root = cache_root()
+            if self._disk is None or self._disk.root != root:
+                self._disk = DiskKernelCache(root=root)
+            return self._disk
 
     def get_for(self, staged: StagedFunction, backend: str):
         key = (graph_hash(staged), backend)
-        kernel = self._kernels.get(key)
-        if kernel is not None:
-            self.hits += 1
+        with self._lock:
+            kernel = self._kernels.get(key)
+            if kernel is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+                self._kernels.move_to_end(key)
         return kernel
 
     def put_for(self, staged: StagedFunction, backend: str,
                 kernel: object) -> None:
-        self.misses += 1
-        self._kernels[(graph_hash(staged), backend)] = kernel
+        key = (graph_hash(staged), backend)
+        with self._lock:
+            self._kernels[key] = kernel
+            self._kernels.move_to_end(key)
+            while len(self._kernels) > self._maxsize:
+                self._kernels.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (the disk tier is untouched)."""
+        with self._lock:
+            self._kernels.clear()
+            self.hits = 0
+            self.misses = 0
+            self._disk = None
 
     def __len__(self) -> int:
-        return len(self._kernels)
+        with self._lock:
+            return len(self._kernels)
 
 
 default_cache = KernelCache()

@@ -13,13 +13,15 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from repro.codegen.cgen import emit_c_source
-from repro.codegen.compiler import CompileError, inspect_system
-from repro.codegen.native import (
-    NativeKernel,
-    NativeLinkError,
-    compile_to_native,
-    required_isas,
+from repro.codegen.compiler import CompileError
+from repro.codegen.native import NativeKernel, NativeLinkError
+from repro.core.resilience import (
+    CompileReport,
+    KernelQuarantinedError,
+    acquire_native,
 )
 from repro.lms.staging import StagedFunction, stage_function
 from repro.lms.types import Type
@@ -55,6 +57,7 @@ class CompiledKernel:
     _machine: SimdMachine = field(default_factory=SimdMachine, repr=False)
     fallback_reason: str | None = None
     cost_model: CostModel = field(default_factory=CostModel, repr=False)
+    report: CompileReport | None = field(default=None, repr=False)
 
     @property
     def name(self) -> str:
@@ -77,10 +80,7 @@ class CompiledKernel:
         responsibility of the developer to write valid SIMD code").
         Returns the simulated result; call the kernel afterwards.
         """
-        import copy
-
-        shadow = [a.copy() if hasattr(a, "copy") else a for a in args]
-        return self._machine.run(self.staged, shadow)
+        return self._machine.run(self.staged, _shadow_args(args))
 
     def cost(self, params: dict[str, float],
              footprints: dict[str, float] | None = None,
@@ -95,18 +95,48 @@ class CompiledKernel:
         return self.cost(params, footprints).flops_per_cycle(flops)
 
 
+def _shadow_args(args: Sequence[Any]) -> list[Any]:
+    """Deep-enough copies of ``args`` that simulator writes never leak
+    into caller memory — including through non-contiguous array views,
+    which are copied into fresh C-contiguous buffers."""
+    shadow: list[Any] = []
+    for a in args:
+        if isinstance(a, np.ndarray):
+            shadow.append(np.array(a, dtype=a.dtype, order="C", copy=True))
+        elif hasattr(a, "copy"):
+            shadow.append(a.copy())
+        else:
+            shadow.append(a)
+    return shadow
+
+
 def _pick_backend(staged: StagedFunction, requested: str) -> tuple[
-        BackendKind, NativeKernel | None, str | None]:
+        BackendKind, NativeKernel | None, str | None,
+        CompileReport | None]:
+    """Resolve the backend through the resilience layer.
+
+    The exception taxonomy threads through here: a quarantined kernel
+    (:class:`KernelQuarantinedError`) and a ladder-exhausted compile
+    (:class:`PermanentCompileError` / :class:`TransientCompileError`,
+    both :class:`CompileError`) degrade to the simulator under
+    ``"auto"`` with the reason recorded, and propagate under
+    ``"native"``.
+    """
     if requested == "simulated":
-        return BackendKind.SIMULATED, None, None
-    system = inspect_system()
+        return BackendKind.SIMULATED, None, None, None
     try:
-        native = compile_to_native(staged)
-        return BackendKind.NATIVE, native, None
+        native, report = acquire_native(staged)
+        return BackendKind.NATIVE, native, None, report
+    except KernelQuarantinedError as exc:
+        if requested == "native":
+            raise
+        return (BackendKind.SIMULATED, None,
+                f"quarantined: {exc.reason}", exc.report)
     except (NativeLinkError, CompileError) as exc:
         if requested == "native":
             raise
-        return BackendKind.SIMULATED, None, str(exc)
+        return (BackendKind.SIMULATED, None, str(exc),
+                getattr(exc, "report", None))
 
 
 def compile_staged(fn: Callable[..., object], arg_types: Sequence[Type],
@@ -130,13 +160,13 @@ def compile_staged(fn: Callable[..., object], arg_types: Sequence[Type],
         cached = default_cache.get_for(staged, requested)
         if cached is not None:
             return cached
-    kind, native, reason = _pick_backend(staged, requested)
-    c_source = native.c_source if native is not None else \
-        _try_emit_c(staged)
+    kind, native, reason, report = _pick_backend(staged, requested)
+    c_source = native.c_source if native is not None and native.c_source \
+        else _try_emit_c(staged)
     kernel = CompiledKernel(
         staged=staged, backend=kind, c_source=c_source,
         machine_kernel=lower_staged(staged), _native=native,
-        fallback_reason=reason,
+        fallback_reason=reason, report=report,
     )
     if use_cache:
         from repro.core.cache import default_cache

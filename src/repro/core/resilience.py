@@ -1,0 +1,535 @@
+"""Fault tolerance for the compile-and-link path.
+
+The paper's Section 3.5 names the two weak points of linking generated
+SIMD code into a live managed runtime: invalid code faults the host
+process ("it is the responsibility of the developer to write valid SIMD
+code"), and code generation itself can fail or stall.  This module is
+the harness layer around both:
+
+* **Compiler fallback** — :func:`repro.codegen.compiler.compile_with_fallback`
+  retries transient failures with bounded exponential backoff and
+  degrades down the icc→gcc→clang chain and a flag ladder; every
+  invocation lands in a :class:`CompileReport`.
+* **Crash containment** — before a freshly built (or disk-cached)
+  artifact is linked into the host, :func:`acquire_native` smoke-runs it
+  once in a forked child against simulator-validated shadow arguments
+  and compares the results with the bit-accurate simulator.  A SIGSEGV,
+  hang or mismatch quarantines the kernel by graph hash for the rest of
+  the session and the pipeline falls back to the simulator backend.
+* **Persistent caching** — validated artifacts live in the disk tier of
+  :class:`repro.core.cache.DiskKernelCache`, keyed by ``(graph hash,
+  compiler version, flags, ISA set)``, so a second process skips the
+  compiler entirely (visible as ``cache_source == "disk"`` with zero
+  attempts in the report).
+
+Exception taxonomy: :class:`TransientCompileError` (retryable),
+:class:`PermanentCompileError` (ladder moves on), and
+:class:`KernelQuarantinedError` (this session will not link the kernel).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.codegen.compiler import (
+    CompileAttempt,
+    CompileError,
+    CompilerInfo,
+    PermanentCompileError,
+    SystemInfo,
+    TransientCompileError,
+    compiler_chain,
+    flag_ladder,
+    inspect_system,
+)
+from repro.codegen.native import (
+    NativeArtifact,
+    NativeKernel,
+    NativeLinkError,
+    build_native,
+    check_kernel_isas,
+    ctype_signature,
+    link_native,
+    required_isas,
+)
+from repro.core.cache import DiskKernelCache, default_cache, graph_hash
+from repro.lms.staging import StagedFunction
+from repro.lms.types import ArrayType, ScalarType
+from repro.simd.machine import SimdMachine
+
+__all__ = [
+    "CompileReport",
+    "KernelQuarantinedError",
+    "PermanentCompileError",
+    "TransientCompileError",
+    "acquire_native",
+    "clear_session_state",
+    "quarantined_kernels",
+]
+
+
+@dataclass
+class CompileReport:
+    """Everything that happened while acquiring one native kernel."""
+
+    graph_hash: str
+    attempts: list[CompileAttempt] = field(default_factory=list)
+    cache_source: str | None = None   # "disk" | "compiled" | None
+    smoke: str = "not-run"
+    fallback_reason: str | None = None
+    compiler: str | None = None
+    compiler_version: str | None = None
+    flags: tuple[str, ...] = ()
+
+    @property
+    def compiler_invocations(self) -> int:
+        return len(self.attempts)
+
+    def to_dict(self) -> dict:
+        return {
+            "graph_hash": self.graph_hash,
+            "attempts": [a.to_dict() for a in self.attempts],
+            "cache_source": self.cache_source,
+            "smoke": self.smoke,
+            "fallback_reason": self.fallback_reason,
+            "compiler": self.compiler,
+            "compiler_version": self.compiler_version,
+            "flags": list(self.flags),
+        }
+
+
+class KernelQuarantinedError(RuntimeError):
+    """This kernel crashed or mis-computed in its smoke-run (now or
+    earlier this session); the runtime refuses to link it."""
+
+    def __init__(self, graph_hash_: str, reason: str,
+                 report: CompileReport | None = None) -> None:
+        super().__init__(
+            f"kernel {graph_hash_} is quarantined: {reason}")
+        self.graph_hash = graph_hash_
+        self.reason = reason
+        self.report = report
+
+
+# Session state: kernels proven dangerous, artifacts proven safe.
+_quarantined: dict[str, str] = {}
+_trusted: set[tuple[str, str]] = set()
+_state_lock = threading.Lock()
+
+
+def quarantine(graph_hash_: str, reason: str) -> None:
+    with _state_lock:
+        _quarantined[graph_hash_] = reason
+
+
+def quarantined_kernels() -> dict[str, str]:
+    """Graph hash → reason for every kernel quarantined this session."""
+    with _state_lock:
+        return dict(_quarantined)
+
+
+def clear_session_state() -> None:
+    """Forget quarantines and smoke-trusted artifacts (test hook)."""
+    with _state_lock:
+        _quarantined.clear()
+        _trusted.clear()
+
+
+# ---------------------------------------------------------------------------
+# Shadow arguments: small deterministic inputs the simulator validates.
+
+_SHADOW_LEN = 64
+_SHADOW_BOUNDS = (64, 16, 8, 1, 0)
+
+
+def _candidate_shadow_args(staged: StagedFunction
+                           ) -> Iterator[list[Any]]:
+    """Candidate argument sets: arrays of ``_SHADOW_LEN`` elements and a
+    descending ladder of integer-scalar values (loop bounds, usually).
+    The first set the simulator executes cleanly is used for the smoke
+    run; if it raises (e.g. out-of-bounds for that bound), try smaller.
+    """
+    for bound in _SHADOW_BOUNDS:
+        args: list[Any] = []
+        ok = True
+        for i, p in enumerate(staged.params):
+            tp = p.tp
+            if isinstance(tp, ArrayType):
+                elem = tp.elem
+                if elem.is_float:
+                    arr = ((np.arange(_SHADOW_LEN) % 7 + 1 + i)
+                           .astype(elem.np_dtype) / elem.np_dtype.type(4))
+                elif elem.name == "Boolean":
+                    arr = (np.arange(_SHADOW_LEN) % 2 == 0)
+                else:
+                    arr = ((np.arange(_SHADOW_LEN) + i) % 5
+                           ).astype(elem.np_dtype)
+                args.append(np.ascontiguousarray(arr))
+            elif isinstance(tp, ScalarType):
+                if tp.is_float:
+                    args.append(1.5)
+                elif tp.name == "Boolean":
+                    args.append(True)
+                else:
+                    args.append(bound)
+            else:
+                ok = False
+                break
+        if ok:
+            yield args
+
+
+def _copy_args(args: Sequence[Any]) -> list[Any]:
+    return [np.array(a, copy=True) if isinstance(a, np.ndarray) else a
+            for a in args]
+
+
+def _validated_shadow_args(staged: StagedFunction) -> list[Any] | None:
+    """The first candidate set the bit-accurate simulator accepts."""
+    machine = SimdMachine()
+    for args in _candidate_shadow_args(staged):
+        try:
+            machine.run(staged, _copy_args(args))
+        except Exception:  # noqa: BLE001 - any failure disqualifies
+            continue
+        return args
+    return None
+
+
+def _scalars_match(tp, got: Any, want: Any) -> bool:
+    if not isinstance(tp, ScalarType):
+        return True
+    a = tp.np_dtype.type(got)
+    b = tp.np_dtype.type(want)
+    if tp.is_float and np.isnan(a) and np.isnan(b):
+        return True
+    return a.tobytes() == b.tobytes()
+
+
+def _arrays_match(a: np.ndarray, b: np.ndarray) -> bool:
+    if np.issubdtype(a.dtype, np.floating):
+        return np.array_equal(a, b, equal_nan=True)
+    return np.array_equal(a, b)
+
+
+# ---------------------------------------------------------------------------
+# The forked smoke-run.
+
+@dataclass
+class SmokeVerdict:
+    status: str          # "passed" | "skipped" | "crashed" | "mismatch"
+    #                      | "timeout" | "child-error"
+    detail: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("crashed", "mismatch", "timeout")
+
+
+def _smoke_timeout() -> float:
+    try:
+        return float(os.environ.get("REPRO_SMOKE_TIMEOUT", "30"))
+    except ValueError:
+        return 30.0
+
+
+def _child_smoke(artifact: NativeArtifact, shadow: list[Any],
+                 expected_args: list[Any], expected_ret: Any,
+                 write_fd: int) -> int:
+    """Runs in the forked child: link, run, compare.  Returns exit code
+    0 (match), 3 (mismatch) or 4 (infrastructure error); a crash in the
+    native code never returns at all — that is the point of the fork.
+    """
+    try:
+        import faulthandler
+        if faulthandler.is_enabled():
+            # a crash here is expected and contained; don't let the
+            # inherited handler dump the parent's stack to stderr
+            faulthandler.disable()
+        lib = ctypes.CDLL(str(artifact.so_path))
+        fn = getattr(lib, artifact.symbol)
+        fn.argtypes, fn.restype = ctype_signature(artifact.staged)
+        kernel = NativeKernel(
+            staged=artifact.staged, c_source=artifact.c_source,
+            library_path=artifact.so_path, symbol=artifact.symbol,
+            _fn=fn, system=artifact.system)
+        got = kernel(*shadow)
+        problems: list[str] = []
+        for param, have, want in zip(artifact.staged.params, shadow,
+                                     expected_args):
+            if isinstance(have, np.ndarray) and \
+                    not _arrays_match(have, want):
+                problems.append(f"array {param!r} diverges")
+        if not _scalars_match(artifact.staged.result_type, got,
+                              expected_ret):
+            problems.append(
+                f"return value {got!r} != simulator {expected_ret!r}")
+        if problems:
+            os.write(write_fd, "; ".join(problems).encode()[:512])
+            return 3
+        return 0
+    except BaseException as exc:  # noqa: BLE001 - child must not unwind
+        try:
+            os.write(write_fd, f"{type(exc).__name__}: {exc}"
+                     .encode()[:512])
+        except OSError:
+            pass
+        return 4
+
+
+def smoke_test_artifact(artifact: NativeArtifact,
+                        timeout: float | None = None) -> SmokeVerdict:
+    """Run the artifact once in a forked child on simulator-validated
+    shadow arguments and compare against :meth:`run_simulated` output.
+
+    The host process never maps the library: a SIGSEGV, abort or hang
+    kills only the child.  Platforms without ``os.fork`` skip.
+    """
+    if not hasattr(os, "fork"):
+        return SmokeVerdict("skipped", "os.fork unavailable")
+    shadow = _validated_shadow_args(artifact.staged)
+    if shadow is None:
+        return SmokeVerdict(
+            "skipped", "no simulator-validated shadow arguments")
+    expected_args = _copy_args(shadow)
+    expected_ret = SimdMachine().run(artifact.staged, expected_args)
+    if timeout is None:
+        timeout = _smoke_timeout()
+
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:
+        code = 4
+        try:
+            os.close(read_fd)
+            code = _child_smoke(artifact, shadow, expected_args,
+                                expected_ret, write_fd)
+        finally:
+            os._exit(code)
+    os.close(write_fd)
+    try:
+        deadline = time.monotonic() + timeout
+        status: int | None = None
+        while True:
+            wpid, wstatus = os.waitpid(pid, os.WNOHANG)
+            if wpid == pid:
+                status = wstatus
+                break
+            if time.monotonic() > deadline:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except OSError:
+                    pass
+                os.waitpid(pid, 0)
+                break
+        detail = b""
+        try:
+            while True:
+                chunk = os.read(read_fd, 4096)
+                if not chunk:
+                    break
+                detail += chunk
+        except OSError:
+            pass
+    finally:
+        os.close(read_fd)
+
+    if status is None:
+        return SmokeVerdict("timeout",
+                            f"smoke-run exceeded {timeout}s; child killed")
+    if os.WIFSIGNALED(status):
+        sig = os.WTERMSIG(status)
+        try:
+            name = signal.Signals(sig).name
+        except ValueError:
+            name = f"signal {sig}"
+        return SmokeVerdict("crashed", f"native smoke-run died with {name}")
+    code = os.WEXITSTATUS(status)
+    text = detail.decode(errors="replace")
+    if code == 0:
+        return SmokeVerdict("passed")
+    if code == 3:
+        return SmokeVerdict("mismatch", text or "results diverge")
+    return SmokeVerdict("child-error", text or f"child exit {code}")
+
+
+# ---------------------------------------------------------------------------
+# The acquisition path: disk cache → ladder compile → smoke → link.
+
+def _smoke_enabled() -> bool:
+    return os.environ.get("REPRO_SMOKE", "1") not in ("0", "off", "no")
+
+
+def _disk_enabled() -> bool:
+    return os.environ.get("REPRO_DISK_CACHE", "1") not in ("0", "off", "no")
+
+
+def _disk_lookup(disk: DiskKernelCache, staged: StagedFunction,
+                 ghash: str, isas: frozenset[str],
+                 ccs: Sequence[CompilerInfo], system: SystemInfo,
+                 report: CompileReport) -> NativeArtifact | None:
+    """Probe the disk tier under every key the ladder could produce,
+    preferred configuration first."""
+    for cc in ccs:
+        for _rung, flags in flag_ladder(cc, isas, required=isas):
+            key = DiskKernelCache.artifact_key(ghash, cc.version, flags,
+                                               isas)
+            entry = disk.get(key)
+            if entry is None:
+                continue
+            meta = entry.meta
+            report.cache_source = "disk"
+            report.compiler = cc.name
+            report.compiler_version = cc.version
+            report.flags = tuple(flags)
+            return NativeArtifact(
+                staged=staged,
+                c_source=meta.get("c_source", ""),
+                so_path=entry.so_path,
+                symbol=meta.get("symbol", ""),
+                isas=frozenset(meta.get("isas", sorted(isas))),
+                system=system, compiler=cc, flags=tuple(flags))
+    return None
+
+
+def _disk_store(disk: DiskKernelCache, artifact: NativeArtifact,
+                ghash: str) -> None:
+    if artifact.compiler is None:
+        return
+    try:
+        blob = artifact.so_path.read_bytes()
+    except OSError:
+        return
+    key = DiskKernelCache.artifact_key(
+        ghash, artifact.compiler.version, artifact.flags, artifact.isas)
+    meta = {
+        "graph_hash": ghash,
+        "symbol": artifact.symbol,
+        "c_source": artifact.c_source,
+        "isas": sorted(artifact.isas),
+        "compiler": artifact.compiler.name,
+        "compiler_version": artifact.compiler.version,
+        "flags": list(artifact.flags),
+        "created": time.time(),
+    }
+    try:
+        disk.put(key, blob, meta)
+    except OSError:
+        pass  # a full or read-only cache never blocks compilation
+
+
+def _artifact_token(ghash: str, so_path) -> tuple[str, str]:
+    try:
+        digest = hashlib.sha256(so_path.read_bytes()).hexdigest()
+    except OSError:
+        digest = "unreadable"
+    return (ghash, digest)
+
+
+def acquire_native(staged: StagedFunction, *,
+                   system: SystemInfo | None = None,
+                   compilers: Sequence[CompilerInfo] | None = None,
+                   use_disk_cache: bool | None = None,
+                   smoke: bool | None = None,
+                   max_retries: int | None = None,
+                   ) -> tuple[NativeKernel, CompileReport]:
+    """Produce a trusted, linked native kernel — or refuse loudly.
+
+    The full resilience path: quarantine check, disk-cache probe,
+    ladder compile (with retries), disk-cache store, forked smoke-run,
+    then (and only then) ``ctypes`` linking into this process.  Raises
+    :class:`KernelQuarantinedError`, :class:`PermanentCompileError` /
+    :class:`TransientCompileError` (both :class:`CompileError`) or
+    :class:`NativeLinkError`; each carries the ``report`` attribute.
+    """
+    system = system or inspect_system()
+    ccs = list(compilers) if compilers is not None \
+        else list(compiler_chain(system))
+    ghash = graph_hash(staged)
+    report = CompileReport(graph_hash=ghash)
+
+    with _state_lock:
+        reason = _quarantined.get(ghash)
+    if reason is not None:
+        report.fallback_reason = f"quarantined: {reason}"
+        raise KernelQuarantinedError(ghash, reason, report)
+
+    if not ccs:
+        exc: Exception = NativeLinkError("no C compiler available")
+        exc.report = report  # type: ignore[attr-defined]
+        raise exc
+
+    isas = required_isas(staged)
+    try:
+        check_kernel_isas(staged.name, isas, system, ccs)
+    except NativeLinkError as err:
+        err.report = report  # type: ignore[attr-defined]
+        raise
+
+    use_disk = _disk_enabled() if use_disk_cache is None else use_disk_cache
+    disk = default_cache.disk if use_disk else None
+
+    artifact = None
+    if disk is not None:
+        artifact = _disk_lookup(disk, staged, ghash, isas, ccs, system,
+                                report)
+    if artifact is None:
+        try:
+            artifact = build_native(staged, check_isas=False,
+                                    compilers=ccs,
+                                    attempts=report.attempts,
+                                    max_retries=max_retries)
+        except CompileError as err:
+            report.fallback_reason = str(err)
+            err.report = report  # type: ignore[attr-defined]
+            raise
+        report.cache_source = "compiled"
+        if artifact.compiler is not None:
+            report.compiler = artifact.compiler.name
+            report.compiler_version = artifact.compiler.version
+            report.flags = artifact.flags
+        if disk is not None:
+            _disk_store(disk, artifact, ghash)
+
+    run_smoke = _smoke_enabled() if smoke is None else smoke
+    if not run_smoke:
+        report.smoke = "disabled"
+    else:
+        token = _artifact_token(ghash, artifact.so_path)
+        with _state_lock:
+            already_trusted = token in _trusted
+        if already_trusted:
+            report.smoke = "trusted"
+        else:
+            verdict = smoke_test_artifact(artifact)
+            report.smoke = verdict.status
+            if verdict.failed:
+                reason = f"{verdict.status}: {verdict.detail}" \
+                    if verdict.detail else verdict.status
+                quarantine(ghash, reason)
+                if disk is not None and artifact.compiler is not None:
+                    # never serve a condemned artifact to anyone else
+                    disk.invalidate(DiskKernelCache.artifact_key(
+                        ghash, artifact.compiler.version,
+                        artifact.flags, artifact.isas))
+                report.fallback_reason = f"quarantined: {reason}"
+                raise KernelQuarantinedError(ghash, reason, report)
+            if verdict.status == "passed":
+                with _state_lock:
+                    _trusted.add(token)
+
+    try:
+        native = link_native(artifact)
+    except NativeLinkError as err:
+        err.report = report  # type: ignore[attr-defined]
+        raise
+    return native, report

@@ -159,7 +159,25 @@ class TestKernelCache:
         cache.put_for(sf, "simulated", "the-kernel")
         assert cache.get_for(sf, "simulated") == "the-kernel"
         assert cache.get_for(sf, "native") is None
-        assert cache.hits == 1 and cache.misses == 1
+        # misses are counted where they happen: on the empty get.
+        assert cache.hits == 1 and cache.misses == 2
+
+    @staticmethod
+    def _staged_k(i):
+        def fn(a, n):
+            forloop(0, n, step=1,
+                    body=lambda j: array_update(a, j, float(i)))
+
+        return stage_function(fn, [array_of(FLOAT), INT32], f"lru{i}")
+
+    def test_lru_bound(self):
+        cache = KernelCache(maxsize=2)
+        sfs = [self._staged_k(i) for i in range(3)]
+        for i, sf in enumerate(sfs):
+            cache.put_for(sf, "simulated", f"k{i}")
+        assert len(cache) == 2
+        assert cache.get_for(sfs[0], "simulated") is None  # evicted
+        assert cache.get_for(sfs[2], "simulated") == "k2"
 
     def test_pipeline_reuses_kernels(self):
         def fn(a, n):
