@@ -8,6 +8,11 @@ analysis pipeline itself with pytest-benchmark.
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.jvm import MiniVM, TieredState
@@ -35,6 +40,59 @@ def staged_flops_per_cycle(cm: CostModel, staged, params: dict,
     cost = cm.cost(kernel, param_env(staged, params),
                    footprints=footprints)
     return flops / cost.cycles
+
+
+def bench_out_dir() -> Path:
+    """Where ``BENCH_*.json`` result files land (``REPRO_BENCH_DIR``,
+    default: the current working directory)."""
+    return Path(os.environ.get("REPRO_BENCH_DIR", "."))
+
+
+def timed_series(benchmark, fn, *args):
+    """Run ``fn`` under pytest-benchmark and return ``(rows, wall_s)``
+    where ``wall_s`` is the wall time of one measured invocation."""
+    t0 = time.perf_counter()
+    rows = benchmark(fn, *args)
+    wall = time.perf_counter() - t0
+    stats = getattr(benchmark, "stats", None)
+    try:
+        wall = float(stats.stats.mean)
+    except AttributeError:
+        pass        # benchmark disabled or stats unavailable
+    return rows, wall
+
+
+def write_bench_json(figure: str, series: list[dict],
+                     wall_time_s: float, extra: dict | None = None
+                     ) -> Path:
+    """Persist one figure's machine-readable results as
+    ``BENCH_<figure>.json`` so the perf trajectory is tracked across
+    PRs.  ``series`` entries carry ``kernel``, ``backend`` and
+    ``points`` (size → flops-per-cycle).
+    """
+    payload = {
+        "figure": figure,
+        "unit": "flops_per_cycle",
+        "wall_time_s": wall_time_s,
+        "series": series,
+    }
+    if extra:
+        payload.update(extra)
+    out = bench_out_dir()
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{figure}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def series_entry(kernel: str, backend: str, labels: list,
+                 values: list[float]) -> dict:
+    return {
+        "kernel": kernel,
+        "backend": backend,
+        "points": [{"size": str(lbl), "flops_per_cycle": float(v)}
+                   for lbl, v in zip(labels, values)],
+    }
 
 
 def print_series(title: str, header: list[str],

@@ -12,7 +12,10 @@ import pytest
 from benchmarks.conftest import (
     java_machine_kernel,
     print_series,
+    series_entry,
     staged_flops_per_cycle,
+    timed_series,
+    write_bench_json,
 )
 from repro.kernels import java_saxpy_method, make_staged_saxpy
 from repro.timing.staged_lower import lower_staged, param_env
@@ -38,9 +41,15 @@ def _series(cm):
 
 
 def test_fig6a_saxpy(cost_model, benchmark):
-    rows = benchmark(_series, cost_model)
+    rows, wall = timed_series(benchmark, _series, cost_model)
     print_series("Figure 6a: SAXPY [flops/cycle]",
                  ["size", "Java SAXPY", "LMS SAXPY"], rows)
+    labels = [r[0] for r in rows]
+    write_bench_json("fig6a", [
+        series_entry("saxpy", "java-c2", labels, [r[1] for r in rows]),
+        series_entry("saxpy", "lms-avx-fma", labels,
+                     [r[2] for r in rows]),
+    ], wall)
 
     by_size = {label: (java, lms) for label, java, lms in rows}
     # Shape assertions documented in the paper's Section 3.4:

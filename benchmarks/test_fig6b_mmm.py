@@ -8,7 +8,13 @@ implementation, and over 7.8x over the baseline triple loop".
 
 import pytest
 
-from benchmarks.conftest import java_machine_kernel, print_series
+from benchmarks.conftest import (
+    java_machine_kernel,
+    print_series,
+    series_entry,
+    timed_series,
+    write_bench_json,
+)
 from repro.kernels import (
     java_mmm_blocked_method,
     java_mmm_triple_method,
@@ -37,10 +43,17 @@ def _series(cm):
 
 
 def test_fig6b_mmm(cost_model, benchmark):
-    rows = benchmark(_series, cost_model)
+    rows, wall = timed_series(benchmark, _series, cost_model)
     print_series(
         "Figure 6b: MMM [flops/cycle]",
         ["n", "Java triple", "Java blocked", "LMS AVX"], rows)
+    labels = [r[0] for r in rows]
+    write_bench_json("fig6b", [
+        series_entry("mmm", "java-triple", labels, [r[1] for r in rows]),
+        series_entry("mmm", "java-blocked", labels,
+                     [r[2] for r in rows]),
+        series_entry("mmm", "lms-avx", labels, [r[3] for r in rows]),
+    ], wall)
 
     at = {n: (tri, blk, lms) for n, tri, blk, lms in rows}
     tri, blk, lms = at[1024]

@@ -10,7 +10,13 @@ the reductions).
 
 import pytest
 
-from benchmarks.conftest import java_machine_kernel, print_series
+from benchmarks.conftest import (
+    java_machine_kernel,
+    print_series,
+    series_entry,
+    timed_series,
+    write_bench_json,
+)
 from repro.quant import DOT_BITS, java_dot_method, make_staged_dot
 from repro.timing.staged_lower import lower_staged, param_env
 
@@ -43,11 +49,20 @@ def _series(cm):
 
 
 def test_fig7_precision(cost_model, benchmark):
-    rows = benchmark(_series, cost_model)
+    rows, wall = timed_series(benchmark, _series, cost_model)
     header = ["size"]
     for bits in DOT_BITS:
         header += [f"Java {bits}b", f"LMS {bits}b"]
     print_series("Figure 7: variable precision [ops/cycle]", header, rows)
+
+    labels = [r[0] for r in rows]
+    series = []
+    for i, bits in enumerate(DOT_BITS):
+        series.append(series_entry(f"dot{bits}", "java-c2", labels,
+                                   [r[1 + 2 * i] for r in rows]))
+        series.append(series_entry(f"dot{bits}", "lms-simd", labels,
+                                   [r[2 + 2 * i] for r in rows]))
+    write_bench_json("fig7", series, wall)
 
     # Max speedup per precision across sizes.
     speedups = {}

@@ -19,6 +19,9 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Callable, Iterator, Sequence
 
+import repro.obs as obs
+from repro.core.env import env_float, env_int
+
 # Map CPU feature flags (as /proc/cpuinfo spells them) to ISA names.
 _FLAG_TO_ISA = {
     "mmx": "MMX", "sse": "SSE", "sse2": "SSE2", "pni": "SSE3",
@@ -213,10 +216,7 @@ _TRANSIENT_RE = re.compile(
 
 
 def _compile_timeout() -> float:
-    try:
-        return float(os.environ.get("REPRO_COMPILE_TIMEOUT", "120"))
-    except ValueError:
-        return 120.0
+    return env_float("REPRO_COMPILE_TIMEOUT", 120.0, minimum=0.01)
 
 
 def compile_shared_library(source: str, workdir: Path,
@@ -322,10 +322,7 @@ class CompileAttempt:
 
 
 def _max_retries() -> int:
-    try:
-        return max(0, int(os.environ.get("REPRO_COMPILE_RETRIES", "2")))
-    except ValueError:
-        return 2
+    return env_int("REPRO_COMPILE_RETRIES", 2, minimum=0)
 
 
 def compile_with_fallback(source: str, workdir: Path,
@@ -359,34 +356,40 @@ def compile_with_fallback(source: str, workdir: Path,
         for rung, fl in flag_ladder(cc, isas, required):
             for try_no in range(retries + 1):
                 start = time.monotonic()
-                try:
-                    so = compile_shared_library(
-                        source, workdir, isas, compiler=cc, name=name,
-                        flags=fl)
-                except TransientCompileError as exc:
-                    last = exc
-                    if attempts is not None:
-                        attempts.append(CompileAttempt(
-                            cc.name, cc.version, rung, tuple(fl),
-                            "transient", str(exc)[:500],
-                            time.monotonic() - start))
-                    if try_no < retries:
-                        sleep(min(retry_cap, retry_base * (2 ** try_no)))
-                        continue
-                    break
-                except PermanentCompileError as exc:
-                    last = exc
-                    if attempts is not None:
-                        attempts.append(CompileAttempt(
-                            cc.name, cc.version, rung, tuple(fl),
-                            "permanent", str(exc)[:500],
-                            time.monotonic() - start))
-                    break
+                outcome = "ok"
+                detail = ""
+                so: Path | None = None
+                with obs.span("compile.attempt", compiler=cc.name,
+                              rung=rung, flags=tuple(fl)) as att_span:
+                    try:
+                        so = compile_shared_library(
+                            source, workdir, isas, compiler=cc,
+                            name=name, flags=fl)
+                    except TransientCompileError as exc:
+                        last = exc
+                        outcome, detail = "transient", str(exc)[:500]
+                    except PermanentCompileError as exc:
+                        last = exc
+                        outcome, detail = "permanent", str(exc)[:500]
+                    att_span.set("outcome", outcome)
+                duration = time.monotonic() - start
+                obs.counter("compile.attempts", outcome=outcome,
+                            compiler=cc.name)
+                obs.observe("compile.attempt_s", duration,
+                            outcome=outcome)
                 if attempts is not None:
                     attempts.append(CompileAttempt(
-                        cc.name, cc.version, rung, tuple(fl), "ok", "",
-                        time.monotonic() - start))
-                return so, cc, tuple(fl)
+                        cc.name, cc.version, rung, tuple(fl), outcome,
+                        detail, duration))
+                if outcome == "ok":
+                    return so, cc, tuple(fl)
+                if outcome == "transient" and try_no < retries:
+                    obs.counter("compile.retries")
+                    sleep(min(retry_cap, retry_base * (2 ** try_no)))
+                    continue
+                # this rung is abandoned; the ladder moves on
+                obs.counter("compile.downgrades")
+                break
     raise PermanentCompileError(
         f"all compile attempts for {name!r} failed "
         f"({len(ccs)} compiler(s), ladder exhausted); last error: {last}"

@@ -23,6 +23,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.codegen.cgen import EXPORT_PREFIX, emit_c_source
 from repro.codegen.compiler import (
     CompileAttempt,
@@ -201,12 +202,16 @@ def build_native(staged: StagedFunction,
         check_kernel_isas(staged.name, isas, system, ccs)
 
     symbol = EXPORT_PREFIX + staged.name
-    source = emit_c_source(staged, export_name=symbol)
+    with obs.span("emit", kernel=staged.name):
+        source = emit_c_source(staged, export_name=symbol)
     wd = Path(workdir) if workdir is not None else \
         _session_workdir(staged.name)
-    so_path, cc, flags = compile_with_fallback(
-        source, wd, isas, required=isas, compilers=ccs,
-        name=staged.name, attempts=attempts, max_retries=max_retries)
+    with obs.span("compile", kernel=staged.name) as compile_span:
+        so_path, cc, flags = compile_with_fallback(
+            source, wd, isas, required=isas, compilers=ccs,
+            name=staged.name, attempts=attempts, max_retries=max_retries)
+        compile_span.set("compiler", cc.name)
+        compile_span.set("flags", flags)
     return NativeArtifact(staged=staged, c_source=source, so_path=so_path,
                           symbol=symbol, isas=isas, system=system,
                           compiler=cc, flags=flags)

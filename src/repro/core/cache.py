@@ -20,6 +20,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
+import repro.obs as obs
+from repro.core.env import env_int
 from repro.lms.defs import Block, Stm
 from repro.lms.expr import Const, Exp, Sym
 from repro.lms.staging import StagedFunction
@@ -79,13 +81,6 @@ def cache_root() -> Path:
     return base / "repro-kernels"
 
 
-def _env_int(name: str, default: int) -> int:
-    try:
-        return max(1, int(os.environ.get(name, str(default))))
-    except ValueError:
-        return default
-
-
 @dataclass
 class DiskCacheEntry:
     """A validated on-disk artifact: the shared library plus metadata."""
@@ -111,7 +106,7 @@ class DiskKernelCache:
         self.root = Path(root).expanduser() if root is not None \
             else cache_root()
         self.max_entries = max_entries if max_entries is not None \
-            else _env_int("REPRO_CACHE_DISK_ENTRIES", 128)
+            else env_int("REPRO_CACHE_DISK_ENTRIES", 128, minimum=1)
         self.hits = 0
         self.misses = 0
         self._lock = threading.Lock()
@@ -142,11 +137,13 @@ class DiskKernelCache:
             except (OSError, ValueError):
                 self._drop(key)
                 self.misses += 1
+                obs.counter("cache.disk.misses")
                 return None
             if not isinstance(meta, dict) or \
                     hashlib.sha256(blob).hexdigest() != meta.get("checksum"):
                 self._drop(key)
                 self.misses += 1
+                obs.counter("cache.disk.misses")
                 return None
             for p in (so_path, meta_path):
                 try:
@@ -154,6 +151,7 @@ class DiskKernelCache:
                 except OSError:
                     pass
             self.hits += 1
+            obs.counter("cache.disk.hits")
             return DiskCacheEntry(so_path=so_path, meta=meta)
 
     def invalidate(self, key: str) -> None:
@@ -209,7 +207,7 @@ class KernelCache:
     def __init__(self, maxsize: int | None = None) -> None:
         self._kernels: OrderedDict[tuple[str, str], object] = OrderedDict()
         self._maxsize = maxsize if maxsize is not None \
-            else _env_int("REPRO_CACHE_MEM_ENTRIES", 256)
+            else env_int("REPRO_CACHE_MEM_ENTRIES", 256, minimum=1)
         self.hits = 0
         self.misses = 0
         self._lock = threading.Lock()
@@ -232,6 +230,8 @@ class KernelCache:
             else:
                 self.hits += 1
                 self._kernels.move_to_end(key)
+        obs.counter("cache.mem.hits" if kernel is not None
+                    else "cache.mem.misses")
         return kernel
 
     def put_for(self, staged: StagedFunction, backend: str,

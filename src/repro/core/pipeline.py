@@ -15,6 +15,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.codegen.cgen import emit_c_source
 from repro.codegen.compiler import CompileError
 from repro.codegen.native import NativeKernel, NativeLinkError
@@ -58,6 +59,7 @@ class CompiledKernel:
     fallback_reason: str | None = None
     cost_model: CostModel = field(default_factory=CostModel, repr=False)
     report: CompileReport | None = field(default=None, repr=False)
+    trace: list = field(default_factory=list, repr=False)
 
     @property
     def name(self) -> str:
@@ -93,6 +95,38 @@ class CompiledKernel:
     def flops_per_cycle(self, flops: float, params: dict[str, float],
                         footprints: dict[str, float] | None = None) -> float:
         return self.cost(params, footprints).flops_per_cycle(flops)
+
+    def explain(self) -> str:
+        """What happened when this kernel was built, and where its
+        runtime goes: the build-time span tree (``self.trace``), the
+        compile report, and — when the simulator backend has executed —
+        the instruction mix observed so far.
+        """
+        from repro.obs.report import render_span_tree
+        lines = [f"kernel {self.name!r}: backend={self.backend.value}"]
+        if self.fallback_reason:
+            lines.append(f"fallback_reason: {self.fallback_reason}")
+        if self.report is not None:
+            r = self.report
+            lines.append(
+                f"compile report: cache_source={r.cache_source} "
+                f"smoke={r.smoke} compiler={r.compiler} "
+                f"invocations={r.compiler_invocations}")
+            for a in r.attempts:
+                lines.append(f"  attempt {a.compiler}/{a.rung}: "
+                             f"{a.outcome} ({a.duration_s * 1e3:.1f} ms)")
+        if self.trace:
+            lines.append("build trace:")
+            lines.append(render_span_tree(self.trace))
+        else:
+            lines.append("build trace: (none recorded; REPRO_OBS off or "
+                         "served from the in-memory cache)")
+        mix = self._machine.op_counts
+        if mix:
+            lines.append("simulated instruction mix (top 10):")
+            for op, count in mix.most_common(10):
+                lines.append(f"  {op:40s} {count}")
+        return "\n".join(lines)
 
 
 def _shadow_args(args: Sequence[Any]) -> list[Any]:
@@ -154,23 +188,39 @@ def compile_staged(fn: Callable[..., object], arg_types: Sequence[Type],
     requested = backend or os.environ.get("REPRO_BACKEND", "auto")
     if requested not in ("auto", "native", "simulated"):
         raise ValueError(f"unknown backend {requested!r}")
-    staged = stage_function(fn, arg_types, name)
-    if use_cache:
-        from repro.core.cache import default_cache
-        cached = default_cache.get_for(staged, requested)
-        if cached is not None:
-            return cached
-    kind, native, reason, report = _pick_backend(staged, requested)
-    c_source = native.c_source if native is not None and native.c_source \
-        else _try_emit_c(staged)
-    kernel = CompiledKernel(
-        staged=staged, backend=kind, c_source=c_source,
-        machine_kernel=lower_staged(staged), _native=native,
-        fallback_reason=reason, report=report,
-    )
-    if use_cache:
-        from repro.core.cache import default_cache
-        default_cache.put_for(staged, requested, kernel)
+    trace_id: int | None = None
+    with obs.span("pipeline", requested=requested) as pipe_span:
+        trace_id = obs.get_tracer().current_trace_id()
+        with obs.span("stage"):
+            staged = stage_function(fn, arg_types, name)
+        pipe_span.set("kernel", staged.name)
+        if use_cache:
+            from repro.core.cache import default_cache
+            cached = default_cache.get_for(staged, requested)
+            if cached is not None:
+                pipe_span.set("cache_source", "memory")
+                return cached
+        kind, native, reason, report = _pick_backend(staged, requested)
+        c_source = native.c_source \
+            if native is not None and native.c_source \
+            else _try_emit_c(staged)
+        with obs.span("lower"):
+            machine_kernel = lower_staged(staged)
+        kernel = CompiledKernel(
+            staged=staged, backend=kind, c_source=c_source,
+            machine_kernel=machine_kernel, _native=native,
+            fallback_reason=reason, report=report,
+        )
+        pipe_span.set("backend", kind.value)
+        obs.counter("pipeline.backend", kind=kind.value)
+        if reason is not None:
+            pipe_span.set("reason", reason)
+            obs.counter("pipeline.fallbacks")
+        if use_cache:
+            from repro.core.cache import default_cache
+            default_cache.put_for(staged, requested, kernel)
+    if trace_id is not None:
+        kernel.trace = obs.get_tracer().spans_for_trace(trace_id)
     return kernel
 
 

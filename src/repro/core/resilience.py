@@ -40,6 +40,7 @@ from typing import Any, Iterator, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.codegen.compiler import (
     CompileAttempt,
     CompileError,
@@ -62,6 +63,7 @@ from repro.codegen.native import (
     required_isas,
 )
 from repro.core.cache import DiskKernelCache, default_cache, graph_hash
+from repro.core.env import env_float
 from repro.lms.staging import StagedFunction
 from repro.lms.types import ArrayType, ScalarType
 from repro.simd.machine import SimdMachine
@@ -129,6 +131,8 @@ _state_lock = threading.Lock()
 def quarantine(graph_hash_: str, reason: str) -> None:
     with _state_lock:
         _quarantined[graph_hash_] = reason
+    obs.counter("quarantine.events")
+    obs.event("quarantine", graph_hash=graph_hash_, reason=reason)
 
 
 def quarantined_kernels() -> dict[str, str]:
@@ -236,10 +240,7 @@ class SmokeVerdict:
 
 
 def _smoke_timeout() -> float:
-    try:
-        return float(os.environ.get("REPRO_SMOKE_TIMEOUT", "30"))
-    except ValueError:
-        return 30.0
+    return env_float("REPRO_SMOKE_TIMEOUT", 30.0, minimum=0.01)
 
 
 def _child_smoke(artifact: NativeArtifact, shadow: list[Any],
@@ -457,79 +458,95 @@ def acquire_native(staged: StagedFunction, *,
     ghash = graph_hash(staged)
     report = CompileReport(graph_hash=ghash)
 
-    with _state_lock:
-        reason = _quarantined.get(ghash)
-    if reason is not None:
-        report.fallback_reason = f"quarantined: {reason}"
-        raise KernelQuarantinedError(ghash, reason, report)
+    with obs.span("acquire", kernel=staged.name,
+                  graph_hash=ghash) as acq_span:
+        with _state_lock:
+            reason = _quarantined.get(ghash)
+        if reason is not None:
+            report.fallback_reason = f"quarantined: {reason}"
+            raise KernelQuarantinedError(ghash, reason, report)
 
-    if not ccs:
-        exc: Exception = NativeLinkError("no C compiler available")
-        exc.report = report  # type: ignore[attr-defined]
-        raise exc
+        if not ccs:
+            exc: Exception = NativeLinkError("no C compiler available")
+            exc.report = report  # type: ignore[attr-defined]
+            raise exc
 
-    isas = required_isas(staged)
-    try:
-        check_kernel_isas(staged.name, isas, system, ccs)
-    except NativeLinkError as err:
-        err.report = report  # type: ignore[attr-defined]
-        raise
-
-    use_disk = _disk_enabled() if use_disk_cache is None else use_disk_cache
-    disk = default_cache.disk if use_disk else None
-
-    artifact = None
-    if disk is not None:
-        artifact = _disk_lookup(disk, staged, ghash, isas, ccs, system,
-                                report)
-    if artifact is None:
+        isas = required_isas(staged)
         try:
-            artifact = build_native(staged, check_isas=False,
-                                    compilers=ccs,
-                                    attempts=report.attempts,
-                                    max_retries=max_retries)
-        except CompileError as err:
-            report.fallback_reason = str(err)
+            check_kernel_isas(staged.name, isas, system, ccs)
+        except NativeLinkError as err:
             err.report = report  # type: ignore[attr-defined]
             raise
-        report.cache_source = "compiled"
-        if artifact.compiler is not None:
-            report.compiler = artifact.compiler.name
-            report.compiler_version = artifact.compiler.version
-            report.flags = artifact.flags
+
+        use_disk = _disk_enabled() if use_disk_cache is None \
+            else use_disk_cache
+        disk = default_cache.disk if use_disk else None
+
+        artifact = None
         if disk is not None:
-            _disk_store(disk, artifact, ghash)
+            with obs.span("disk_probe") as probe_span:
+                artifact = _disk_lookup(disk, staged, ghash, isas, ccs,
+                                        system, report)
+                probe_span.set(
+                    "outcome", "hit" if artifact is not None else "miss")
+            obs.counter("acquire.disk_probe",
+                        outcome="hit" if artifact is not None else "miss")
+        if artifact is None:
+            try:
+                artifact = build_native(staged, check_isas=False,
+                                        compilers=ccs,
+                                        attempts=report.attempts,
+                                        max_retries=max_retries)
+            except CompileError as err:
+                report.fallback_reason = str(err)
+                err.report = report  # type: ignore[attr-defined]
+                raise
+            report.cache_source = "compiled"
+            if artifact.compiler is not None:
+                report.compiler = artifact.compiler.name
+                report.compiler_version = artifact.compiler.version
+                report.flags = artifact.flags
+            if disk is not None:
+                _disk_store(disk, artifact, ghash)
+        acq_span.set("cache_source", report.cache_source)
 
-    run_smoke = _smoke_enabled() if smoke is None else smoke
-    if not run_smoke:
-        report.smoke = "disabled"
-    else:
-        token = _artifact_token(ghash, artifact.so_path)
-        with _state_lock:
-            already_trusted = token in _trusted
-        if already_trusted:
-            report.smoke = "trusted"
-        else:
-            verdict = smoke_test_artifact(artifact)
-            report.smoke = verdict.status
-            if verdict.failed:
-                reason = f"{verdict.status}: {verdict.detail}" \
-                    if verdict.detail else verdict.status
-                quarantine(ghash, reason)
-                if disk is not None and artifact.compiler is not None:
-                    # never serve a condemned artifact to anyone else
-                    disk.invalidate(DiskKernelCache.artifact_key(
-                        ghash, artifact.compiler.version,
-                        artifact.flags, artifact.isas))
-                report.fallback_reason = f"quarantined: {reason}"
-                raise KernelQuarantinedError(ghash, reason, report)
-            if verdict.status == "passed":
+        run_smoke = _smoke_enabled() if smoke is None else smoke
+        with obs.span("smoke", kernel=staged.name) as smoke_span:
+            if not run_smoke:
+                report.smoke = "disabled"
+            else:
+                token = _artifact_token(ghash, artifact.so_path)
                 with _state_lock:
-                    _trusted.add(token)
+                    already_trusted = token in _trusted
+                if already_trusted:
+                    report.smoke = "trusted"
+                else:
+                    verdict = smoke_test_artifact(artifact)
+                    report.smoke = verdict.status
+                    if verdict.failed:
+                        reason = f"{verdict.status}: {verdict.detail}" \
+                            if verdict.detail else verdict.status
+                        smoke_span.set("verdict", report.smoke)
+                        obs.counter("smoke.verdicts", status=report.smoke)
+                        quarantine(ghash, reason)
+                        if disk is not None and \
+                                artifact.compiler is not None:
+                            # never serve a condemned artifact to others
+                            disk.invalidate(DiskKernelCache.artifact_key(
+                                ghash, artifact.compiler.version,
+                                artifact.flags, artifact.isas))
+                        report.fallback_reason = f"quarantined: {reason}"
+                        raise KernelQuarantinedError(ghash, reason, report)
+                    if verdict.status == "passed":
+                        with _state_lock:
+                            _trusted.add(token)
+            smoke_span.set("verdict", report.smoke)
+        obs.counter("smoke.verdicts", status=report.smoke)
 
-    try:
-        native = link_native(artifact)
-    except NativeLinkError as err:
-        err.report = report  # type: ignore[attr-defined]
-        raise
-    return native, report
+        with obs.span("link", kernel=staged.name):
+            try:
+                native = link_native(artifact)
+            except NativeLinkError as err:
+                err.report = report  # type: ignore[attr-defined]
+                raise
+        return native, report

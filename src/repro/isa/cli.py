@@ -10,6 +10,8 @@ paper artifact's ``test-only cgo.GenerateIntrinsics`` step that fills the
 from __future__ import annotations
 
 import argparse
+import json
+import sys
 from pathlib import Path
 
 from repro.isa.generator import generate_edsl_modules
@@ -30,7 +32,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="spec version to generate eDSLs for")
     parser.add_argument("--all-xml", action="store_true",
                         help="also write every historical XML version")
+    parser.add_argument("--json", nargs="?", const="-", default=None,
+                        metavar="PATH", dest="json_out",
+                        help="emit the per-ISA census as JSON to PATH "
+                             "(or stdout when no PATH is given)")
     args = parser.parse_args(argv)
+
+    # keep stdout machine-parseable when the JSON goes there
+    human = sys.stderr if args.json_out == "-" else sys.stdout
 
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -38,7 +47,7 @@ def main(argv: list[str] | None = None) -> int:
     versions = sorted(SPEC_VERSIONS) if args.all_xml else [args.version]
     for v in versions:
         path = write_spec_version(out / "xml", v)
-        print(f"wrote {path}")
+        print(f"wrote {path}", file=human)
 
     entries = all_entries(args.version)
     census = take_census(entries)
@@ -53,10 +62,30 @@ def main(argv: list[str] | None = None) -> int:
             total_lines += gm.source.count("\n")
     print(f"\ngenerated eDSLs for {len(per_isa)} ISAs "
           f"({census.total_unique} unique intrinsics, "
-          f"{total_lines} lines of generated Scala-analog code)")
-    print(f"{'ISA':10s} {'count':>6s} {'paper':>6s}")
+          f"{total_lines} lines of generated Scala-analog code)",
+          file=human)
+    print(f"{'ISA':10s} {'count':>6s} {'paper':>6s}", file=human)
     for isa, mine, paper in census.rows():
-        print(f"{isa:10s} {mine:6d} {paper if paper else 0:6d}")
+        print(f"{isa:10s} {mine:6d} {paper if paper else 0:6d}", file=human)
+
+    if args.json_out is not None:
+        payload = {
+            "version": args.version,
+            "total_unique": census.total_unique,
+            "shared_avx512_knc": census.shared_avx512_knc,
+            "generated_lines": total_lines,
+            "isas": [{"isa": isa, "count": mine, "paper": paper}
+                     for isa, mine, paper in census.rows()],
+            "groups": census.per_group,
+        }
+        text = json.dumps(payload, indent=2) + "\n"
+        if args.json_out == "-":
+            sys.stdout.write(text)
+        else:
+            out_path = Path(args.json_out)
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+            out_path.write_text(text)
+            print(f"wrote {out_path}")
     return 0
 
 

@@ -1,0 +1,5 @@
+"""``python -m repro.obs`` entry point (see :mod:`repro.obs.report`)."""
+
+from repro.obs.report import main
+
+raise SystemExit(main())

@@ -15,6 +15,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.lms.defs import (
     ArrayApply,
     ArrayUpdate,
@@ -43,6 +44,27 @@ class ExecutionError(RuntimeError):
     """Raised when a staged graph cannot be executed."""
 
 
+_WIDTH_PREFIXES = (("_mm512", 512), ("_mm256", 256), ("_mm", 128))
+
+
+def classify_mnemonic(name: str) -> tuple[str, int]:
+    """``(family, vector-width bits)`` of one op-counter key.
+
+    ``simd._mm256_fmadd_ps`` → ``("fmadd", 256)``; scalar auxiliary ops
+    (``scalar.+``) and non-``_mm`` intrinsics (``_rdrand16_step``)
+    report width 0.
+    """
+    if name.startswith("scalar."):
+        return name[len("scalar."):], 0
+    if name.startswith("simd."):
+        name = name[len("simd."):]
+    for prefix, width in _WIDTH_PREFIXES:
+        if name.startswith(prefix + "_"):
+            rest = name[len(prefix) + 1:]
+            return rest.split("_", 1)[0], width
+    return name.lstrip("_").split("_", 1)[0], 0
+
+
 def _as_scalar(tp: ScalarType, value: Any):
     """Coerce a runtime value to the numpy scalar type of ``tp``.
 
@@ -61,10 +83,16 @@ def _as_scalar(tp: ScalarType, value: Any):
 class SimdMachine:
     """Interprets staged functions over numpy memory."""
 
-    def __init__(self, seed: int = 0x5EED):
+    def __init__(self, seed: int = 0x5EED, profile: bool | None = None):
         self.rng = random.Random(seed)
         self.tsc = 0
         self.op_counts: Counter[str] = Counter()
+        # Opt-in instruction-mix profiling: when on, each run() flushes
+        # its op-count delta into the repro.obs metrics registry,
+        # classified by mnemonic family and vector width.  Defaults to
+        # the REPRO_OBS_PROFILE environment switch (off).
+        self._profile = obs.profile_enabled() if profile is None \
+            else profile
 
     # -- public API ----------------------------------------------------------
 
@@ -82,9 +110,24 @@ class SimdMachine:
         env: dict[int, Any] = {}
         for param, value in zip(staged.params, args):
             env[param.id] = self._check_arg(param, value)
+        profiling = self._profile and obs.obs_enabled()
+        before = Counter(self.op_counts) if profiling else None
         body = schedule_block(staged.body)
         self._exec_block(body, env)
-        return self._eval(body.result, env)
+        result = self._eval(body.result, env)
+        if profiling:
+            self._flush_profile(before)
+        return result
+
+    def _flush_profile(self, before: Counter) -> None:
+        """Export this run's op-count delta as ``sim.ops`` counters."""
+        delta = Counter(self.op_counts)
+        delta.subtract(before)
+        for op, count in delta.items():
+            if count <= 0:
+                continue
+            family, width = classify_mnemonic(op)
+            obs.counter("sim.ops", count, family=family, width=width)
 
     # -- argument checking -----------------------------------------------------
 

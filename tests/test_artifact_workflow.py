@@ -53,6 +53,28 @@ class TestGenerateIntrinsics:
         assert sse3.exists()
         compile(sse3.read_text(), str(sse3), "exec")
 
+    def test_json_census_to_stdout_is_pure(self, tmp_path, capsys):
+        import json
+        rc = gen_cli(["--out", str(tmp_path), "--json"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # human chatter on stderr
+        assert "generated eDSLs" in captured.err
+        assert payload["total_unique"] > 3000
+        isas = {row["isa"]: row["count"] for row in payload["isas"]}
+        assert isas["SSE3"] > 0 and "AVX-512" in isas
+        assert payload["generated_lines"] > 10_000
+
+    def test_json_census_to_file(self, tmp_path, capsys):
+        import json
+        out_json = tmp_path / "census.json"
+        rc = gen_cli(["--out", str(tmp_path), "--json", str(out_json)])
+        assert rc == 0
+        payload = json.loads(out_json.read_text())
+        assert payload["version"] == "3.3.16"
+        assert len(payload["isas"]) >= 13
+        assert str(out_json) in capsys.readouterr().out
+
 
 class TestSaxpyWorkflow:
     """cgo.TestSaxpy / cgo.TestMultiSaxpy."""

@@ -1,0 +1,325 @@
+"""The repro.obs core: spans, metrics, exporters, the report renderer,
+and the tolerant env-var helpers."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.core.env import env_float, env_int
+from repro.obs.core import (
+    MetricsRegistry,
+    Span,
+    Tracer,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.obs.report import build_tree, render_report, report_from_file
+from repro.simd.machine import SimdMachine, classify_mnemonic
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs(monkeypatch):
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    monkeypatch.delenv("REPRO_OBS_PROFILE", raising=False)
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestTracer:
+    def test_span_tree_parentage(self):
+        tracer = Tracer()
+        with tracer.span("root") as r:
+            r.set("kernel", "saxpy")
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        spans = tracer.finished_spans()
+        by_name = {s.name: s for s in spans}
+        assert by_name["child"].parent_id == by_name["root"].span_id
+        assert by_name["grandchild"].parent_id == by_name["child"].span_id
+        assert by_name["sibling"].parent_id == by_name["root"].span_id
+        assert by_name["root"].parent_id is None
+        # all four share the root's trace id
+        assert len({s.trace_id for s in spans}) == 1
+        assert by_name["root"].attrs["kernel"] == "saxpy"
+
+    def test_start_order_and_durations(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        spans = tracer.finished_spans()
+        assert [s.name for s in spans] == ["a", "b"]
+        for s in spans:
+            assert s.end_ns is not None and s.duration_ns >= 0
+
+    def test_ring_buffer_bounded(self):
+        tracer = Tracer(capacity=16)
+        for i in range(100):
+            tracer.event(f"e{i}")
+        spans = tracer.finished_spans()
+        assert len(spans) == 16
+        assert spans[-1].name == "e99"
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        (span,) = tracer.finished_spans()
+        assert span.status == "error"
+        assert span.attrs["error"] == "ValueError"
+
+    def test_separate_roots_get_separate_traces(self):
+        tracer = Tracer()
+        with tracer.span("one"):
+            pass
+        with tracer.span("two"):
+            pass
+        a, b = tracer.finished_spans()
+        assert a.trace_id != b.trace_id
+        assert tracer.spans_for_trace(a.trace_id) == [a]
+
+    def test_thread_local_stacks(self):
+        tracer = Tracer()
+        seen = []
+
+        def worker(tag):
+            with tracer.span(f"root-{tag}"):
+                with tracer.span(f"leaf-{tag}"):
+                    pass
+            seen.append(tag)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == 4
+        spans = tracer.finished_spans()
+        assert len(spans) == 8
+        for i in range(4):
+            root = next(s for s in spans if s.name == f"root-{i}")
+            leaf = next(s for s in spans if s.name == f"leaf-{i}")
+            assert leaf.parent_id == root.span_id
+            assert leaf.trace_id == root.trace_id
+
+
+class TestDisabled:
+    def test_no_spans_or_metrics_when_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "0")
+        with obs.span("invisible") as sp:
+            sp.set("k", "v")
+        obs.counter("nope")
+        obs.observe("nope_s", 1.0)
+        obs.event("nope-event")
+        assert obs.get_tracer().finished_spans() == []
+        assert obs.get_registry().counter_value("nope") == 0
+        assert obs.get_registry().snapshot()["histograms"] == {}
+
+    def test_enabled_by_default(self):
+        assert obs.obs_enabled()
+        assert not obs.profile_enabled()
+
+
+class TestMetrics:
+    def test_counter_labels_and_sum(self):
+        reg = MetricsRegistry()
+        reg.inc("compile.attempts", outcome="ok")
+        reg.inc("compile.attempts", outcome="ok")
+        reg.inc("compile.attempts", outcome="permanent")
+        assert reg.counter_value("compile.attempts", outcome="ok") == 2
+        assert reg.counter_value("compile.attempts") == 3
+        assert reg.counters()["compile.attempts{outcome=ok}"] == 2
+
+    def test_gauge_and_histogram(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("queue.depth", 7)
+        reg.observe("compile_s", 0.02, buckets=(0.01, 0.1, 1.0))
+        reg.observe("compile_s", 5.0, buckets=(0.01, 0.1, 1.0))
+        snap = reg.snapshot()
+        assert snap["gauges"]["queue.depth"] == 7
+        hist = snap["histograms"]["compile_s"]
+        assert hist["count"] == 2
+        assert hist["counts"] == [0, 1, 1]
+        assert hist["sum"] == pytest.approx(5.02)
+
+    def test_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        reg.inc("cache.mem.hits", 3)
+        reg.inc("compile.attempts", outcome="ok")
+        reg.set_gauge("ring.size", 4)
+        reg.observe("smoke_s", 0.2, buckets=(0.1, 1.0))
+        text = reg.prometheus_text()
+        assert "# TYPE repro_cache_mem_hits_total counter" in text
+        assert "repro_cache_mem_hits_total 3" in text
+        assert 'repro_compile_attempts_total{outcome="ok"} 1' in text
+        assert "# TYPE repro_ring_size gauge" in text
+        assert 'repro_smoke_s_bucket{le="+Inf"} 1' in text
+        assert "repro_smoke_s_count 1" in text
+
+    def test_thread_safety_under_contention(self):
+        reg = MetricsRegistry()
+
+        def spin():
+            for _ in range(1000):
+                reg.inc("spins")
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter_value("spins") == 8000
+
+
+class TestExportImport:
+    def test_jsonl_round_trip(self, tmp_path):
+        with obs.span("root"):
+            with obs.span("leaf", outcome="ok"):
+                pass
+        obs.counter("cache.mem.hits", 2)
+        path = obs.export_trace(tmp_path / "trace.jsonl")
+        spans, metrics = read_jsonl(path)
+        assert [s.name for s in spans] == ["root", "leaf"]
+        assert spans[1].attrs["outcome"] == "ok"
+        assert metrics["counters"]["cache.mem.hits"] == 2
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        good = Span("ok", 1, None, 1, 0, 5).to_dict()
+        path = tmp_path / "t.jsonl"
+        path.write_text("not json\n" + json.dumps(good) + "\n[1,2]\n")
+        spans, metrics = read_jsonl(path)
+        assert len(spans) == 1 and metrics is None
+
+    def test_orphan_spans_promoted_to_roots(self):
+        spans = [Span("orphan", 5, 99, 1, 10, 20),
+                 Span("root", 6, None, 1, 0, 30)]
+        roots, children = build_tree(spans)
+        assert {s.name for s in roots} == {"root", "orphan"}
+        assert children == {}
+
+
+class TestReport:
+    def _record_some_activity(self):
+        with obs.span("pipeline", kernel="saxpy"):
+            with obs.span("stage"):
+                pass
+            with obs.span("compile"):
+                with obs.span("compile.attempt", compiler="gcc",
+                              rung="O3", outcome="ok"):
+                    pass
+        obs.counter("cache.mem.hits", 3)
+        obs.counter("cache.mem.misses", 1)
+        obs.counter("compile.attempts", outcome="ok", compiler="gcc")
+        obs.counter("compile.retries", 2)
+
+    def test_render_report_from_file(self, tmp_path):
+        self._record_some_activity()
+        path = obs.export_trace(tmp_path / "trace.jsonl")
+        text = report_from_file(str(path))
+        assert "pipeline" in text and "compile.attempt" in text
+        assert "75.0% hit rate" in text
+        assert "retries=2" in text
+        assert "ok=1" in text
+
+    def test_report_cli_main(self, tmp_path, capsys):
+        from repro.obs.report import main
+        self._record_some_activity()
+        path = obs.export_trace(tmp_path / "trace.jsonl")
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "== span tree" in out and "== cache ==" in out
+
+    def test_report_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        text = report_from_file(str(path))
+        assert "no spans recorded" in text
+
+    def test_metrics_cli_main(self, capsys):
+        from repro.obs.report import main
+        obs.counter("cache.mem.hits")
+        assert main(["metrics"]) == 0
+        assert "repro_cache_mem_hits_total 1" in capsys.readouterr().out
+
+
+class TestSimulatorProfile:
+    def test_classify_mnemonic(self):
+        assert classify_mnemonic("simd._mm256_fmadd_ps") == ("fmadd", 256)
+        assert classify_mnemonic("simd._mm_add_ps") == ("add", 128)
+        assert classify_mnemonic("simd._mm512_load_si512") == ("load", 512)
+        assert classify_mnemonic("scalar.+") == ("+", 0)
+        assert classify_mnemonic("simd._rdrand16_step") == \
+            ("rdrand16", 0)
+
+    def test_profile_flush_opt_in(self):
+        from repro.kernels import make_staged_saxpy
+        import numpy as np
+        staged = make_staged_saxpy()
+        a = np.ones(16, dtype=np.float32)
+        b = np.ones(16, dtype=np.float32)
+
+        SimdMachine(profile=False).run(staged, [a, b, 2.0, 16])
+        assert obs.get_registry().counter_value("sim.ops") == 0
+
+        SimdMachine(profile=True).run(staged, [a, b, 2.0, 16])
+        reg = obs.get_registry()
+        assert reg.counter_value("sim.ops") > 0
+        fmadds = reg.counter_value("sim.ops", family="fmadd", width=256)
+        assert fmadds > 0
+
+    def test_profile_env_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_PROFILE", "1")
+        machine = SimdMachine()
+        assert machine._profile
+
+
+class TestEnvHelpers:
+    def test_defaults_when_unset(self, monkeypatch):
+        monkeypatch.delenv("X_FLOAT", raising=False)
+        assert env_float("X_FLOAT", 1.5) == 1.5
+        assert env_int("X_INT", 7) == 7
+
+    def test_parses_good_values(self, monkeypatch):
+        monkeypatch.setenv("X_FLOAT", "2.5")
+        monkeypatch.setenv("X_INT", "9")
+        assert env_float("X_FLOAT", 1.0) == 2.5
+        assert env_int("X_INT", 1) == 9
+
+    def test_malformed_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("X_FLOAT", "soon")
+        monkeypatch.setenv("X_INT", "3.5")
+        with pytest.warns(RuntimeWarning, match="X_FLOAT"):
+            assert env_float("X_FLOAT", 4.0) == 4.0
+        with pytest.warns(RuntimeWarning, match="X_INT"):
+            assert env_int("X_INT", 2) == 2
+
+    def test_minimum_clamps(self, monkeypatch):
+        monkeypatch.setenv("X_INT", "-5")
+        assert env_int("X_INT", 2, minimum=0) == 0
+        monkeypatch.setenv("X_FLOAT", "0")
+        assert env_float("X_FLOAT", 30.0, minimum=0.01) == 0.01
+
+    def test_smoke_timeout_tolerates_garbage(self, monkeypatch):
+        from repro.core.resilience import _smoke_timeout
+        monkeypatch.setenv("REPRO_SMOKE_TIMEOUT", "banana")
+        with pytest.warns(RuntimeWarning):
+            assert _smoke_timeout() == 30.0
+
+    def test_compile_knobs_tolerate_garbage(self, monkeypatch):
+        from repro.codegen.compiler import _compile_timeout, _max_retries
+        monkeypatch.setenv("REPRO_COMPILE_TIMEOUT", "NaNsense")
+        monkeypatch.setenv("REPRO_COMPILE_RETRIES", "two")
+        with pytest.warns(RuntimeWarning):
+            assert _compile_timeout() == 120.0
+        with pytest.warns(RuntimeWarning):
+            assert _max_retries() == 2
