@@ -30,7 +30,6 @@ from repro.lms.defs import (
     WhileLoop,
 )
 from repro.lms.expr import Const, Exp, Sym
-from repro.lms.schedule import schedule_block
 from repro.lms.staging import StagedFunction
 from repro.lms.types import (
     ArrayType,
@@ -218,7 +217,7 @@ def emit_c_source(staged: StagedFunction,
     ``Java_<package>_<class>_<method>`` naming convention, which the
     paper automates with Scala macros and we automate here.
     """
-    body = schedule_block(staged.body)
+    body = staged.scheduled()
     em = _Emitter()
     for stm in body.stms:
         em.stm(stm)

@@ -58,13 +58,22 @@ def graph_hash(staged: StagedFunction) -> str:
 
     Two stagings of the same kernel produce identical SSA numbering
     (the builder is deterministic), so the hash is stable across
-    re-staging and across processes.
+    re-staging and across processes.  Memoized on the instance: every
+    cache tier keys on it, and hashing before vs after scheduling (which
+    rewrites nested blocks in place) must yield one stable key.
     """
+    cached = getattr(staged, "_graph_hash", None)
+    if cached is not None:
+        return cached
     tokens: list[str] = [staged.name]
     tokens += [f"p:{p.id}:{p.tp.name}" for p in staged.params]
     _block_tokens(staged.body, tokens)
-    digest = hashlib.sha256("\n".join(tokens).encode()).hexdigest()
-    return digest[:24]
+    digest = hashlib.sha256("\n".join(tokens).encode()).hexdigest()[:24]
+    try:
+        staged._graph_hash = digest
+    except AttributeError:  # pragma: no cover - non-dataclass stand-in
+        pass
+    return digest
 
 
 def cache_root() -> Path:
@@ -256,4 +265,55 @@ class KernelCache:
             return len(self._kernels)
 
 
+class ProgramCache:
+    """In-process memo of closure-compiled simulator programs.
+
+    Keyed by structural graph hash alone (unlike :class:`KernelCache`
+    there is no backend dimension — a compiled program is the simulator
+    backend).  Re-staging an identical kernel, a benchmark sweep over
+    sizes, or a smoke-run against a fresh ``SimdMachine`` all reuse one
+    program; entries are LRU-bounded by ``REPRO_CACHE_PROGRAM_ENTRIES``.
+    """
+
+    def __init__(self, maxsize: int | None = None) -> None:
+        self._programs: OrderedDict[str, object] = OrderedDict()
+        self._maxsize = maxsize if maxsize is not None \
+            else env_int("REPRO_CACHE_PROGRAM_ENTRIES", 256, minimum=1)
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+
+    def get(self, staged: StagedFunction):
+        key = graph_hash(staged)
+        with self._lock:
+            program = self._programs.get(key)
+            if program is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+                self._programs.move_to_end(key)
+        obs.counter("cache.program.hits" if program is not None
+                    else "cache.program.misses")
+        return program
+
+    def put(self, staged: StagedFunction, program: object) -> None:
+        key = graph_hash(staged)
+        with self._lock:
+            self._programs[key] = program
+            self._programs.move_to_end(key)
+            while len(self._programs) > self._maxsize:
+                self._programs.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._programs.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._programs)
+
+
 default_cache = KernelCache()
+program_cache = ProgramCache()

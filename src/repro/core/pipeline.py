@@ -104,6 +104,7 @@ class CompiledKernel:
         """
         from repro.obs.report import render_span_tree
         lines = [f"kernel {self.name!r}: backend={self.backend.value}"]
+        lines.append(f"simulator engine: {self._machine.executor}")
         if self.fallback_reason:
             lines.append(f"fallback_reason: {self.fallback_reason}")
         if self.report is not None:

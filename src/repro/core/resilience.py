@@ -197,9 +197,12 @@ def _copy_args(args: Sequence[Any]) -> list[Any]:
             for a in args]
 
 
-def _validated_shadow_args(staged: StagedFunction) -> list[Any] | None:
+def _validated_shadow_args(staged: StagedFunction,
+                           machine: SimdMachine | None = None
+                           ) -> list[Any] | None:
     """The first candidate set the bit-accurate simulator accepts."""
-    machine = SimdMachine()
+    if machine is None:
+        machine = SimdMachine()
     for args in _candidate_shadow_args(staged):
         try:
             machine.run(staged, _copy_args(args))
@@ -297,12 +300,15 @@ def smoke_test_artifact(artifact: NativeArtifact,
     """
     if not hasattr(os, "fork"):
         return SmokeVerdict("skipped", "os.fork unavailable")
-    shadow = _validated_shadow_args(artifact.staged)
+    # One machine validates and produces the expectation: the staged
+    # function's compiled executor program is built once and shared.
+    machine = SimdMachine()
+    shadow = _validated_shadow_args(artifact.staged, machine)
     if shadow is None:
         return SmokeVerdict(
             "skipped", "no simulator-validated shadow arguments")
     expected_args = _copy_args(shadow)
-    expected_ret = SimdMachine().run(artifact.staged, expected_args)
+    expected_ret = machine.run(artifact.staged, expected_args)
     if timeout is None:
         timeout = _smoke_timeout()
 

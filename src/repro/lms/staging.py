@@ -29,10 +29,30 @@ class StagedFunction:
     body: Block
     effects: Effects
     builder: IRBuilder = field(repr=False)
+    # Per-instance memos (never compared, never printed): the scheduled
+    # body, the structural graph hash (repro.core.cache.graph_hash) and
+    # the closure-compiled executor program (repro.simd.exec).
+    _scheduled_body: Block | None = field(
+        default=None, repr=False, compare=False)
+    _graph_hash: str | None = field(default=None, repr=False, compare=False)
+    _exec_program: object | None = field(
+        default=None, repr=False, compare=False)
 
     @property
     def result_type(self) -> Type:
         return self.body.result.tp
+
+    def scheduled(self) -> Block:
+        """The scheduled (dead-code-eliminated) body, computed once.
+
+        ``schedule_block`` is idempotent but O(graph); executors and
+        code generators that used to re-schedule on every call go
+        through here so repeated runs pay it exactly once.
+        """
+        if self._scheduled_body is None:
+            from repro.lms.schedule import schedule_block
+            self._scheduled_body = schedule_block(self.body)
+        return self._scheduled_body
 
     @property
     def param_types(self) -> list[Type]:

@@ -11,13 +11,16 @@ computation graph can be executed here with bit-accurate Intel semantics
 """
 
 from repro.simd.vector import VecValue, MaskValue
+from repro.simd.exec import CompiledProgram, compile_program
 from repro.simd.machine import SimdMachine, execute_staged
 from repro.simd.semantics import registry as semantics_registry
 
 __all__ = [
+    "CompiledProgram",
     "MaskValue",
     "SimdMachine",
     "VecValue",
+    "compile_program",
     "execute_staged",
     "semantics_registry",
 ]

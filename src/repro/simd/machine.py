@@ -5,10 +5,23 @@ the C backend unparses and compiles is interpreted here against the
 executable intrinsic semantics, with C scalar semantics for the auxiliary
 operations (fixed-width wraparound, truncating division).  Arrays are
 numpy arrays, playing the role of pinned JVM primitive arrays.
+
+Two execution engines share this front door:
+
+* ``compiled`` (default) — the compile-once closure executor of
+  :mod:`repro.simd.exec`: the scheduled block is translated once into a
+  flat tuple of specialized step closures over a slot-indexed register
+  file, memoized per :class:`StagedFunction` and by structural graph
+  hash.
+* ``tree`` — the reference tree-walking interpreter below, kept
+  bit-identical to the compiled engine and selectable with
+  ``REPRO_SIM_EXEC=tree`` or ``SimdMachine(executor="tree")`` for
+  differential testing and debugging.
 """
 
 from __future__ import annotations
 
+import os
 import random
 from collections import Counter
 from typing import Any, Sequence
@@ -34,14 +47,24 @@ from repro.lms.defs import (
     WhileLoop,
 )
 from repro.lms.expr import Const, Exp, Sym
-from repro.lms.schedule import schedule_block
 from repro.lms.staging import StagedFunction
-from repro.lms.types import ArrayType, ScalarType
+from repro.lms.types import ScalarType
+from repro.simd.exec import (  # noqa: F401  (re-exported for compatibility)
+    ExecutionError,
+    _as_scalar,
+    _Box,
+    check_arg,
+    compile_program,
+)
 from repro.simd.semantics import lookup
 
+_EXECUTORS = ("compiled", "tree")
 
-class ExecutionError(RuntimeError):
-    """Raised when a staged graph cannot be executed."""
+
+def default_executor() -> str:
+    """The engine used when ``SimdMachine(executor=...)`` is not given:
+    ``REPRO_SIM_EXEC``, defaulting to ``compiled``."""
+    return os.environ.get("REPRO_SIM_EXEC", "compiled")
 
 
 _WIDTH_PREFIXES = (("_mm512", 512), ("_mm256", 256), ("_mm", 128))
@@ -65,25 +88,11 @@ def classify_mnemonic(name: str) -> tuple[str, int]:
     return name.lstrip("_").split("_", 1)[0], 0
 
 
-def _as_scalar(tp: ScalarType, value: Any):
-    """Coerce a runtime value to the numpy scalar type of ``tp``.
-
-    Integer coercion wraps two's-complement style (C semantics with
-    ``-fwrapv``); numpy 2.x would raise on out-of-range Python ints.
-    """
-    if not tp.is_float and tp.name != "Boolean":
-        v = int(value) & ((1 << tp.bits) - 1)
-        if tp.signed and v >= (1 << (tp.bits - 1)):
-            v -= 1 << tp.bits
-        return tp.np_dtype.type(v)
-    with np.errstate(over="ignore"):
-        return tp.np_dtype.type(value)
-
-
 class SimdMachine:
     """Interprets staged functions over numpy memory."""
 
-    def __init__(self, seed: int = 0x5EED, profile: bool | None = None):
+    def __init__(self, seed: int = 0x5EED, profile: bool | None = None,
+                 executor: str | None = None):
         self.rng = random.Random(seed)
         self.tsc = 0
         self.op_counts: Counter[str] = Counter()
@@ -93,6 +102,13 @@ class SimdMachine:
         # the REPRO_OBS_PROFILE environment switch (off).
         self._profile = obs.profile_enabled() if profile is None \
             else profile
+        engine = executor if executor is not None else default_executor()
+        if engine not in _EXECUTORS:
+            raise ValueError(
+                f"unknown simulator executor {engine!r}; "
+                f"expected one of {_EXECUTORS}"
+            )
+        self.executor = engine
 
     # -- public API ----------------------------------------------------------
 
@@ -107,16 +123,28 @@ class SimdMachine:
                 f"{staged.name} expects {len(staged.params)} arguments, "
                 f"got {len(args)}"
             )
-        env: dict[int, Any] = {}
-        for param, value in zip(staged.params, args):
-            env[param.id] = self._check_arg(param, value)
         profiling = self._profile and obs.obs_enabled()
         before = Counter(self.op_counts) if profiling else None
-        body = schedule_block(staged.body)
-        self._exec_block(body, env)
-        result = self._eval(body.result, env)
+        obs.counter("sim.exec", engine=self.executor)
+        if self.executor == "compiled":
+            result = compile_program(staged).run(self, args)
+        else:
+            result = self._run_tree(staged, args)
         if profiling:
             self._flush_profile(before)
+        return result
+
+    def _run_tree(self, staged: StagedFunction, args: Sequence[Any]) -> Any:
+        env: dict[int, Any] = {}
+        for param, value in zip(staged.params, args):
+            env[param.id] = check_arg(param, value)
+        body = staged.scheduled()
+        self._exec_block(body, env)
+        result = self._eval(body.result, env)
+        tp = body.result.tp
+        if result is not None and isinstance(tp, ScalarType) \
+                and tp.name != "Boolean":
+            result = _as_scalar(tp, result)
         return result
 
     def _flush_profile(self, before: Counter) -> None:
@@ -132,21 +160,7 @@ class SimdMachine:
     # -- argument checking -----------------------------------------------------
 
     def _check_arg(self, param: Sym, value: Any) -> Any:
-        if isinstance(param.tp, ArrayType):
-            if not isinstance(value, np.ndarray):
-                raise ExecutionError(
-                    f"parameter {param!r} needs a numpy array"
-                )
-            expected = param.tp.elem.np_dtype
-            if value.dtype != expected:
-                raise ExecutionError(
-                    f"parameter {param!r} needs dtype {expected}, got "
-                    f"{value.dtype}"
-                )
-            return value
-        if isinstance(param.tp, ScalarType):
-            return _as_scalar(param.tp, value)
-        return value
+        return check_arg(param, value)
 
     # -- evaluation -------------------------------------------------------------
 
@@ -170,58 +184,71 @@ class SimdMachine:
 
     def _exec_stm(self, stm: Stm, env: dict[int, Any]) -> Any:
         rhs = stm.rhs
-        ev = lambda e: self._eval(e, env)
 
         if isinstance(rhs, BinaryOp):
             self.op_counts["scalar." + rhs.op] += 1
-            return self._binop(rhs, ev(rhs.lhs), ev(rhs.rhs))
+            return self._binop(rhs, self._eval(rhs.lhs, env),
+                               self._eval(rhs.rhs, env))
         if isinstance(rhs, UnaryOp):
             self.op_counts["scalar." + rhs.op] += 1
-            operand = ev(rhs.operand)
+            operand = self._eval(rhs.operand, env)
             if rhs.op == "neg":
                 with np.errstate(over="ignore"):
-                    return -operand
-            if rhs.op == "not":
-                return ~operand
-            raise ExecutionError(f"unknown unary op {rhs.op}")
+                    out = -operand
+            elif rhs.op == "not":
+                out = ~operand
+            else:
+                raise ExecutionError(f"unknown unary op {rhs.op}")
+            tp = rhs.tp
+            if isinstance(tp, ScalarType) and tp.name != "Boolean":
+                return _as_scalar(tp, out)
+            return out
         if isinstance(rhs, Convert):
-            value = ev(rhs.operand)
+            value = self._eval(rhs.operand, env)
             return _as_scalar(rhs.tp, value)  # type: ignore[arg-type]
         if isinstance(rhs, Select):
-            cond, a, b = (ev(x) for x in rhs.exp_args)
-            return a if cond else b
+            cond, a, b = (self._eval(x, env) for x in rhs.exp_args)
+            out = a if cond else b
+            tp = rhs.tp
+            if isinstance(tp, ScalarType) and tp.name != "Boolean":
+                return _as_scalar(tp, out)
+            return out
         if isinstance(rhs, ArrayApply):
-            arr = ev(rhs.array)
-            return arr[int(ev(rhs.index))]
+            arr = self._eval(rhs.array, env)
+            return arr[int(self._eval(rhs.index, env))]
         if isinstance(rhs, ArrayUpdate):
-            arr = ev(rhs.array)
-            idx = int(ev(rhs.index))
+            arr = self._eval(rhs.array, env)
+            idx = int(self._eval(rhs.index, env))
             with np.errstate(over="ignore"):
-                arr[idx] = ev(rhs.value)
+                arr[idx] = self._eval(rhs.value, env)
             return None
         if isinstance(rhs, VarDecl):
-            return _Box(ev(rhs.init))
+            return _Box(self._eval(rhs.init, env))
         if isinstance(rhs, VarRead):
             box = env[rhs.var.id]
             return box.value
         if isinstance(rhs, VarAssign):
             box = env[rhs.var.id]
-            box.value = ev(rhs.value)
+            box.value = self._eval(rhs.value, env)
             return None
         if isinstance(rhs, ReflectMutable):
-            return ev(rhs.source)
+            return self._eval(rhs.source, env)
         if isinstance(rhs, ForLoop):
-            start = int(ev(rhs.start))
-            end = int(ev(rhs.end))
-            step = int(ev(rhs.step))
+            start = int(self._eval(rhs.start, env))
+            end = int(self._eval(rhs.end, env))
+            step = int(self._eval(rhs.step, env))
             if step <= 0:
                 raise ExecutionError("forloop step must be positive")
+            index_id = rhs.index.id
+            body = rhs.body
+            # The index is a plain int (consumers coerce); allocating a
+            # numpy scalar per iteration would dominate light loops.
             for i in range(start, end, step):
-                env[rhs.index.id] = np.int32(i)
-                self._exec_block(rhs.body, env)
+                env[index_id] = i
+                self._exec_block(body, env)
             return None
         if isinstance(rhs, IfThenElse):
-            if bool(ev(rhs.cond)):
+            if bool(self._eval(rhs.cond, env)):
                 return self._exec_block(rhs.then_block, env)
             return self._exec_block(rhs.else_block, env)
         if isinstance(rhs, WhileLoop):
@@ -233,7 +260,7 @@ class SimdMachine:
         if name is not None:
             self.op_counts["simd." + name] += 1
             fn = lookup(name)
-            values = [a if not isinstance(a, Exp) else ev(a)
+            values = [a if not isinstance(a, Exp) else self._eval(a, env)
                       for a in rhs.args]
             return fn(self, *values)
         raise ExecutionError(f"cannot execute node {type(rhs).__name__}")
@@ -292,15 +319,6 @@ class SimdMachine:
         if isinstance(tp, ScalarType):
             return _as_scalar(tp, out)
         return out
-
-
-class _Box:
-    """Mutable cell backing a staged variable."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value: Any):
-        self.value = value
 
 
 def execute_staged(staged: StagedFunction, args: Sequence[Any],

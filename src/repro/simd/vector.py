@@ -19,7 +19,7 @@ from repro.lms.types import VectorType
 class VecValue:
     """A SIMD register value: ``vt.bits`` bits of raw storage."""
 
-    __slots__ = ("vt", "data")
+    __slots__ = ("vt", "data", "_tv")
 
     def __init__(self, vt: VectorType, data: np.ndarray):
         if data.dtype != np.uint8 or data.size != vt.bits // 8:
@@ -29,6 +29,10 @@ class VecValue:
             )
         self.vt = vt
         self.data = data
+        # Lazily-populated (dtype, ndarray) typed view over ``data``,
+        # shared with the executor's fast paths; views alias the same
+        # buffer, so the cache never goes stale.
+        self._tv = None
 
     # -- constructors --------------------------------------------------------
 

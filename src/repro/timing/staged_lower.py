@@ -24,7 +24,6 @@ from repro.jvm.jit.lower import analyze_affine
 from repro.jvm.jtypes import JDOUBLE, JFLOAT, JINT, JLONG
 from repro.lms import defs as ldefs
 from repro.lms.expr import Const, Exp, Sym
-from repro.lms.schedule import schedule_block
 from repro.lms.staging import StagedFunction
 from repro.lms.types import ArrayType, ScalarType, VectorType
 from repro.timing.kernelmodel import (
@@ -143,7 +142,7 @@ class _StagedLowerer:
     address_syms: set[int] = field(default_factory=set)
 
     def lower(self) -> MachineKernel:
-        body = schedule_block(self.staged.body)
+        body = self.staged.scheduled()
         self.defs = {s.sym.id: s for s in _all_stms(body)}
         for sym, name in zip(self.staged.params, self.staged.param_names):
             self.param_name_of[sym.id] = name

@@ -1,11 +1,18 @@
-"""Differential testing: native C backend vs the SIMD machine.
+"""Differential testing: independent executors must agree bit-for-bit.
 
-Classic compiler validation: generate random (but well-defined) staged
-scalar kernels, compile them through gcc/clang, and require bit-exact
-agreement with the simulator.  Shift counts are masked at staging time
-and division is excluded, so every generated program has one defined
-meaning; ``-fwrapv`` gives signed wraparound the same semantics in C as
-in the graph.
+Classic compiler validation, twice over:
+
+* native C backend vs the SIMD machine — generate random (but
+  well-defined) staged scalar kernels, compile them through gcc/clang,
+  and require bit-exact agreement with the simulator.  Shift counts are
+  masked at staging time and division is excluded, so every generated
+  program has one defined meaning; ``-fwrapv`` gives signed wraparound
+  the same semantics in C as in the graph.
+* closure-compiled executor vs the reference tree interpreter — random
+  kernels over every control-flow node kind (for/if/while, variables,
+  select, convert, array reads/writes) must produce identical results,
+  identical mutated arrays, identical ``op_counts``, and identical
+  ``sim.ops`` profile counters from both engines.
 """
 
 from __future__ import annotations
@@ -14,16 +21,22 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+import repro.obs as obs
 from repro.codegen.compiler import inspect_system
 from repro.codegen.native import compile_to_native
-from repro.lms import stage_function
+from repro.lms import forloop, stage_function
 from repro.lms.expr import Exp, const
-from repro.lms.ops import convert, select
-from repro.lms.types import FLOAT, INT32
-from repro.simd.machine import execute_staged
+from repro.lms.ops import (
+    Variable,
+    array_apply,
+    array_update,
+    convert,
+    select,
+)
+from repro.lms.control import if_then_else, while_loop
+from repro.lms.types import FLOAT, INT32, array_of
+from repro.simd.machine import SimdMachine, execute_staged
 from tests.conftest import requires_compiler
-
-pytestmark = requires_compiler
 
 _INT_BINOPS = ("+", "-", "*", "&", "|", "^")
 _FLOAT_BINOPS = ("+", "-", "*")
@@ -99,6 +112,7 @@ def _build_kernel(choices: list[int], as_float: bool):
     return stage_function(fn, [INT32, INT32, FLOAT], name)
 
 
+@requires_compiler
 @settings(max_examples=12, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(choices=st.lists(st.integers(0, 10_000), min_size=8, max_size=40),
@@ -112,6 +126,7 @@ def test_integer_kernels_agree(choices, a, b):
     assert np.int32(native) == simulated, kernel.c_source
 
 
+@requires_compiler
 @settings(max_examples=12, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(choices=st.lists(st.integers(0, 10_000), min_size=8, max_size=40),
@@ -124,3 +139,100 @@ def test_float_kernels_agree_bitwise(choices, a, b, x):
     native = np.float32(kernel(a, b, x))
     simulated = np.float32(execute_staged(staged, [a, b, x]))
     assert native.tobytes() == simulated.tobytes(), kernel.c_source
+
+
+# ---------------------------------------------------------------------------
+# Compiled executor vs the reference tree interpreter.
+#
+# Random kernels exercising every control-flow node kind the compiler
+# translates: ForLoop, IfThenElse, WhileLoop, VarDecl/VarRead/VarAssign,
+# Select, Convert, ArrayApply and ArrayUpdate.  No native toolchain
+# needed — both engines are pure Python.
+# ---------------------------------------------------------------------------
+
+
+def _build_control_kernel(choices: list[int]):
+    """A random ``(arr: int[], n) -> int`` kernel with nested control
+    flow; every choice list yields one well-defined program."""
+    gen = _ExprGen(choices)
+    _counter[0] += 1
+    mode = gen.pick(3)
+    threshold = gen.pick(50)
+    stride = 1 + gen.pick(3)
+
+    def fn(arr, n):
+        acc = Variable(0)
+        total = Variable(0)
+
+        def body(i):
+            v = array_apply(arr, i)
+            # Select + Convert keep a float path alive inside the loop.
+            scaled = convert(convert(v, FLOAT) * 0.5, INT32)
+            picked = select(v < threshold, scaled, v)
+            branched = if_then_else(
+                (v & 1) == 0,
+                lambda: picked + acc.get(),
+                lambda: picked - acc.get())
+            acc.set(branched)
+            array_update(arr, i, branched)
+
+        forloop(0, n, step=stride, body=body)
+
+        if mode == 0:
+            # WhileLoop: halve the accumulator until small.
+            def wbody():
+                acc.set(acc.get() / 2)
+                total.set(total.get() + 1)
+
+            while_loop(lambda: acc.get() > 4, wbody)
+            return acc.get() + total.get()
+        if mode == 1:
+            return select(acc.get() < 0, -acc.get(), acc.get())
+        return acc.get() + array_apply(arr, 0)
+
+    return stage_function(
+        fn, [array_of(INT32), INT32], f"diff_ctl{_counter[0]}")
+
+
+def _run_engine(staged, arr: np.ndarray, n: int, engine: str):
+    obs.reset()
+    machine = SimdMachine(executor=engine, profile=True)
+    result = machine.run(staged, [arr, np.int32(n)])
+    snapshot = obs.get_registry().snapshot()
+    obs.reset()
+    return result, dict(machine.op_counts), snapshot["counters"]
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(choices=st.lists(st.integers(0, 10_000), min_size=8, max_size=40),
+       data=st.lists(st.integers(-100, 100), min_size=1, max_size=24))
+def test_compiled_and_tree_engines_agree(choices, data):
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setenv("REPRO_OBS", "1")
+        mp.setenv("REPRO_OBS_PROFILE", "1")
+        _check_engines_agree(choices, data)
+
+
+def _check_engines_agree(choices, data):
+    staged = _build_control_kernel(choices)
+    n = len(data)
+    arr_tree = np.array(data, dtype=np.int32)
+    arr_comp = np.array(data, dtype=np.int32)
+
+    r_tree, ops_tree, sim_tree = _run_engine(staged, arr_tree, n, "tree")
+    r_comp, ops_comp, sim_comp = _run_engine(
+        staged, arr_comp, n, "compiled")
+
+    assert type(r_tree) is type(r_comp)
+    assert np.int32(r_tree).tobytes() == np.int32(r_comp).tobytes()
+    assert arr_tree.dtype == arr_comp.dtype
+    assert np.array_equal(arr_tree, arr_comp)
+    assert ops_tree == ops_comp
+    # The sim.ops profile (family/width classified) must match too;
+    # drop the engine-labelled sim.exec counter first.
+    sim_tree = {k: v for k, v in sim_tree.items()
+                if k.startswith("sim.ops")}
+    sim_comp = {k: v for k, v in sim_comp.items()
+                if k.startswith("sim.ops")}
+    assert sim_tree == sim_comp
