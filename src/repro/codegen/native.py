@@ -17,7 +17,8 @@ import itertools
 import os
 import shutil
 import tempfile
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -65,9 +66,53 @@ def _ctype_for(tp: Type):
     raise NativeLinkError(f"no ctypes mapping for {tp}")
 
 
+def _array_converter(param) -> Any:
+    """One array parameter's marshalling closure.
+
+    Everything decidable from the signature — the kind test, the
+    expected dtype object, the ctypes pointer type — is resolved here,
+    once, instead of on every call (the old path re-indexed
+    ``_CTYPE_BY_SCALAR`` and re-derived ``np_dtype`` per argument per
+    call).  The per-call residue is three checks and one ``data_as``.
+    """
+    expected = param.tp.elem.np_dtype
+    ptr_type = ctypes.POINTER(_CTYPE_BY_SCALAR[param.tp.elem.name])
+
+    def convert(value: Any) -> Any:
+        if not isinstance(value, np.ndarray):
+            raise TypeError(f"expected numpy array for {param!r}")
+        if value.dtype != expected:
+            raise TypeError(
+                f"array for {param!r} must have dtype {expected}"
+            )
+        if not value.flags["C_CONTIGUOUS"]:
+            raise TypeError("arrays must be C-contiguous")
+        return value.ctypes.data_as(ptr_type)
+
+    return convert
+
+
+def marshalling_plan(staged: StagedFunction) -> tuple:
+    """The per-parameter converter tuple for a staged function's export.
+
+    ``None`` entries pass through untouched (scalars are marshalled by
+    the ``argtypes`` ctypes already carries); array entries are
+    specialized closures from :func:`_array_converter`.  A warm native
+    call is then a tuple-walk plus one ctypes invocation.
+    """
+    return tuple(
+        _array_converter(p) if isinstance(p.tp, ArrayType) else None
+        for p in staged.params)
+
+
 @dataclass
 class NativeKernel:
-    """A compiled-and-linked staged function."""
+    """A compiled-and-linked staged function.
+
+    The marshalling plan is memoized on the instance at construction
+    (``__post_init__``), so the dispatch fast path does no per-call
+    type dispatch beyond the plan's own checks.
+    """
 
     staged: StagedFunction
     c_source: str
@@ -75,30 +120,20 @@ class NativeKernel:
     symbol: str
     _fn: Any
     system: SystemInfo
+    _plan: tuple = field(default=(), repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._plan = marshalling_plan(self.staged)
 
     def __call__(self, *args: Any) -> Any:
-        if len(args) != len(self.staged.params):
+        plan = self._plan
+        if len(args) != len(plan):
             raise TypeError(
-                f"{self.staged.name} expects {len(self.staged.params)} "
+                f"{self.staged.name} expects {len(plan)} "
                 f"arguments, got {len(args)}"
             )
-        converted = []
-        for param, value in zip(self.staged.params, args):
-            if isinstance(param.tp, ArrayType):
-                if not isinstance(value, np.ndarray):
-                    raise TypeError(f"expected numpy array for {param!r}")
-                expected = param.tp.elem.np_dtype
-                if value.dtype != expected:
-                    raise TypeError(
-                        f"array for {param!r} must have dtype {expected}"
-                    )
-                if not value.flags["C_CONTIGUOUS"]:
-                    raise TypeError("arrays must be C-contiguous")
-                converted.append(value.ctypes.data_as(
-                    ctypes.POINTER(_CTYPE_BY_SCALAR[param.tp.elem.name])))
-            else:
-                converted.append(value)
-        return self._fn(*converted)
+        return self._fn(*[value if convert is None else convert(value)
+                          for convert, value in zip(plan, args)])
 
 
 def required_isas(staged: StagedFunction,
@@ -144,6 +179,7 @@ def check_kernel_isas(name: str, isas: frozenset[str], system: SystemInfo,
 
 
 _session_root: Path | None = None
+_session_lock = threading.Lock()
 _build_seq = itertools.count()
 
 
@@ -152,14 +188,17 @@ def _session_workdir(name: str) -> Path:
 
     Replaces the old leak where every ``compile_to_native`` call left a
     ``tempfile.mkdtemp`` behind for the life of the machine; persistent
-    artifacts belong to the disk kernel cache instead.
+    artifacts belong to the disk kernel cache instead.  Root creation
+    is locked — background compile workers race through here.
     """
     global _session_root
-    if _session_root is None or not _session_root.exists():
-        _session_root = Path(tempfile.mkdtemp(prefix="repro-native-"))
-        atexit.register(shutil.rmtree, str(_session_root),
-                        ignore_errors=True)
-    wd = _session_root / f"{next(_build_seq):04d}-{name}"
+    with _session_lock:
+        if _session_root is None or not _session_root.exists():
+            _session_root = Path(tempfile.mkdtemp(prefix="repro-native-"))
+            atexit.register(shutil.rmtree, str(_session_root),
+                            ignore_errors=True)
+        root = _session_root
+    wd = root / f"{next(_build_seq):04d}-{name}"
     wd.mkdir(parents=True, exist_ok=True)
     return wd
 

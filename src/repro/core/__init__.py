@@ -34,11 +34,18 @@ from repro.core.resilience import (
     acquire_native,
     quarantined_kernels,
 )
+from repro.core.tiered import (
+    KernelManager,
+    compile_many,
+    default_manager,
+    wait_all,
+)
 
 __all__ = [
     "BackendKind",
     "CompileReport",
     "CompiledKernel",
+    "KernelManager",
     "KernelQuarantinedError",
     "NativePlaceholder",
     "PermanentCompileError",
@@ -47,7 +54,10 @@ __all__ = [
     "UnsatisfiedLinkError",
     "acquire_native",
     "compile_kernel",
+    "compile_many",
     "compile_staged",
+    "default_manager",
     "native_placeholder",
     "quarantined_kernels",
+    "wait_all",
 ]

@@ -315,5 +315,87 @@ class ProgramCache:
             return len(self._programs)
 
 
+class CompileJob:
+    """One in-flight background native compile: the single-flight unit.
+
+    Every :class:`~repro.core.pipeline.CompiledKernel` that requests
+    promotion of the same graph hash while the compile is in flight
+    attaches here, and all of them are hot-swapped (or demoted)
+    together when the job settles.  ``wait`` blocks callers that need
+    the settled tier (``CompiledKernel.wait_native``).
+    """
+
+    __slots__ = ("key", "kernels", "future", "outcome", "_done")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.kernels: list = []
+        self.future = None          # set by the manager after submit
+        self.outcome: str | None = None   # "native" | "demoted: ..." |
+        #                                   "cancelled"
+        self._done = threading.Event()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._done.wait(timeout)
+
+    def finish(self, outcome: str) -> None:
+        self.outcome = outcome
+        self._done.set()
+
+
+class InflightCompiles:
+    """Single-flight registry of background compiles, keyed by graph
+    hash.
+
+    ``join_or_open`` and ``settle`` share one lock, so a kernel either
+    lands on the job the worker will settle (and gets swapped with it)
+    or opens a fresh job — never the gap in between.  Two threads
+    compiling the same graph hash therefore produce exactly one
+    compiler-ladder walk.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: dict[str, CompileJob] = {}
+
+    def join_or_open(self, key: str, kernel) -> tuple[CompileJob, bool]:
+        """Attach ``kernel`` to the open job for ``key``, or open a new
+        one.  Returns ``(job, owner)``; the owner submits the work."""
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is not None:
+                # identity, not ==: kernel equality recurses into
+                # staged Exp.__eq__, which *stages* a comparison op
+                if kernel is not None and not any(
+                        k is kernel for k in job.kernels):
+                    job.kernels.append(kernel)
+                return job, False
+            job = CompileJob(key)
+            if kernel is not None:
+                job.kernels.append(kernel)
+            self._jobs[key] = job
+            return job, True
+
+    def settle(self, key: str) -> list:
+        """Detach the job for ``key`` and return its kernels.  Later
+        ``join_or_open`` calls start a fresh job (which will be served
+        by the now-trusted artifact caches)."""
+        with self._lock:
+            job = self._jobs.pop(key, None)
+            return list(job.kernels) if job is not None else []
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._jobs)
+
+
 default_cache = KernelCache()
 program_cache = ProgramCache()

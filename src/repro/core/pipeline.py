@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -23,6 +24,14 @@ from repro.core.resilience import (
     CompileReport,
     KernelQuarantinedError,
     acquire_native,
+)
+from repro.core.tiered import (
+    TIER_MODES,
+    NativeDispatch,
+    SimulatedDispatch,
+    TierEvent,
+    default_manager,
+    tier_mode,
 )
 from repro.lms.staging import StagedFunction, stage_function
 from repro.lms.types import Type
@@ -45,9 +54,11 @@ class UnsatisfiedLinkError(RuntimeError):
 class CompiledKernel:
     """A staged kernel, linked and priceable.
 
-    Calling the kernel dispatches to the selected backend; ``cost``
-    prices it on the Haswell model (in cycles) for given parameter
-    values and stream footprints.
+    Calling the kernel dispatches through ``_impl`` — the one attribute
+    the read path touches, so the tiered hot-swap (see
+    :mod:`repro.core.tiered`) is a single atomic store and the call
+    path needs no lock.  ``cost`` prices the kernel on the Haswell
+    model (in cycles) for given parameter values and stream footprints.
     """
 
     staged: StagedFunction
@@ -60,15 +71,108 @@ class CompiledKernel:
     cost_model: CostModel = field(default_factory=CostModel, repr=False)
     report: CompileReport | None = field(default=None, repr=False)
     trace: list = field(default_factory=list, repr=False)
+    tier_events: list = field(default_factory=list, repr=False)
+    tier_calls: dict = field(
+        default_factory=lambda: {"simulated": 0, "native": 0},
+        repr=False)
+    _impl: Any = field(default=None, repr=False, compare=False)
+    _tier_job: Any = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self._impl is None:
+            if self.backend == BackendKind.NATIVE and \
+                    self._native is not None:
+                self._impl = self._native
+            else:
+                self._impl = self._sim_call
 
     @property
     def name(self) -> str:
         return self.staged.name
 
     def __call__(self, *args: Any) -> Any:
-        if self.backend == BackendKind.NATIVE and self._native is not None:
-            return self._native(*args)
+        return self._impl(*args)
+
+    def _sim_call(self, *args: Any) -> Any:
         return self._machine.run(self.staged, args)
+
+    # -- tiered execution (see repro.core.tiered) ----------------------
+
+    @property
+    def tier(self) -> str:
+        """The tier currently serving calls: ``native`` or
+        ``simulated``."""
+        return "native" if (self.backend == BackendKind.NATIVE
+                            and self._native is not None) \
+            else "simulated"
+
+    def _record_tier_event(self, action: str, tier: str,
+                           detail: str = "") -> None:
+        self.tier_events.append(
+            TierEvent(action, tier, time.monotonic(), detail))
+
+    def _swap_to_native(self, native: NativeKernel,
+                        report: CompileReport | None = None,
+                        trace: list | None = None) -> None:
+        """Atomic hot-swap to the native tier (runs on a manager worker
+        thread).  All bookkeeping lands *before* the final ``_impl``
+        store — the only attribute the call path reads — so a racing
+        caller observes either the old simulated dispatch or the fully
+        wired native one, never a torn kernel.
+        """
+        self._native = native
+        if report is not None:
+            self.report = report
+        self.fallback_reason = None
+        if native.c_source:
+            self.c_source = native.c_source
+        if trace:
+            self.trace = list(self.trace) + list(trace)
+        self.backend = BackendKind.NATIVE
+        self._record_tier_event(
+            "swap", "native",
+            detail=(report.cache_source or "")
+            if report is not None else "")
+        self._impl = NativeDispatch(self, native)
+
+    def _demote(self, reason: str | None,
+                report: CompileReport | None = None,
+                trace: list | None = None) -> None:
+        """A managed kernel stays on the simulated tier — quarantine,
+        ladder exhaustion and link failures demote instead of raising
+        into callers."""
+        self.fallback_reason = reason
+        if report is not None:
+            self.report = report
+        if trace:
+            self.trace = list(self.trace) + list(trace)
+        self.backend = BackendKind.SIMULATED
+        self._record_tier_event("demote", "simulated",
+                                detail=reason or "")
+
+    def wait_native(self, timeout: float | None = None
+                    ) -> "CompiledKernel":
+        """Block until this kernel's background promotion settles on
+        either tier; returns ``self``.  A no-op for unmanaged (sync)
+        kernels.  Under ``hot`` tiering this forces the enqueue even if
+        the invocation counter has not reached the threshold yet.
+        Raises :class:`TimeoutError` if the compile outlives
+        ``timeout`` seconds.
+        """
+        job = self._tier_job
+        if job is None:
+            impl = self._impl
+            if isinstance(impl, SimulatedDispatch) and \
+                    self.fallback_reason is None:
+                impl.countdown = None    # the hotness gate is moot now
+                job = impl.manager.promote(self)
+            else:
+                return self
+        if not job.wait(timeout):
+            raise TimeoutError(
+                f"native compile of {self.name!r} did not settle "
+                f"within {timeout}s")
+        return self
 
     def run_simulated(self, *args: Any) -> Any:
         """Force the simulator backend (used to cross-check native)."""
@@ -105,6 +209,18 @@ class CompiledKernel:
         from repro.obs.report import render_span_tree
         lines = [f"kernel {self.name!r}: backend={self.backend.value}"]
         lines.append(f"simulator engine: {self._machine.executor}")
+        calls = self.tier_calls
+        lines.append(
+            f"tier: {self.tier} (calls: "
+            f"simulated={calls['simulated']} native={calls['native']})")
+        if self.tier_events:
+            lines.append("tier history:")
+            t0 = self.tier_events[0].at
+            for ev in self.tier_events:
+                suffix = f"  ({ev.detail})" if ev.detail else ""
+                lines.append(
+                    f"  +{(ev.at - t0) * 1e3:8.1f} ms  "
+                    f"{ev.action:8s}-> {ev.tier}{suffix}")
         if self.fallback_reason:
             lines.append(f"fallback_reason: {self.fallback_reason}")
         if self.report is not None:
@@ -177,18 +293,29 @@ def _pick_backend(staged: StagedFunction, requested: str) -> tuple[
 def compile_staged(fn: Callable[..., object], arg_types: Sequence[Type],
                    name: str | None = None,
                    backend: str | None = None,
-                   use_cache: bool = True) -> CompiledKernel:
+                   use_cache: bool = True,
+                   tier: str | None = None) -> CompiledKernel:
     """Stage ``fn`` and link it (Figure 3's runtime path).
 
     ``backend`` is ``"auto"`` (default), ``"native"`` or ``"simulated"``;
     the ``REPRO_BACKEND`` environment variable overrides the default.
-    Identical kernels (by structural graph hash) are served from the
-    kernel cache, amortizing staging and native compilation (the
-    mitigation for the paper's Section 3.5 code-generation overhead).
+    ``tier`` is ``"sync"`` (compile natively inline), ``"async"``
+    (serve from the simulator now, compile in the background and
+    hot-swap) or ``"hot"`` (like ``async``, but gated on an invocation
+    counter); it defaults to ``REPRO_TIER`` and only applies to the
+    ``"auto"`` backend — explicit ``"native"`` keeps its inline,
+    raise-on-failure semantics.  Identical kernels (by structural graph
+    hash) are served from the kernel cache, amortizing staging and
+    native compilation (the mitigation for the paper's Section 3.5
+    code-generation overhead).
     """
     requested = backend or os.environ.get("REPRO_BACKEND", "auto")
     if requested not in ("auto", "native", "simulated"):
         raise ValueError(f"unknown backend {requested!r}")
+    if tier is not None and tier not in TIER_MODES:
+        raise ValueError(f"unknown tier {tier!r}")
+    mode = tier if tier is not None else tier_mode()
+    deferred = requested == "auto" and mode in ("async", "hot")
     trace_id: int | None = None
     with obs.span("pipeline", requested=requested) as pipe_span:
         trace_id = obs.get_tracer().current_trace_id()
@@ -201,7 +328,15 @@ def compile_staged(fn: Callable[..., object], arg_types: Sequence[Type],
             if cached is not None:
                 pipe_span.set("cache_source", "memory")
                 return cached
-        kind, native, reason, report = _pick_backend(staged, requested)
+        if deferred:
+            # The HotSpot shape: the simulated tier serves immediately;
+            # acquire_native runs on the manager's worker pool and the
+            # kernel is hot-swapped (or demoted) when it settles.
+            kind: BackendKind = BackendKind.SIMULATED
+            native = None
+            reason = report = None
+        else:
+            kind, native, reason, report = _pick_backend(staged, requested)
         c_source = native.c_source \
             if native is not None and native.c_source \
             else _try_emit_c(staged)
@@ -220,6 +355,9 @@ def compile_staged(fn: Callable[..., object], arg_types: Sequence[Type],
         if use_cache:
             from repro.core.cache import default_cache
             default_cache.put_for(staged, requested, kernel)
+        if deferred:
+            pipe_span.set("tier", mode)
+            default_manager.manage(kernel, mode)
     if trace_id is not None:
         kernel.trace = obs.get_tracer().spans_for_trace(trace_id)
     return kernel

@@ -30,6 +30,7 @@ Exception taxonomy: :class:`TransientCompileError` (retryable),
 from __future__ import annotations
 
 import ctypes
+import faulthandler
 import hashlib
 import os
 import signal
@@ -142,7 +143,15 @@ def quarantined_kernels() -> dict[str, str]:
 
 
 def clear_session_state() -> None:
-    """Forget quarantines and smoke-trusted artifacts (test hook)."""
+    """Forget quarantines and smoke-trusted artifacts, after draining
+    any pending background compiles and resetting the tiered manager's
+    counters (test hook; keeps suites hermetic under ``REPRO_TIER``).
+
+    Order matters: the manager drains first so an in-flight compile
+    cannot quarantine a kernel *after* the registry is cleared.
+    """
+    from repro.core.tiered import default_manager
+    default_manager.reset()
     with _state_lock:
         _quarantined.clear()
         _trusted.clear()
@@ -254,7 +263,9 @@ def _child_smoke(artifact: NativeArtifact, shadow: list[Any],
     native code never returns at all — that is the point of the fork.
     """
     try:
-        import faulthandler
+        # faulthandler is imported at module scope: the child must not
+        # touch the import machinery (a lock another thread may hold at
+        # fork time, now that smoke-runs happen on compile workers).
         if faulthandler.is_enabled():
             # a crash here is expected and contained; don't let the
             # inherited handler dump the parent's stack to stderr

@@ -1,0 +1,374 @@
+"""Tiered kernel execution: HotSpot's shape for native SIMD kernels.
+
+The paper's managed-runtime baseline is HotSpot's tiered pipeline —
+interpret immediately, JIT in the background, hot-swap when the
+compiled method is ready.  This module gives the reproduction the same
+shape: a :class:`KernelManager` serves every call instantly from the
+bit-accurate simulator (tier 0, the closure-compiled executor of
+DESIGN.md §9) while a bounded worker pool walks the full
+emit→ladder→smoke→link path off-thread, then hot-swaps the kernel to
+native (tier 1) atomically.
+
+* **Atomic swap, lock-free read path.**  ``CompiledKernel.__call__``
+  reads exactly one attribute (``_impl``) and calls it.  Promotion
+  publishes a fully wired :class:`NativeDispatch` with a single
+  attribute store — atomic under the GIL — so a concurrent caller sees
+  either the old simulated dispatch or the new native one, never a
+  torn kernel.
+* **Quarantine-aware demotion.**  A background compile that exhausts
+  the ladder, fails its forked smoke-run (quarantine) or cannot link
+  never raises into callers: the kernel records the reason and keeps
+  serving simulated results, exactly like the inline ``"auto"`` path.
+* **Single-flight.**  Jobs dedup by structural graph hash through
+  :class:`repro.core.cache.InflightCompiles`; N threads warming the
+  same kernel cost one ladder walk, and all their handles swap
+  together.
+* **Hotness gating.**  ``REPRO_TIER=hot`` mirrors HotSpot's invocation
+  counters: compilation is enqueued only after ``REPRO_HOT_THRESHOLD``
+  calls, so throwaway kernels never pay for a compile at all.
+
+Environment: ``REPRO_TIER`` (``sync`` | ``async`` | ``hot``, default
+``sync``), ``REPRO_COMPILE_WORKERS`` (default ``min(4, cpus)``) and
+``REPRO_HOT_THRESHOLD`` (default 8).  The compiler ladder and the
+smoke-run already execute in subprocesses, so worker *threads* get
+real parallelism — ``compile_many`` over N independent kernels costs
+roughly one ladder-walk of wall clock, not N.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import repro.obs as obs
+from repro.codegen.compiler import CompileError
+from repro.codegen.native import NativeKernel, NativeLinkError
+from repro.core.cache import CompileJob, InflightCompiles, graph_hash
+from repro.core.env import env_int
+from repro.core.resilience import KernelQuarantinedError, acquire_native
+
+__all__ = [
+    "KernelManager",
+    "TierEvent",
+    "TIER_MODES",
+    "compile_many",
+    "compile_workers",
+    "default_manager",
+    "get_manager",
+    "hot_threshold",
+    "tier_mode",
+    "wait_all",
+]
+
+TIER_MODES = ("sync", "async", "hot")
+
+
+def tier_mode() -> str:
+    """The tiering policy for ``backend="auto"`` kernels
+    (``REPRO_TIER``): ``sync`` compiles inline (the pre-tiered
+    behaviour), ``async`` enqueues native compilation immediately,
+    ``hot`` enqueues it after :func:`hot_threshold` invocations."""
+    raw = os.environ.get("REPRO_TIER")
+    if raw is None or not raw.strip():
+        return "sync"
+    mode = raw.strip().lower()
+    if mode not in TIER_MODES:
+        warnings.warn(
+            f"ignoring unknown REPRO_TIER={raw!r}; using 'sync'",
+            RuntimeWarning, stacklevel=2)
+        return "sync"
+    return mode
+
+
+def compile_workers() -> int:
+    """Background compile pool width (``REPRO_COMPILE_WORKERS``,
+    default ``min(4, cpus)``)."""
+    return env_int("REPRO_COMPILE_WORKERS",
+                   min(4, os.cpu_count() or 1), minimum=1)
+
+
+def hot_threshold() -> int:
+    """Invocations before a ``hot``-tier kernel enqueues native
+    compilation (``REPRO_HOT_THRESHOLD``, default 8)."""
+    return env_int("REPRO_HOT_THRESHOLD", 8, minimum=1)
+
+
+@dataclass
+class TierEvent:
+    """One step of a kernel's tier history (see
+    ``CompiledKernel.explain``)."""
+
+    action: str     # "start" | "enqueue" | "swap" | "demote" | "cancel"
+    tier: str       # the tier serving calls after this event
+    at: float       # time.monotonic() when it happened
+    detail: str = ""
+
+
+class SimulatedDispatch:
+    """The simulated-tier call path of a managed kernel.
+
+    Counts tier-at-call, decrements the hotness countdown, and runs
+    the simulator.  The hot-swap replaces this object wholesale, so no
+    per-call branching on "am I native yet" is needed.
+    """
+
+    __slots__ = ("kernel", "manager", "countdown")
+
+    def __init__(self, kernel, manager: "KernelManager",
+                 countdown: int | None = None) -> None:
+        self.kernel = kernel
+        self.manager = manager
+        self.countdown = countdown   # None: no hotness gate pending
+
+    def __call__(self, *args: Any) -> Any:
+        kernel = self.kernel
+        kernel.tier_calls["simulated"] += 1
+        obs.counter("tiered.calls", tier="simulated")
+        countdown = self.countdown
+        if countdown is not None:
+            countdown -= 1
+            self.countdown = countdown
+            if countdown <= 0:
+                self.countdown = None
+                self.manager.promote(kernel)
+        return kernel._machine.run(kernel.staged, args)
+
+
+class NativeDispatch:
+    """The native-tier call path: one counter bump, then the
+    :class:`NativeKernel`'s precomputed marshalling plan."""
+
+    __slots__ = ("kernel", "native")
+
+    def __init__(self, kernel, native: NativeKernel) -> None:
+        self.kernel = kernel
+        self.native = native
+
+    def __call__(self, *args: Any) -> Any:
+        self.kernel.tier_calls["native"] += 1
+        obs.counter("tiered.calls", tier="native")
+        return self.native(*args)
+
+
+class KernelManager:
+    """Bounded background compilation with atomic hot-swap.
+
+    One process-wide instance (:data:`default_manager`) owns a lazy
+    :class:`ThreadPoolExecutor` of :func:`compile_workers` threads and
+    the single-flight job table.  ``manage`` installs the tiered call
+    path on a fresh simulated kernel; ``promote`` enqueues (or joins)
+    its background compile; the worker swaps or demotes every handle
+    attached to the job when :func:`repro.core.resilience.acquire_native`
+    settles.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self._lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._workers = workers
+        self._inflight = InflightCompiles()
+        self._counts = {key: 0 for key in (
+            "submitted", "attached", "swapped", "demoted", "cancelled")}
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """In-flight background compiles (the queue-depth gauge)."""
+        return self._inflight.pending()
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            snapshot = dict(self._counts)
+        snapshot["pending"] = self._inflight.pending()
+        return snapshot
+
+    def _bump(self, key: str) -> None:
+        with self._lock:
+            self._counts[key] += 1
+
+    def _update_gauge(self) -> None:
+        obs.gauge("tiered.queue_depth", self._inflight.pending())
+
+    # -- the management surface ----------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._workers or compile_workers(),
+                    thread_name_prefix="repro-tier")
+            return self._pool
+
+    def manage(self, kernel, mode: str) -> None:
+        """Install the tiered call path on a fresh simulated-tier
+        kernel.  ``async`` promotes immediately; ``hot`` arms the
+        invocation countdown."""
+        kernel._record_tier_event("start", "simulated",
+                                  detail=f"mode={mode}")
+        countdown = None if mode == "async" else hot_threshold()
+        kernel._impl = SimulatedDispatch(kernel, self, countdown)
+        obs.counter("tiered.managed", mode=mode)
+        if mode == "async":
+            self.promote(kernel)
+
+    def promote(self, kernel) -> CompileJob:
+        """Enqueue background native compilation for ``kernel``
+        (single-flight by graph hash); returns the in-flight job."""
+        existing = kernel._tier_job
+        if existing is not None:
+            return existing
+        ghash = graph_hash(kernel.staged)
+        job, owner = self._inflight.join_or_open(ghash, kernel)
+        kernel._tier_job = job
+        kernel._record_tier_event(
+            "enqueue", "simulated",
+            detail="owner" if owner else "joined in-flight compile")
+        if owner:
+            self._bump("submitted")
+            job.future = self._ensure_pool().submit(self._run_job, job)
+            job.future.add_done_callback(
+                lambda fut, j=job: self._future_done(j, fut))
+        else:
+            self._bump("attached")
+        obs.counter("tiered.enqueued",
+                    mode="owner" if owner else "attached")
+        self._update_gauge()
+        return job
+
+    # -- worker side ---------------------------------------------------
+
+    def _run_job(self, job: CompileJob) -> str:
+        staged = job.kernels[0].staged
+        start = time.perf_counter()
+        native = report = None
+        reason: str | None = None
+        with obs.span("tiered.compile", kernel=staged.name,
+                      graph_hash=job.key) as compile_span:
+            trace_id = obs.get_tracer().current_trace_id()
+            try:
+                native, report = acquire_native(staged)
+            except KernelQuarantinedError as exc:
+                reason = f"quarantined: {exc.reason}"
+                report = exc.report
+            except (NativeLinkError, CompileError) as exc:
+                reason = str(exc)
+                report = getattr(exc, "report", None)
+            except Exception as exc:  # noqa: BLE001 - never unwind the pool
+                reason = f"{type(exc).__name__}: {exc}"
+            compile_span.set(
+                "outcome", "native" if native is not None else "demoted")
+        obs.observe("tiered.compile.seconds",
+                    time.perf_counter() - start)
+        trace = obs.get_tracer().spans_for_trace(trace_id) \
+            if trace_id is not None else []
+        kernels = self._inflight.settle(job.key)
+        for kernel in kernels:
+            if native is not None:
+                with obs.span("swap", kernel=staged.name,
+                              graph_hash=job.key):
+                    kernel._swap_to_native(native, report, trace=trace)
+                self._bump("swapped")
+                obs.counter("tiered.swaps")
+            else:
+                with obs.span("demote", kernel=staged.name,
+                              graph_hash=job.key, reason=reason):
+                    kernel._demote(reason, report, trace=trace)
+                self._bump("demoted")
+                obs.counter("tiered.demotions")
+        job.finish("native" if native is not None
+                   else f"demoted: {reason}")
+        self._update_gauge()
+        return job.outcome or ""
+
+    def _future_done(self, job: CompileJob, fut) -> None:
+        """Settle jobs whose pool future was cancelled before it ran
+        (``drain``); completed futures were settled by the worker."""
+        if not fut.cancelled():
+            return
+        for kernel in self._inflight.settle(job.key):
+            kernel._record_tier_event(
+                "cancel", "simulated",
+                detail="background compile cancelled")
+            self._bump("cancelled")
+            obs.counter("tiered.cancelled")
+        job.finish("cancelled")
+        self._update_gauge()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def drain(self, cancel: bool = True) -> None:
+        """Cancel queued background compiles and wait out the running
+        ones.  The pool is discarded; the next ``promote`` builds a
+        fresh one (re-reading ``REPRO_COMPILE_WORKERS``)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=cancel)
+
+    def reset(self) -> None:
+        """Drain pending work and zero the counters — the hermetic-test
+        hook, also invoked by
+        :func:`repro.core.resilience.clear_session_state`."""
+        self.drain(cancel=True)
+        with self._lock:
+            for key in self._counts:
+                self._counts[key] = 0
+        self._update_gauge()
+
+
+default_manager = KernelManager()
+
+
+def get_manager() -> KernelManager:
+    return default_manager
+
+
+# ---------------------------------------------------------------------------
+# Batch compilation: warming a fleet of kernels in one ladder-walk.
+
+def compile_many(fns: Sequence[Callable[..., object]],
+                 arg_types_list: Sequence[Sequence],
+                 names: Sequence[str | None] | None = None,
+                 backend: str | None = None,
+                 use_cache: bool = True) -> list:
+    """Stage a fleet of kernels and fan their native compiles across
+    the background pool.
+
+    Returns :class:`~repro.core.pipeline.CompiledKernel` handles
+    *immediately*: each serves from the simulated tier and hot-swaps
+    to native as its compile lands, so warming N independent kernels
+    (a benchmark suite, the variable-precision dot family) costs
+    roughly one ladder-walk of wall clock instead of N.  With a warm
+    disk cache the batch is a pure prewarm — workers probe the cache,
+    smoke-test and link without ever invoking a compiler.  Duplicate
+    graph hashes in (or across) batches collapse to one compile via
+    the single-flight table.  Use :func:`wait_all` (or
+    ``kernel.wait_native()``) to block until the swaps settle.
+    """
+    from repro.core.pipeline import compile_staged
+
+    if names is None:
+        names = [None] * len(fns)
+    if not (len(fns) == len(arg_types_list) == len(names)):
+        raise ValueError(
+            "fns, arg_types_list and names must have equal lengths")
+    return [compile_staged(fn, arg_types, name=name, backend=backend,
+                           use_cache=use_cache, tier="async")
+            for fn, arg_types, name in zip(fns, arg_types_list, names)]
+
+
+def wait_all(kernels: Sequence, timeout: float | None = None) -> list:
+    """Block until every kernel's background promotion settles (either
+    tier); returns the kernels.  ``timeout`` bounds the whole batch."""
+    deadline = None if timeout is None else time.monotonic() + timeout
+    for kernel in kernels:
+        remaining = None if deadline is None \
+            else max(0.0, deadline - time.monotonic())
+        kernel.wait_native(remaining)
+    return list(kernels)

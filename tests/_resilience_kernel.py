@@ -27,7 +27,7 @@ def main() -> None:
     from repro.lms.types import FLOAT, INT32, array_of
 
     kernel = compile_staged(build(), [array_of(FLOAT), INT32],
-                            name="k2proc", backend="auto")
+                            name="k2proc", backend="auto").wait_native()
     rep = kernel.report
     print(json.dumps({
         "backend": kernel.backend.value,

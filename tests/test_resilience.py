@@ -134,7 +134,7 @@ class TestRetryAndFallback:
         monkeypatch.setenv("REPRO_CC", f"gcc={script}")
         kernel = compile_staged(build_unique(3.125, "retry_k"),
                                 [array_of(FLOAT), INT32],
-                                name="retry_k", backend="auto")
+                                name="retry_k", backend="auto").wait_native()
         assert kernel.backend == BackendKind.NATIVE
         rep = kernel.report
         assert [a.outcome for a in rep.attempts] == \
@@ -150,7 +150,7 @@ class TestRetryAndFallback:
         monkeypatch.setenv("REPRO_CC", f"gcc={script}")
         kernel = compile_staged(build_unique(7.25, "permfail_k"),
                                 [array_of(FLOAT), INT32],
-                                name="permfail_k", backend="auto")
+                                name="permfail_k", backend="auto").wait_native()
         assert kernel.backend == BackendKind.SIMULATED
         assert kernel.fallback_reason is not None
         rep = kernel.report
@@ -178,7 +178,7 @@ class TestRetryAndFallback:
         monkeypatch.setenv("REPRO_CC", f"gcc={script}")
         kernel = compile_staged(build_unique(11.5, "o3less_k"),
                                 [array_of(FLOAT), INT32],
-                                name="o3less_k", backend="auto")
+                                name="o3less_k", backend="auto").wait_native()
         assert kernel.backend == BackendKind.NATIVE
         rep = kernel.report
         outcomes = [(a.rung, a.outcome) for a in rep.attempts]
@@ -250,7 +250,7 @@ class TestSmokeAndQuarantine:
                                   crash):
         fn = build_unique(salt, name)
         types = [array_of(FLOAT), INT32]
-        first = compile_staged(fn, types, name=name, backend="auto")
+        first = compile_staged(fn, types, name=name, backend="auto").wait_native()
         assert first.backend == BackendKind.NATIVE
         symbol = first._native.symbol
         broken = self._compile_broken_so(clean_state.parent, symbol,
@@ -258,7 +258,7 @@ class TestSmokeAndQuarantine:
         self._poison_disk_cache(clean_state, broken)
         default_cache.clear()
         clear_session_state()
-        return compile_staged(fn, types, name=name, backend="auto")
+        return compile_staged(fn, types, name=name, backend="auto").wait_native()
 
     def test_segfaulting_kernel_is_contained(self, clean_state):
         kernel = self._poisoned_pipeline_kernel(
@@ -295,7 +295,7 @@ class TestSmokeAndQuarantine:
     def test_healthy_kernel_smoke_passes(self, clean_state):
         kernel = compile_staged(build_unique(23.5, "healthy_k"),
                                 [array_of(FLOAT), INT32],
-                                name="healthy_k", backend="auto")
+                                name="healthy_k", backend="auto").wait_native()
         assert kernel.backend == BackendKind.NATIVE
         assert kernel.report.smoke == "passed"
 
@@ -305,11 +305,11 @@ class TestDiskCache:
     def test_disk_hit_after_memory_eviction(self, clean_state):
         fn = build_unique(29.5, "disk_k")
         types = [array_of(FLOAT), INT32]
-        k1 = compile_staged(fn, types, name="disk_k", backend="auto")
+        k1 = compile_staged(fn, types, name="disk_k", backend="auto").wait_native()
         assert k1.report.cache_source == "compiled"
         default_cache.clear()
         clear_session_state()
-        k2 = compile_staged(fn, types, name="disk_k", backend="auto")
+        k2 = compile_staged(fn, types, name="disk_k", backend="auto").wait_native()
         assert k2.backend == BackendKind.NATIVE
         assert k2.report.cache_source == "disk"
         assert k2.report.compiler_invocations == 0
@@ -337,14 +337,14 @@ class TestDiskCache:
     def test_corrupted_entry_recompiled_not_loaded(self, clean_state):
         fn = build_unique(31.5, "corrupt_k")
         types = [array_of(FLOAT), INT32]
-        compile_staged(fn, types, name="corrupt_k", backend="auto")
+        compile_staged(fn, types, name="corrupt_k", backend="auto").wait_native()
         # corrupt the artifact *without* fixing the checksum
         sos = list(clean_state.glob("*.so"))
         assert len(sos) == 1
         sos[0].write_bytes(b"\x7fELFgarbage")
         default_cache.clear()
         clear_session_state()
-        k2 = compile_staged(fn, types, name="corrupt_k", backend="auto")
+        k2 = compile_staged(fn, types, name="corrupt_k", backend="auto").wait_native()
         assert k2.backend == BackendKind.NATIVE
         assert k2.report.cache_source == "compiled"  # silent miss
         a = np.ones(8, np.float32)

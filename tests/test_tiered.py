@@ -1,0 +1,516 @@
+"""Tiered background compilation and fast-path dispatch (DESIGN.md §10).
+
+Covers the HotSpot-shaped execution lattice: instant simulated-tier
+service with background native compilation and atomic hot-swap
+(``REPRO_TIER=async``), hotness-gated promotion (``hot``), quarantine
+-aware demotion that never raises into callers, single-flight compile
+deduplication by graph hash, ``compile_many`` batch warming, hermetic
+``clear_session_state`` draining, and the precomputed marshalling plan
+of the native dispatch fast path.
+"""
+
+from __future__ import annotations
+
+import json
+import stat
+import subprocess
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import BackendKind, compile_many, compile_staged, wait_all
+from repro.core.cache import default_cache
+from repro.core.resilience import clear_session_state, quarantined_kernels
+from repro.core.tiered import (
+    compile_workers,
+    default_manager,
+    hot_threshold,
+    tier_mode,
+)
+from repro.lms import forloop
+from repro.lms.ops import array_apply, array_update
+from repro.lms.types import FLOAT, INT32, array_of
+from tests.conftest import requires_compiler
+
+
+def build_unique(salt: float, name: str):
+    """A unique-by-salt scalar-loop kernel (compiles on any host)."""
+
+    def fn(a, n):
+        forloop(0, n, step=1, body=lambda i: array_update(
+            a, i, array_apply(a, i) * 2.0 + salt))
+
+    return fn
+
+
+def _expected(salt: float, n: int = 8) -> np.ndarray:
+    return np.ones(n, np.float32) * 2.0 + np.float32(salt)
+
+
+@pytest.fixture
+def tiered_state(monkeypatch, tmp_path):
+    """Fresh cache dir, drained manager, pinned worker count, no
+    REPRO_* leakage into or out of the tier under test."""
+    cache_dir = tmp_path / "kcache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    monkeypatch.setenv("REPRO_COMPILE_WORKERS", "2")
+    monkeypatch.delenv("REPRO_CC", raising=False)
+    monkeypatch.delenv("REPRO_TIER", raising=False)
+    monkeypatch.delenv("REPRO_HOT_THRESHOLD", raising=False)
+    default_cache.clear()
+    clear_session_state()
+    yield cache_dir
+    default_cache.clear()
+    clear_session_state()
+
+
+def _write_script(path: Path, body: str) -> Path:
+    path.write_text("#!/bin/sh\n" + body)
+    path.chmod(path.stat().st_mode | stat.S_IXUSR)
+    return path
+
+
+_VERSION_PASSTHROUGH = """
+if [ "$1" = "--version" ]; then exec gcc --version; fi
+"""
+
+
+def _slow_cc(tmp_path: Path, sleep_s: float,
+             count_file: Path | None = None) -> Path:
+    """A gcc that dawdles (and optionally counts compile invocations):
+    keeps background jobs in flight long enough to observe the
+    simulated tier deterministically."""
+    counting = ""
+    if count_file is not None:
+        counting = f"""
+n=$(cat "{count_file}" 2>/dev/null || echo 0)
+n=$((n+1)); echo $n > "{count_file}"
+"""
+    return _write_script(tmp_path / "slow-cc", _VERSION_PASSTHROUGH
+                         + counting + f"""
+sleep {sleep_s}
+exec gcc "$@"
+""")
+
+
+def _broken_cc(tmp_path: Path) -> Path:
+    return _write_script(tmp_path / "broken-cc", _VERSION_PASSTHROUGH + """
+echo "kernel.c:1:1: error: unknown type name 'simd'" >&2
+exit 1
+""")
+
+
+class TestEnvKnobs:
+    def test_tier_mode_default_and_values(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TIER", raising=False)
+        assert tier_mode() == "sync"
+        for mode in ("sync", "async", "hot"):
+            monkeypatch.setenv("REPRO_TIER", mode)
+            assert tier_mode() == mode
+        monkeypatch.setenv("REPRO_TIER", "ASYNC")
+        assert tier_mode() == "async"
+
+    def test_tier_mode_malformed_warns_to_sync(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER", "turbo")
+        with pytest.warns(RuntimeWarning, match="REPRO_TIER"):
+            assert tier_mode() == "sync"
+
+    def test_worker_and_threshold_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILE_WORKERS", "3")
+        assert compile_workers() == 3
+        monkeypatch.setenv("REPRO_COMPILE_WORKERS", "0")
+        assert compile_workers() == 1          # clamped
+        monkeypatch.setenv("REPRO_HOT_THRESHOLD", "5")
+        assert hot_threshold() == 5
+        monkeypatch.setenv("REPRO_HOT_THRESHOLD", "nope")
+        with pytest.warns(RuntimeWarning):
+            assert hot_threshold() == 8
+
+    def test_unknown_tier_argument_raises(self, tiered_state):
+        with pytest.raises(ValueError, match="unknown tier"):
+            compile_staged(build_unique(0.5, "badtier"),
+                           [array_of(FLOAT), INT32],
+                           name="badtier", tier="turbo")
+
+
+@requires_compiler
+class TestAsyncTier:
+    def test_first_call_serves_simulator_then_swaps(
+            self, tiered_state, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CC", f"gcc={_slow_cc(tmp_path, 0.8)}")
+        kernel = compile_staged(build_unique(3.5, "async_k"),
+                                [array_of(FLOAT), INT32],
+                                name="async_k", tier="async")
+        # the handle returns while the compiler is still asleep
+        assert kernel.tier == "simulated"
+        assert kernel.backend == BackendKind.SIMULATED
+        a = np.ones(8, np.float32)
+        t0 = time.perf_counter()
+        kernel(a, 8)
+        first_call = time.perf_counter() - t0
+        assert first_call < 0.05, \
+            f"simulated-tier first call took {first_call * 1e3:.1f} ms"
+        assert np.array_equal(a, _expected(3.5))
+
+        kernel.wait_native(60)
+        assert kernel.tier == "native"
+        assert kernel.backend == BackendKind.NATIVE
+        assert kernel.report is not None
+        assert kernel.report.smoke == "passed"
+        # the native tier computes the bit-identical result
+        b = np.ones(8, np.float32)
+        kernel(b, 8)
+        assert np.array_equal(b, _expected(3.5))
+        assert kernel.tier_calls["simulated"] >= 1
+        assert kernel.tier_calls["native"] >= 1
+        actions = [ev.action for ev in kernel.tier_events]
+        assert actions[:2] == ["start", "enqueue"]
+        assert actions[-1] == "swap"
+
+    def test_sync_tier_compiles_inline(self, tiered_state):
+        before = default_manager.stats()["submitted"]
+        kernel = compile_staged(build_unique(5.5, "sync_k"),
+                                [array_of(FLOAT), INT32],
+                                name="sync_k", tier="sync")
+        assert kernel.backend == BackendKind.NATIVE
+        assert kernel.tier == "native"
+        assert default_manager.stats()["submitted"] == before
+        assert kernel.tier_events == []     # unmanaged
+        assert kernel.wait_native() is kernel   # no-op
+
+    def test_explicit_native_backend_ignores_tiering(
+            self, tiered_state, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER", "async")
+        kernel = compile_staged(build_unique(6.5, "natreq_k"),
+                                [array_of(FLOAT), INT32],
+                                name="natreq_k", backend="native")
+        assert kernel.backend == BackendKind.NATIVE   # inline, no defer
+
+    def test_explain_shows_tier_history(self, tiered_state, tmp_path,
+                                        monkeypatch):
+        monkeypatch.setenv("REPRO_CC", f"gcc={_slow_cc(tmp_path, 0.3)}")
+        kernel = compile_staged(build_unique(7.5, "explain_k"),
+                                [array_of(FLOAT), INT32],
+                                name="explain_k", tier="async")
+        a = np.ones(8, np.float32)
+        kernel(a, 8)
+        kernel.wait_native(60)
+        text = kernel.explain()
+        assert "tier history:" in text
+        assert "swap" in text and "enqueue" in text
+        assert "tiered.compile" in text     # background trace attached
+
+
+@requires_compiler
+class TestHotTier:
+    def test_promotion_waits_for_invocation_threshold(
+            self, tiered_state, monkeypatch):
+        monkeypatch.setenv("REPRO_HOT_THRESHOLD", "3")
+        kernel = compile_staged(build_unique(9.5, "hot_k"),
+                                [array_of(FLOAT), INT32],
+                                name="hot_k", tier="hot")
+        assert default_manager.stats()["submitted"] == 0
+        for _ in range(2):
+            a = np.ones(8, np.float32)
+            kernel(a, 8)
+            assert np.array_equal(a, _expected(9.5))
+        assert default_manager.stats()["submitted"] == 0
+        assert kernel._tier_job is None
+        a = np.ones(8, np.float32)
+        kernel(a, 8)        # the third call crosses the threshold
+        assert default_manager.stats()["submitted"] == 1
+        kernel.wait_native(60)
+        assert kernel.tier == "native"
+
+    def test_wait_native_forces_promotion_before_threshold(
+            self, tiered_state, monkeypatch):
+        monkeypatch.setenv("REPRO_HOT_THRESHOLD", "1000")
+        kernel = compile_staged(build_unique(10.5, "hotforce_k"),
+                                [array_of(FLOAT), INT32],
+                                name="hotforce_k", tier="hot")
+        kernel.wait_native(60)
+        assert kernel.tier == "native"
+
+
+@requires_compiler
+class TestDemotion:
+    def test_ladder_exhaustion_demotes_without_raising(
+            self, tiered_state, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CC", f"gcc={_broken_cc(tmp_path)}")
+        kernel = compile_staged(build_unique(11.5, "demote_k"),
+                                [array_of(FLOAT), INT32],
+                                name="demote_k", tier="async")
+        # calls keep succeeding while (and after) the ladder fails
+        a = np.ones(8, np.float32)
+        kernel(a, 8)
+        assert np.array_equal(a, _expected(11.5))
+        kernel.wait_native(60)
+        assert kernel.backend == BackendKind.SIMULATED
+        assert kernel.fallback_reason is not None
+        assert kernel.report is not None
+        assert all(att.outcome == "permanent"
+                   for att in kernel.report.attempts)
+        assert kernel.tier_events[-1].action == "demote"
+        b = np.ones(8, np.float32)
+        kernel(b, 8)
+        assert np.array_equal(b, _expected(11.5))
+
+    def _poison_disk_cache(self, cache_dir: Path, symbol: str,
+                           workdir: Path) -> None:
+        """Swap the cached artifact for a crashing one with a valid
+        checksum, so only the forked smoke-run can catch it."""
+        import hashlib
+
+        src = workdir / "broken.c"
+        src.write_text(
+            f"void {symbol}(float *a, int n) "
+            "{ *(volatile int *)0 = 1; }\n")
+        out = workdir / "broken.so"
+        subprocess.run(["gcc", "-shared", "-fPIC", str(src), "-o",
+                        str(out)], check=True, capture_output=True)
+        so_bytes = out.read_bytes()
+        metas = list(cache_dir.glob("*.json"))
+        assert len(metas) == 1
+        meta = json.loads(metas[0].read_text())
+        meta["checksum"] = hashlib.sha256(so_bytes).hexdigest()
+        cache_dir.joinpath(metas[0].stem + ".so").write_bytes(so_bytes)
+        metas[0].write_text(json.dumps(meta))
+
+    def test_quarantine_during_background_compile_demotes(
+            self, tiered_state, tmp_path):
+        fn = build_unique(13.5, "bgq_k")
+        types = [array_of(FLOAT), INT32]
+        seeded = compile_staged(fn, types, name="bgq_k",
+                                tier="async").wait_native(60)
+        assert seeded.tier == "native"
+        self._poison_disk_cache(tiered_state, seeded._native.symbol,
+                                tmp_path)
+        default_cache.clear()
+        clear_session_state()
+        kernel = compile_staged(fn, types, name="bgq_k", tier="async")
+        a = np.ones(8, np.float32)
+        kernel(a, 8)                  # must not raise mid-quarantine
+        assert np.array_equal(a, _expected(13.5))
+        kernel.wait_native(60)
+        assert kernel.backend == BackendKind.SIMULATED
+        assert "quarantined" in kernel.fallback_reason
+        assert kernel.report.smoke == "crashed"
+        assert quarantined_kernels()
+        b = np.ones(8, np.float32)
+        kernel(b, 8)
+        assert np.array_equal(b, _expected(13.5))
+
+
+@requires_compiler
+class TestConcurrency:
+    def test_concurrent_calls_race_the_hot_swap(
+            self, tiered_state, tmp_path, monkeypatch):
+        """Callers hammering a kernel across the swap observe either
+        tier but always the same bits — never a torn kernel."""
+        monkeypatch.setenv("REPRO_CC", f"gcc={_slow_cc(tmp_path, 0.4)}")
+        kernel = compile_staged(build_unique(17.5, "race_k"),
+                                [array_of(FLOAT), INT32],
+                                name="race_k", tier="async")
+        want = _expected(17.5)
+        errors: list = []
+        swapped = threading.Event()
+
+        def caller():
+            try:
+                extra = 5
+                while extra:
+                    a = np.ones(8, np.float32)
+                    kernel(a, 8)
+                    if not np.array_equal(a, want):
+                        errors.append(a.copy())
+                    if swapped.is_set():
+                        extra -= 1
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=caller) for _ in range(4)]
+        for t in threads:
+            t.start()
+        kernel.wait_native(60)
+        swapped.set()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert kernel.tier == "native"
+        assert kernel.tier_calls["simulated"] >= 1
+        assert kernel.tier_calls["native"] >= 1
+
+    def test_same_graph_hash_is_single_flight(
+            self, tiered_state, tmp_path, monkeypatch):
+        count_file = tmp_path / "cc-count"
+        monkeypatch.setenv(
+            "REPRO_CC",
+            f"gcc={_slow_cc(tmp_path, 0.8, count_file=count_file)}")
+        fn = build_unique(19.5, "sf_k")
+        types = [array_of(FLOAT), INT32]
+        kernels: list = []
+        barrier = threading.Barrier(2)
+        errors: list = []
+
+        def compile_one():
+            try:
+                barrier.wait()
+                ks = compile_many([fn], [types], names=["sf_k"],
+                                  use_cache=False)
+                kernels.extend(ks)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=compile_one)
+                   for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(kernels) == 2
+        wait_all(kernels, timeout=60)
+        assert all(k.tier == "native" for k in kernels)
+        # both handles share one background compile and one gcc run
+        stats = default_manager.stats()
+        assert stats["submitted"] == 1
+        assert stats["attached"] == 1
+        assert stats["swapped"] == 2
+        assert int(count_file.read_text().strip()) == 1
+        # and the linked NativeKernel is literally shared
+        assert kernels[0]._native is kernels[1]._native
+
+
+@requires_compiler
+class TestCompileMany:
+    def test_batch_returns_immediately_and_beats_sequential(
+            self, tiered_state, tmp_path, monkeypatch):
+        """Four independent kernels cost ~one ladder-walk of wall
+        clock, not four (the acceptance-criteria 2x on >=4 kernels)."""
+        monkeypatch.setenv("REPRO_COMPILE_WORKERS", "4")
+        monkeypatch.setenv("REPRO_CC", f"gcc={_slow_cc(tmp_path, 1.0)}")
+        types = [array_of(FLOAT), INT32]
+
+        seq_fns = [(build_unique(20.0 + i, f"seq{i}"), f"seq{i}")
+                   for i in range(4)]
+        t0 = time.perf_counter()
+        for fn, name in seq_fns:
+            k = compile_staged(fn, types, name=name, tier="sync")
+            assert k.backend == BackendKind.NATIVE
+        sequential = time.perf_counter() - t0
+
+        clear_session_state()   # drain; fresh pool picks up workers=4
+        par_fns = [(build_unique(30.0 + i, f"par{i}"), f"par{i}")
+                   for i in range(4)]
+        t0 = time.perf_counter()
+        kernels = compile_many([fn for fn, _ in par_fns],
+                               [types] * 4,
+                               names=[name for _, name in par_fns])
+        returned = time.perf_counter() - t0
+        assert returned < 0.5, \
+            f"compile_many blocked for {returned:.2f}s"
+        for i, k in enumerate(kernels):     # instantly servable
+            a = np.ones(8, np.float32)
+            k(a, 8)
+            assert np.array_equal(a, _expected(30.0 + i))
+        wait_all(kernels, timeout=120)
+        parallel = time.perf_counter() - t0
+        assert all(k.tier == "native" for k in kernels)
+        assert parallel * 2.0 <= sequential, (
+            f"compile_many speedup only "
+            f"{sequential / parallel:.2f}x "
+            f"(sequential {sequential:.2f}s, parallel {parallel:.2f}s)")
+
+    def test_length_mismatch_raises(self, tiered_state):
+        with pytest.raises(ValueError, match="equal lengths"):
+            compile_many([build_unique(1.0, "x")], [])
+
+
+@requires_compiler
+class TestClearSessionState:
+    def test_clear_drains_pending_compiles_and_resets_counters(
+            self, tiered_state, tmp_path, monkeypatch):
+        """Regression: clear_session_state must leave no background
+        work running and zeroed manager counters, so the next test
+        starts from a clean slate."""
+        monkeypatch.setenv("REPRO_COMPILE_WORKERS", "1")
+        monkeypatch.setenv("REPRO_CC", f"gcc={_slow_cc(tmp_path, 0.6)}")
+        types = [array_of(FLOAT), INT32]
+        k1 = compile_staged(build_unique(40.5, "drain1"), types,
+                            name="drain1", tier="async")
+        k2 = compile_staged(build_unique(41.5, "drain2"), types,
+                            name="drain2", tier="async")
+        time.sleep(0.2)         # let the single worker pick up k1
+        clear_session_state()
+        stats = default_manager.stats()
+        assert stats["pending"] == 0
+        assert all(v == 0 for v in stats.values())
+        # k1 was running: drained to completion and swapped.  k2 was
+        # queued: cancelled, still serving correct simulated results.
+        assert k1.tier == "native"
+        assert k2.tier == "simulated"
+        assert k2.tier_events[-1].action == "cancel"
+        a = np.ones(8, np.float32)
+        k2(a, 8)
+        assert np.array_equal(a, _expected(41.5))
+        # the manager comes back to life after a reset
+        k3 = compile_staged(build_unique(42.5, "drain3"), types,
+                            name="drain3", tier="async").wait_native(60)
+        assert k3.tier == "native"
+
+
+@requires_compiler
+class TestMarshallingPlan:
+    def test_plan_preserves_argument_checking(self, tiered_state):
+        kernel = compile_staged(build_unique(50.5, "plan_k"),
+                                [array_of(FLOAT), INT32],
+                                name="plan_k", tier="sync")
+        native = kernel._native
+        assert native is not None
+        # one converter per array param, None for scalars, memoized
+        assert len(native._plan) == 2
+        assert callable(native._plan[0]) and native._plan[1] is None
+        a = np.ones(8, np.float32)
+        native(a, 8)
+        assert np.array_equal(a, _expected(50.5))
+        with pytest.raises(TypeError, match="expects 2"):
+            native(a)
+        with pytest.raises(TypeError, match="expected numpy array"):
+            native([1.0] * 8, 8)
+        with pytest.raises(TypeError, match="must have dtype"):
+            native(np.ones(8, np.float64), 8)
+        with pytest.raises(TypeError, match="C-contiguous"):
+            native(np.ones(16, np.float32)[::2], 8)
+
+
+@requires_compiler
+class TestObservability:
+    def test_tiered_signals(self, tiered_state, tmp_path, monkeypatch):
+        import repro.obs as obs
+
+        monkeypatch.setenv("REPRO_CC", f"gcc={_slow_cc(tmp_path, 0.3)}")
+        obs.reset()
+        kernel = compile_staged(build_unique(60.5, "obs_k"),
+                                [array_of(FLOAT), INT32],
+                                name="obs_k", tier="async")
+        a = np.ones(8, np.float32)
+        kernel(a, 8)
+        kernel.wait_native(60)
+        b = np.ones(8, np.float32)
+        kernel(b, 8)
+        reg = obs.get_registry()
+        assert reg.counter_value("tiered.calls", tier="simulated") >= 1
+        assert reg.counter_value("tiered.calls", tier="native") >= 1
+        assert reg.counter_value("tiered.swaps") >= 1
+        snap = reg.snapshot()
+        assert "tiered.queue_depth" in snap["gauges"]
+        assert snap["gauges"]["tiered.queue_depth"] == 0
+        hists = snap["histograms"]
+        assert any(name.startswith("tiered.compile.seconds")
+                   for name in hists)
+        spans = [s.name for s in obs.get_tracer().finished_spans()]
+        assert "tiered.compile" in spans
+        assert "swap" in spans
