@@ -13,6 +13,7 @@ import platform
 import re
 import shutil
 import subprocess
+import sys
 import time
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -20,7 +21,9 @@ from pathlib import Path
 from typing import Callable, Iterator, Sequence
 
 import repro.obs as obs
+from repro.core import faults
 from repro.core.env import env_float, env_int
+from repro.core.procutil import kill_process_group
 
 # Map CPU feature flags (as /proc/cpuinfo spells them) to ISA names.
 _FLAG_TO_ISA = {
@@ -207,6 +210,14 @@ class PermanentCompileError(CompileError):
     moves straight to the next rung of the fallback ladder."""
 
 
+class CompileDeadlineError(TransientCompileError):
+    """The per-kernel wall-clock deadline (``REPRO_COMPILE_DEADLINE``)
+    expired before the ladder produced an artifact.  Transient — the
+    kernel stays on the simulator and may be re-promoted later — but
+    the ladder stops walking immediately instead of burning rungs
+    against a clock that has already run out."""
+
+
 # stderr signatures of failures worth retrying verbatim.
 _TRANSIENT_RE = re.compile(
     r"(?i)resource temporarily unavailable|cannot allocate memory"
@@ -219,16 +230,51 @@ def _compile_timeout() -> float:
     return env_float("REPRO_COMPILE_TIMEOUT", 120.0, minimum=0.01)
 
 
+def _run_with_watchdog(cmd: Sequence[str], timeout: float,
+                       cc_name: str) -> subprocess.CompletedProcess:
+    """Run a compiler invocation in its own process group under a
+    wall-clock watchdog.
+
+    ``subprocess.run(timeout=...)`` only kills the direct child, so a
+    compiler driver whose cc1/ld child hangs leaves the hung grandchild
+    holding the workdir forever.  Each invocation therefore gets its
+    own session (``start_new_session=True``); on timeout the *entire
+    group* is SIGKILLed via ``killpg`` and the kill is counted
+    (``watchdog.kills``)."""
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True,
+                            start_new_session=True)
+    try:
+        stdout, stderr = proc.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        kill_process_group(proc.pid)
+        try:
+            proc.communicate(timeout=5)
+        except subprocess.TimeoutExpired:  # pragma: no cover - unkillable
+            pass
+        obs.counter("watchdog.kills", compiler=cc_name)
+        raise TransientCompileError(
+            f"{cc_name} watchdog killed hung compiler process group "
+            f"after {timeout}s ({' '.join(cmd)})")
+    return subprocess.CompletedProcess(cmd, proc.returncode,
+                                       stdout, stderr)
+
+
 def compile_shared_library(source: str, workdir: Path,
                            isas: frozenset[str],
                            compiler: CompilerInfo | None = None,
                            name: str = "kernel",
                            flags: Sequence[str] | None = None,
-                           timeout: float | None = None) -> Path:
+                           timeout: float | None = None,
+                           deadline: float | None = None) -> Path:
     """Compile C source into a shared library and return its path.
 
     ``flags`` overrides the compiler's derived flag set (used by the
-    fallback ladder).  Failures raise :class:`TransientCompileError` or
+    fallback ladder).  ``deadline`` is an absolute ``time.monotonic()``
+    instant; the effective watchdog timeout is clamped to the time
+    remaining, and an already-expired deadline raises
+    :class:`CompileDeadlineError` without invoking the compiler.
+    Failures raise :class:`TransientCompileError` or
     :class:`PermanentCompileError`; both are :class:`CompileError`.
     """
     system = inspect_system()
@@ -243,13 +289,22 @@ def compile_shared_library(source: str, workdir: Path,
     cmd = [cc.path, *use_flags, str(c_path), "-o", str(so_path)]
     if timeout is None:
         timeout = _compile_timeout()
+    if deadline is not None:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise CompileDeadlineError(
+                f"compile deadline expired before invoking {cc.name} "
+                f"for {name!r}")
+        timeout = min(timeout, remaining)
+    faults.maybe_raise("compile.transient", TransientCompileError,
+                       f"injected transient compile failure ({cc.name})")
+    faults.maybe_raise("compile.permanent", PermanentCompileError,
+                       f"injected permanent compile failure ({cc.name})")
+    if faults.fire("compile.hang"):
+        # stand in a child that sleeps until the watchdog kills it
+        cmd = [sys.executable, "-c", "import time; time.sleep(600)"]
     try:
-        result = subprocess.run(cmd, capture_output=True, text=True,
-                                timeout=timeout)
-    except subprocess.TimeoutExpired as exc:
-        raise TransientCompileError(
-            f"{cc.name} timed out after {timeout}s ({' '.join(cmd)})"
-        ) from exc
+        result = _run_with_watchdog(cmd, timeout, cc.name)
     except OSError as exc:
         raise TransientCompileError(
             f"{cc.name} could not be invoked ({cc.path}): {exc}"
@@ -335,6 +390,7 @@ def compile_with_fallback(source: str, workdir: Path,
                           retry_base: float = 0.05,
                           retry_cap: float = 1.0,
                           sleep: Callable[[float], None] = time.sleep,
+                          deadline: float | None = None,
                           ) -> tuple[Path, CompilerInfo, tuple[str, ...]]:
     """Compile down the resilience ladder.
 
@@ -342,9 +398,13 @@ def compile_with_fallback(source: str, workdir: Path,
     transient failures are retried up to ``max_retries`` times (default
     ``REPRO_COMPILE_RETRIES``, 2) with bounded exponential backoff,
     permanent ones drop straight to the next rung.  Every invocation is
-    appended to ``attempts``.  Returns ``(so_path, compiler, flags)``
-    of the first success or raises :class:`PermanentCompileError` once
-    the whole ladder is exhausted.
+    appended to ``attempts``.  ``deadline`` (absolute
+    ``time.monotonic()``) bounds the whole walk: once it expires the
+    ladder raises :class:`CompileDeadlineError` instead of starting
+    another rung, and backoff sleeps are capped to the time remaining.
+    Returns ``(so_path, compiler, flags)`` of the first success or
+    raises :class:`PermanentCompileError` once the whole ladder is
+    exhausted.
     """
     ccs = list(compilers) if compilers is not None \
         else list(compiler_chain())
@@ -355,6 +415,18 @@ def compile_with_fallback(source: str, workdir: Path,
     for cc in ccs:
         for rung, fl in flag_ladder(cc, isas, required):
             for try_no in range(retries + 1):
+                if deadline is not None and \
+                        time.monotonic() >= deadline:
+                    exc = CompileDeadlineError(
+                        f"compile deadline expired walking the ladder "
+                        f"for {name!r} (at {cc.name}/{rung}); last "
+                        f"error: {last}")
+                    if attempts is not None:
+                        attempts.append(CompileAttempt(
+                            cc.name, cc.version, rung, tuple(fl),
+                            "transient", str(exc)[:500], 0.0))
+                    obs.counter("compile.deadline_expired")
+                    raise exc
                 start = time.monotonic()
                 outcome = "ok"
                 detail = ""
@@ -364,7 +436,7 @@ def compile_with_fallback(source: str, workdir: Path,
                     try:
                         so = compile_shared_library(
                             source, workdir, isas, compiler=cc,
-                            name=name, flags=fl)
+                            name=name, flags=fl, deadline=deadline)
                     except TransientCompileError as exc:
                         last = exc
                         outcome, detail = "transient", str(exc)[:500]
@@ -385,7 +457,12 @@ def compile_with_fallback(source: str, workdir: Path,
                     return so, cc, tuple(fl)
                 if outcome == "transient" and try_no < retries:
                     obs.counter("compile.retries")
-                    sleep(min(retry_cap, retry_base * (2 ** try_no)))
+                    pause = min(retry_cap, retry_base * (2 ** try_no))
+                    if deadline is not None:
+                        pause = min(pause,
+                                    max(0.0, deadline - time.monotonic()))
+                    if pause > 0:
+                        sleep(pause)
                     continue
                 # this rung is abandoned; the ladder moves on
                 obs.counter("compile.downgrades")

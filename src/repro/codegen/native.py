@@ -18,6 +18,7 @@ import os
 import shutil
 import tempfile
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Sequence
@@ -25,6 +26,8 @@ from typing import Any, Sequence
 import numpy as np
 
 import repro.obs as obs
+from repro.core import faults
+from repro.core.procutil import pid_alive
 from repro.codegen.cgen import EXPORT_PREFIX, emit_c_source
 from repro.codegen.compiler import (
     CompileAttempt,
@@ -182,6 +185,48 @@ _session_root: Path | None = None
 _session_lock = threading.Lock()
 _build_seq = itertools.count()
 
+#: Unstamped session roots older than this are treated as leaked.
+_SWEEP_AGE_S = 3600.0
+
+
+def _sweep_leaked_workdirs(base: Path) -> int:
+    """Remove ``repro-native-*`` session roots leaked by killed
+    processes (their atexit cleanup never ran).
+
+    A root is leaked when its ``owner.pid`` stamp names a dead process,
+    or when it carries no stamp and has gone untouched for an hour
+    (pre-stamp leftovers).  Runs once per session, when this process
+    creates its own root.
+    """
+    swept = 0
+    try:
+        candidates = list(base.glob("repro-native-*"))
+    except OSError:
+        return 0
+    for root in candidates:
+        if not root.is_dir():
+            continue
+        stamp = root / "owner.pid"
+        try:
+            pid = int(stamp.read_text().strip())
+        except (OSError, ValueError):
+            pid = None
+        if pid is not None:
+            if pid == os.getpid() or pid_alive(pid):
+                continue
+        else:
+            try:
+                age = time.time() - root.stat().st_mtime
+            except OSError:
+                continue
+            if age < _SWEEP_AGE_S:
+                continue
+        shutil.rmtree(root, ignore_errors=True)
+        swept += 1
+    if swept:
+        obs.counter("native.workdirs_swept", swept)
+    return swept
+
 
 def _session_workdir(name: str) -> Path:
     """A per-build directory under one atexit-cleaned session root.
@@ -189,14 +234,21 @@ def _session_workdir(name: str) -> Path:
     Replaces the old leak where every ``compile_to_native`` call left a
     ``tempfile.mkdtemp`` behind for the life of the machine; persistent
     artifacts belong to the disk kernel cache instead.  Root creation
-    is locked — background compile workers race through here.
+    is locked — background compile workers race through here.  Each
+    root is stamped with its owner pid so a later process can sweep
+    roots whose owners were killed before atexit ran.
     """
     global _session_root
     with _session_lock:
         if _session_root is None or not _session_root.exists():
             _session_root = Path(tempfile.mkdtemp(prefix="repro-native-"))
+            try:
+                (_session_root / "owner.pid").write_text(str(os.getpid()))
+            except OSError:
+                pass
             atexit.register(shutil.rmtree, str(_session_root),
                             ignore_errors=True)
+            _sweep_leaked_workdirs(_session_root.parent)
         root = _session_root
     wd = root / f"{next(_build_seq):04d}-{name}"
     wd.mkdir(parents=True, exist_ok=True)
@@ -223,12 +275,15 @@ def build_native(staged: StagedFunction,
                  check_isas: bool = True,
                  compilers: Sequence[CompilerInfo] | None = None,
                  attempts: list[CompileAttempt] | None = None,
-                 max_retries: int | None = None) -> NativeArtifact:
+                 max_retries: int | None = None,
+                 deadline: float | None = None) -> NativeArtifact:
     """Generate C and compile it down the fallback ladder — no linking.
 
     The returned artifact has not been loaded into this process; link
     it with :func:`link_native` (or let
     :func:`repro.core.resilience.acquire_native` smoke-test it first).
+    ``deadline`` (absolute ``time.monotonic()``) bounds the whole
+    ladder walk; see :func:`compile_with_fallback`.
     """
     system = inspect_system()
     ccs = list(compilers) if compilers is not None \
@@ -248,7 +303,8 @@ def build_native(staged: StagedFunction,
     with obs.span("compile", kernel=staged.name) as compile_span:
         so_path, cc, flags = compile_with_fallback(
             source, wd, isas, required=isas, compilers=ccs,
-            name=staged.name, attempts=attempts, max_retries=max_retries)
+            name=staged.name, attempts=attempts, max_retries=max_retries,
+            deadline=deadline)
         compile_span.set("compiler", cc.name)
         compile_span.set("flags", flags)
     return NativeArtifact(staged=staged, c_source=source, so_path=so_path,
@@ -264,6 +320,8 @@ def ctype_signature(staged: StagedFunction) -> tuple[list, Any]:
 
 def link_native(artifact: NativeArtifact) -> NativeKernel:
     """Load an artifact's shared library into this process via ctypes."""
+    faults.maybe_raise("link.fail", NativeLinkError,
+                       f"injected link failure for {artifact.symbol}")
     try:
         lib = ctypes.CDLL(str(artifact.so_path))
         fn = getattr(lib, artifact.symbol)

@@ -35,6 +35,7 @@ from repro.core.resilience import (
     quarantined_kernels,
 )
 from repro.core.tiered import (
+    CircuitBreaker,
     KernelManager,
     compile_many,
     default_manager,
@@ -43,6 +44,7 @@ from repro.core.tiered import (
 
 __all__ = [
     "BackendKind",
+    "CircuitBreaker",
     "CompileReport",
     "CompiledKernel",
     "KernelManager",

@@ -13,15 +13,22 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    fcntl = None  # type: ignore[assignment]
+
 import repro.obs as obs
-from repro.core.env import env_int
+from repro.core import faults
+from repro.core.env import env_float, env_int
+from repro.core.procutil import pid_alive
 from repro.lms.defs import Block, Stm
 from repro.lms.expr import Const, Exp, Sym
 from repro.lms.staging import StagedFunction
@@ -98,27 +105,120 @@ class DiskCacheEntry:
     meta: dict
 
 
-class DiskKernelCache:
-    """The persistent tier: compiled ``.so`` artifacts on disk.
+class CacheLockTimeout(OSError):
+    """A shard lock could not be acquired within the configured
+    timeout and could not be broken as stale.  Subclasses
+    :class:`OSError` so disk-cache callers that already absorb I/O
+    failures degrade the same way (a wedged cache never blocks
+    compilation)."""
 
-    Entries are keyed by ``(graph_hash, compiler version, flags, ISA
-    set)`` and written atomically (write to a temp file in the cache
-    directory, then ``os.replace``).  Loads verify a SHA-256 checksum of
-    the library against the metadata sidecar; any corruption —
-    unreadable metadata, missing library, checksum mismatch — is a
-    silent miss that also removes the entry, forcing a recompile.  The
-    entry count is LRU-bounded (by mtime; reads touch entries).
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a rename inside it survives power loss.
+
+    Best-effort: some filesystems refuse directory fsync; crash
+    consistency then degrades to the filesystem's own ordering.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class _ShardLock:
+    """A held per-shard advisory lock (fd + path), released via
+    :meth:`release`."""
+
+    __slots__ = ("fd", "path")
+
+    def __init__(self, fd: int, path: Path) -> None:
+        self.fd = fd
+        self.path = path
+
+    def release(self) -> None:
+        if self.fd < 0:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(self.fd, fcntl.LOCK_UN)
+        except OSError:
+            pass
+        finally:
+            try:
+                os.close(self.fd)
+            except OSError:
+                pass
+            self.fd = -1
+
+
+class DiskKernelCache:
+    """The persistent tier: compiled ``.so`` artifacts on disk,
+    crash-consistent and safe under concurrent *processes*.
+
+    Layout (v2, sharded): entries are keyed by ``(graph_hash, compiler
+    version, flags, ISA set)`` and live under ``root/<key[:2]>/`` —
+    256 shards, each with its own ``.lock`` file taken with ``fcntl``
+    advisory locks (``flock``), so two processes hammering different
+    kernels never serialize on one global lock.
+
+    **Atomic publish, one rename commits.**  ``put`` writes the ``.so``
+    payload to a temp file, fsyncs it, renames it to ``<key>.so``, then
+    writes the JSON manifest (carrying the SHA-256 checksum) the same
+    way and renames it to ``<key>.json`` — fsyncing the shard
+    directory after each rename.  The *manifest* rename is the commit
+    point: readers resolve entries through the manifest, so an ``.so``
+    without one is invisible, and a crash anywhere in the window leaves
+    either nothing or an orphaned half that the recovery sweep (and any
+    ``get``) deletes.  There is no window in which a reader can observe
+    a committed manifest without its library having been fully renamed
+    first.
+
+    **Validation on read.**  ``get`` re-hashes the library against the
+    manifest checksum under the shard lock; unreadable metadata, a
+    missing library, or a mismatch is a silent miss that drops *both*
+    halves, forcing a recompile.
+
+    **Recovery sweep.**  Opening the cache sweeps every shard under its
+    lock: leftover ``*.tmp`` files, ``.so`` halves without a manifest
+    and manifests without (or with unreadable) libraries are deleted.
+    Because publishers hold the shard lock for the whole publish, any
+    temp file visible under the lock is orphaned by definition.
+
+    **Stale-lock breaking.**  ``flock`` locks die with their holder, so
+    a killed publisher never wedges the shard.  If acquisition still
+    times out (``REPRO_CACHE_LOCK_TIMEOUT``), the pid stamped into the
+    lock file is probed; a dead owner's lock file is broken (unlinked)
+    and acquisition retried once, after which :class:`CacheLockTimeout`
+    is raised.
+
+    **Lock-held eviction.**  The entry count is LRU-bounded by manifest
+    mtime across all shards (reads touch entries); victims are dropped
+    shard-by-shard under each shard's lock.
     """
 
     def __init__(self, root: str | Path | None = None,
-                 max_entries: int | None = None) -> None:
+                 max_entries: int | None = None,
+                 lock_timeout: float | None = None) -> None:
         self.root = Path(root).expanduser() if root is not None \
             else cache_root()
         self.max_entries = max_entries if max_entries is not None \
             else env_int("REPRO_CACHE_DISK_ENTRIES", 128, minimum=1)
+        self.lock_timeout = lock_timeout if lock_timeout is not None \
+            else env_float("REPRO_CACHE_LOCK_TIMEOUT", 10.0, minimum=0.01)
         self.hits = 0
         self.misses = 0
         self._lock = threading.Lock()
+        if self.root.is_dir():
+            try:
+                self.recover()
+            except OSError:
+                pass
 
     @staticmethod
     def artifact_key(graph_hash_: str, compiler_version: str,
@@ -127,79 +227,289 @@ class DiskKernelCache:
                            " ".join(flags), " ".join(sorted(isas))])
         return hashlib.sha256(token.encode()).hexdigest()[:32]
 
-    def _paths(self, key: str) -> tuple[Path, Path]:
-        return self.root / f"{key}.so", self.root / f"{key}.json"
+    # -- shard geometry and locking ------------------------------------
 
-    def _drop(self, key: str) -> None:
+    def shard_dir(self, key: str) -> Path:
+        return self.root / key[:2]
+
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        shard = self.shard_dir(key)
+        return shard / f"{key}.so", shard / f"{key}.json"
+
+    def _break_stale(self, lock_path: Path) -> bool:
+        """Unlink a lock file whose stamped owner pid is dead.
+
+        With ``flock`` the kernel releases a dead owner's lock, so this
+        only triggers for lock files left by foreign locking schemes or
+        corrupted stamps — but a chaos-killed publisher must never be
+        able to wedge a shard forever, whatever the mechanism.
+        """
+        try:
+            raw = lock_path.read_text().strip()
+            pid = int(raw) if raw else -1
+        except (OSError, ValueError):
+            pid = -1
+        if pid > 0 and pid_alive(pid):
+            return False
+        try:
+            lock_path.unlink()
+        except OSError:
+            return False
+        obs.counter("cache.disk.locks_broken")
+        return True
+
+    def _acquire_shard_lock(self, shard: Path) -> _ShardLock:
+        """Take the shard's advisory lock, bounded by
+        ``self.lock_timeout`` and with one stale-break attempt."""
+        lock_path = shard / ".lock"
+        if fcntl is None:  # pragma: no cover - non-POSIX hosts
+            return _ShardLock(-1, lock_path)
+        deadline = time.monotonic() + self.lock_timeout
+        broke_stale = False
+        while True:
+            try:
+                fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+            except OSError as exc:
+                raise CacheLockTimeout(
+                    f"cannot open shard lock {lock_path}: {exc}") from exc
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                os.close(fd)
+                if time.monotonic() >= deadline:
+                    if not broke_stale and self._break_stale(lock_path):
+                        broke_stale = True
+                        deadline = time.monotonic() + self.lock_timeout
+                        continue
+                    raise CacheLockTimeout(
+                        f"shard lock {lock_path} held for more than "
+                        f"{self.lock_timeout}s")
+                time.sleep(0.005)
+                continue
+            # stamp the owner pid for stale-lock diagnosis
+            try:
+                os.ftruncate(fd, 0)
+                os.write(fd, str(os.getpid()).encode())
+            except OSError:
+                pass
+            return _ShardLock(fd, lock_path)
+
+    # -- the read/write surface ----------------------------------------
+
+    def _drop_locked(self, key: str) -> None:
+        """Remove both halves of ``key`` (caller holds the shard lock)."""
         for p in self._paths(key):
             try:
                 p.unlink()
             except OSError:
                 pass
 
+    def _miss(self) -> None:
+        self.misses += 1
+        obs.counter("cache.disk.misses")
+
     def get(self, key: str) -> DiskCacheEntry | None:
         with self._lock:
             so_path, meta_path = self._paths(key)
+            shard = self.shard_dir(key)
+            if not shard.is_dir():
+                self._miss()
+                return None
             try:
-                meta = json.loads(meta_path.read_text())
-                blob = so_path.read_bytes()
-            except (OSError, ValueError):
-                self._drop(key)
-                self.misses += 1
-                obs.counter("cache.disk.misses")
+                lock = self._acquire_shard_lock(shard)
+            except CacheLockTimeout:
+                self._miss()
                 return None
-            if not isinstance(meta, dict) or \
-                    hashlib.sha256(blob).hexdigest() != meta.get("checksum"):
-                self._drop(key)
-                self.misses += 1
-                obs.counter("cache.disk.misses")
-                return None
-            for p in (so_path, meta_path):
+            try:
                 try:
-                    os.utime(p)  # touch for LRU recency
-                except OSError:
-                    pass
-            self.hits += 1
-            obs.counter("cache.disk.hits")
-            return DiskCacheEntry(so_path=so_path, meta=meta)
+                    meta = json.loads(meta_path.read_text())
+                    blob = so_path.read_bytes()
+                except (OSError, ValueError):
+                    # torn pair or absent entry: drop whichever half
+                    # survives so no future reader sees it
+                    self._drop_locked(key)
+                    self._miss()
+                    return None
+                if not isinstance(meta, dict) or \
+                        hashlib.sha256(blob).hexdigest() != \
+                        meta.get("checksum"):
+                    self._drop_locked(key)
+                    self._miss()
+                    obs.counter("cache.disk.corrupt_dropped")
+                    return None
+                for p in (so_path, meta_path):
+                    try:
+                        os.utime(p)  # touch for LRU recency
+                    except OSError:
+                        pass
+                self.hits += 1
+                obs.counter("cache.disk.hits")
+                return DiskCacheEntry(so_path=so_path, meta=meta)
+            finally:
+                lock.release()
 
     def invalidate(self, key: str) -> None:
         """Remove an entry (e.g. after its artifact was quarantined)."""
         with self._lock:
-            self._drop(key)
+            shard = self.shard_dir(key)
+            if not shard.is_dir():
+                return
+            lock = self._acquire_shard_lock(shard)
+            try:
+                self._drop_locked(key)
+            finally:
+                lock.release()
+
+    def _publish_file(self, target: Path, payload: bytes) -> None:
+        """Write-fsync-rename one file into its shard (lock held)."""
+        tmp = target.with_name(
+            f".{target.name}.{os.getpid()}.{time.monotonic_ns():x}.tmp")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        try:
+            os.write(fd, payload)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, target)
+        _fsync_dir(target.parent)
 
     def put(self, key: str, so_bytes: bytes, meta: dict) -> Path:
         with self._lock:
-            self.root.mkdir(parents=True, exist_ok=True)
             so_path, meta_path = self._paths(key)
+            shard = self.shard_dir(key)
+            shard.mkdir(parents=True, exist_ok=True)
             meta = dict(meta)
             meta["checksum"] = hashlib.sha256(so_bytes).hexdigest()
-            for target, payload in ((so_path, so_bytes),
-                                    (meta_path,
-                                     json.dumps(meta).encode())):
-                fd, tmp = tempfile.mkstemp(dir=self.root,
-                                           prefix=f".{target.name}.")
-                try:
-                    os.write(fd, payload)
-                    os.fsync(fd)
-                finally:
-                    os.close(fd)
-                os.replace(tmp, target)
+            # Injected torn writes / media corruption mangle the payload
+            # *after* the checksum is computed, exactly like a real torn
+            # write: the manifest promises bytes the disk does not hold,
+            # and only get-side validation can catch it.
+            payload = faults.corrupt_bytes("disk.partial_write", so_bytes)
+            if payload is so_bytes:
+                payload = faults.corrupt_bytes("disk.corrupt_blob",
+                                               so_bytes)
+            lock = self._acquire_shard_lock(shard)
+            try:
+                self._publish_file(so_path, payload)
+                # the torn-publish window: the library is renamed but
+                # the manifest — the commit record — is not
+                faults.maybe_kill("disk.kill_mid_publish")
+                faults.maybe_raise(
+                    "disk.torn_publish",
+                    message=f"injected crash between publish halves "
+                            f"of {key}")
+                self._publish_file(meta_path, json.dumps(meta).encode())
+            finally:
+                lock.release()
             self._evict()
             return so_path
 
-    def _evict(self) -> None:
+    # -- eviction and recovery -----------------------------------------
+
+    def _shards(self) -> list[Path]:
         try:
-            metas = sorted(self.root.glob("*.json"),
-                           key=lambda p: p.stat().st_mtime)
+            return sorted(p for p in self.root.iterdir()
+                          if p.is_dir() and len(p.name) == 2)
         except OSError:
+            return []
+
+    def _evict(self) -> None:
+        """LRU-bound the manifest count (callers hold ``self._lock``).
+
+        Victim selection scans without locks (read-only); each victim
+        is then dropped under its shard's lock, re-checking existence —
+        a concurrent toucher losing an entry costs one recompile, never
+        a torn read.
+        """
+        entries: list[tuple[float, Path]] = []
+        for shard in self._shards():
+            try:
+                for meta_path in shard.glob("*.json"):
+                    entries.append((meta_path.stat().st_mtime, meta_path))
+            except OSError:
+                continue
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
             return
-        excess = len(metas) - self.max_entries
-        for meta_path in metas[:max(0, excess)]:
-            self._drop(meta_path.stem)
+        entries.sort(key=lambda pair: pair[0])
+        by_shard: dict[Path, list[str]] = {}
+        for _mtime, meta_path in entries[:excess]:
+            by_shard.setdefault(meta_path.parent, []).append(
+                meta_path.stem)
+        for shard, keys in by_shard.items():
+            try:
+                lock = self._acquire_shard_lock(shard)
+            except CacheLockTimeout:
+                continue
+            try:
+                for key in keys:
+                    self._drop_locked(key)
+                    obs.counter("cache.disk.evictions")
+            finally:
+                lock.release()
+
+    def recover(self) -> dict[str, int]:
+        """Sweep every shard for crash debris: orphaned temp files and
+        torn pairs (either half without a readable other half).
+
+        Runs under each shard's lock, so an in-flight publish in
+        another process is never mistaken for debris.  Returns removal
+        counts; also invoked on cache open.
+        """
+        removed = {"tmp": 0, "orphan_so": 0, "orphan_meta": 0}
+        for shard in self._shards():
+            try:
+                lock = self._acquire_shard_lock(shard)
+            except CacheLockTimeout:
+                continue
+            try:
+                try:
+                    names = {p.name for p in shard.iterdir()}
+                except OSError:
+                    continue
+                for name in names:
+                    if name.endswith(".tmp"):
+                        try:
+                            (shard / name).unlink()
+                            removed["tmp"] += 1
+                        except OSError:
+                            pass
+                for name in sorted(names):
+                    if name.endswith(".so") and \
+                            f"{name[:-3]}.json" not in names:
+                        try:
+                            (shard / name).unlink()
+                            removed["orphan_so"] += 1
+                        except OSError:
+                            pass
+                    elif name.endswith(".json"):
+                        key = name[:-5]
+                        meta_ok = True
+                        try:
+                            meta = json.loads((shard / name).read_text())
+                            meta_ok = isinstance(meta, dict)
+                        except (OSError, ValueError):
+                            meta_ok = False
+                        if not meta_ok or f"{key}.so" not in names:
+                            # unlink shard-locally, not via the key's
+                            # canonical shard — a misfiled entry must be
+                            # deleted where it was found
+                            for half in (shard / name,
+                                         shard / f"{key}.so"):
+                                try:
+                                    half.unlink()
+                                except OSError:
+                                    pass
+                            removed["orphan_meta"] += 1
+            finally:
+                lock.release()
+        swept = sum(removed.values())
+        if swept:
+            obs.counter("cache.disk.recovered", swept)
+        return removed
 
     def __len__(self) -> int:
-        return len(list(self.root.glob("*.json")))
+        return sum(1 for _ in self.root.glob("*/*.json"))
 
 
 class KernelCache:
@@ -325,7 +635,8 @@ class CompileJob:
     the settled tier (``CompiledKernel.wait_native``).
     """
 
-    __slots__ = ("key", "kernels", "future", "outcome", "_done")
+    __slots__ = ("key", "kernels", "future", "outcome", "is_probe",
+                 "_done")
 
     def __init__(self, key: str) -> None:
         self.key = key
@@ -333,6 +644,7 @@ class CompileJob:
         self.future = None          # set by the manager after submit
         self.outcome: str | None = None   # "native" | "demoted: ..." |
         #                                   "cancelled"
+        self.is_probe = False       # a half-open circuit-breaker probe
         self._done = threading.Event()
 
     @property
@@ -395,6 +707,15 @@ class InflightCompiles:
     def keys(self) -> list[str]:
         with self._lock:
             return list(self._jobs)
+
+    def has(self, key: str) -> bool:
+        with self._lock:
+            return key in self._jobs
+
+    def jobs(self) -> list[CompileJob]:
+        """Snapshot of the open jobs (for abandoned-work accounting)."""
+        with self._lock:
+            return list(self._jobs.values())
 
 
 default_cache = KernelCache()

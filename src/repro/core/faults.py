@@ -1,0 +1,293 @@
+"""Deterministic fault injection for the kernel pipeline.
+
+The stage→compile→smoke→link→publish→dispatch path claims to survive
+compiler hangs, partial disk writes and workers killed mid-publish.
+This module makes those claims testable: named **injection points** are
+threaded through :mod:`repro.codegen.compiler`,
+:mod:`repro.codegen.native`, :mod:`repro.core.resilience` and
+:mod:`repro.core.cache`, and a ``REPRO_FAULTS`` spec arms any subset of
+them with deterministic schedules.  The chaos differential suite
+(``tests/test_chaos.py``) runs the tier-1 kernels under randomized
+schedules and requires bit-identical results with zero exceptions
+leaking into callers.
+
+Spec grammar (comma-separated, whitespace-tolerant)::
+
+    REPRO_FAULTS="disk.partial_write:p=0.3:seed=7,compile.hang:n=2"
+
+Per-point keys:
+
+* ``p`` — firing probability per eligible attempt (default 1.0).
+* ``seed`` — the point's private RNG seed (default: derived from the
+  point name, so two runs of the same spec fire identically).
+* ``n`` — maximum number of firings (default unlimited).
+* ``after`` — skip the first K eligible attempts (default 0).
+
+Determinism: each armed point owns a ``random.Random(seed)``; given the
+same spec and the same sequence of ``fire()`` calls, the same attempts
+fire.  Every firing is counted in ``repro.obs``
+(``faults.fired{point=...}``) and recorded as a trace event.
+
+The catalog below is the authoritative list of injection points; a spec
+naming an unknown point warns but still arms it, so call sites can grow
+points before the catalog documents them.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import threading
+import warnings
+import zlib
+from dataclasses import dataclass
+
+import repro.obs as obs
+
+__all__ = [
+    "CATALOG",
+    "FaultError",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "corrupt_bytes",
+    "fire",
+    "fired_counts",
+    "maybe_kill",
+    "maybe_raise",
+    "parse_spec",
+    "reset",
+]
+
+#: Injection-point catalog (see DESIGN.md §11).  Keys are the names a
+#: ``REPRO_FAULTS`` spec arms; values describe what a firing does at
+#: the call site.
+CATALOG: dict[str, str] = {
+    "disk.partial_write": (
+        "truncate the artifact payload during publish, modelling a torn "
+        "write; the stored checksum no longer matches, so readers must "
+        "treat the entry as a miss"),
+    "disk.corrupt_blob": (
+        "flip a byte of the artifact payload after its checksum is "
+        "computed (silent media corruption caught by get-side "
+        "validation)"),
+    "disk.torn_publish": (
+        "raise between the .so rename and the manifest commit, leaving "
+        "an uncommitted artifact half for the recovery sweep"),
+    "disk.kill_mid_publish": (
+        "SIGKILL the publishing process between the two halves of a "
+        "publish (cross-process crash-consistency tests)"),
+    "compile.transient": (
+        "raise TransientCompileError instead of invoking the compiler"),
+    "compile.permanent": (
+        "raise PermanentCompileError instead of invoking the compiler"),
+    "compile.hang": (
+        "replace the compiler invocation with a child that sleeps until "
+        "the watchdog kills its process group"),
+    "smoke.kill_child": (
+        "SIGKILL the forked smoke-run child mid-run (contained crash)"),
+    "link.fail": (
+        "raise NativeLinkError instead of linking the artifact"),
+}
+
+_SPEC_KEYS = ("p", "seed", "n", "after")
+
+
+class FaultError(OSError):
+    """A deterministic injected fault.
+
+    Subclasses :class:`OSError` on purpose: the disk-publish injection
+    points fire inside code whose callers already absorb I/O errors
+    (a full or read-only cache must never block compilation), so an
+    injected crash exercises exactly the handling a real one would.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed ``point[:k=v]*`` entry of a ``REPRO_FAULTS`` spec."""
+
+    point: str
+    p: float = 1.0
+    seed: int | None = None
+    n: int | None = None
+    after: int = 0
+
+    def derived_seed(self) -> int:
+        if self.seed is not None:
+            return self.seed
+        return zlib.crc32(self.point.encode())
+
+
+def parse_spec(text: str) -> list[FaultSpec]:
+    """Parse a ``REPRO_FAULTS`` value; malformed entries warn and are
+    skipped (a chaos knob must never take the pipeline down itself)."""
+    specs: list[FaultSpec] = []
+    for raw_entry in text.split(","):
+        entry = raw_entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        point = parts[0].strip()
+        if not point:
+            continue
+        if point not in CATALOG:
+            warnings.warn(
+                f"REPRO_FAULTS arms unknown injection point {point!r} "
+                f"(catalog: {', '.join(sorted(CATALOG))})",
+                RuntimeWarning, stacklevel=2)
+        kwargs: dict = {}
+        ok = True
+        for part in parts[1:]:
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep or key not in _SPEC_KEYS:
+                warnings.warn(
+                    f"ignoring malformed REPRO_FAULTS entry {entry!r} "
+                    f"(bad clause {part!r})", RuntimeWarning, stacklevel=2)
+                ok = False
+                break
+            try:
+                kwargs[key] = float(value) if key == "p" else int(value)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring malformed REPRO_FAULTS entry {entry!r} "
+                    f"({key}={value!r} is not numeric)",
+                    RuntimeWarning, stacklevel=2)
+                ok = False
+                break
+        if ok:
+            specs.append(FaultSpec(point=point, **kwargs))
+    return specs
+
+
+class _ArmedPoint:
+    __slots__ = ("spec", "rng", "attempts", "fired")
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self.rng = random.Random(spec.derived_seed())
+        self.attempts = 0
+        self.fired = 0
+
+    def should_fire(self) -> bool:
+        self.attempts += 1
+        if self.attempts <= self.spec.after:
+            return False
+        if self.spec.n is not None and self.fired >= self.spec.n:
+            return False
+        if self.spec.p < 1.0 and self.rng.random() >= self.spec.p:
+            return False
+        self.fired += 1
+        return True
+
+
+class FaultPlan:
+    """The armed injection points of one parsed spec (thread-safe)."""
+
+    def __init__(self, specs: list[FaultSpec]) -> None:
+        self._lock = threading.Lock()
+        self._points = {s.point: _ArmedPoint(s) for s in specs}
+
+    def should_fire(self, point: str) -> bool:
+        with self._lock:
+            armed = self._points.get(point)
+            if armed is None:
+                return False
+            return armed.should_fire()
+
+    def fired_counts(self) -> dict[str, int]:
+        with self._lock:
+            return {name: p.fired for name, p in self._points.items()}
+
+    def points(self) -> list[str]:
+        with self._lock:
+            return sorted(self._points)
+
+
+# The active plan is cached on the raw spec string, so per-point
+# schedules (n=, after=, the RNG stream) persist across fire() calls
+# but a changed REPRO_FAULTS takes effect immediately.
+_cache_lock = threading.Lock()
+_cached_raw: str | None = None
+_cached_plan: FaultPlan | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan armed by ``REPRO_FAULTS``, or ``None`` when unset."""
+    global _cached_raw, _cached_plan
+    raw = os.environ.get("REPRO_FAULTS", "").strip()
+    if not raw:
+        with _cache_lock:
+            _cached_raw = _cached_plan = None
+        return None
+    with _cache_lock:
+        if raw != _cached_raw:
+            _cached_raw = raw
+            _cached_plan = FaultPlan(parse_spec(raw))
+        return _cached_plan
+
+
+def reset() -> None:
+    """Drop the cached plan so the next lookup re-arms with fresh
+    schedules (test hook; invoked by
+    :func:`repro.core.resilience.clear_session_state`)."""
+    global _cached_raw, _cached_plan
+    with _cache_lock:
+        _cached_raw = _cached_plan = None
+
+
+def fire(point: str) -> bool:
+    """Whether the armed fault at ``point`` fires on this attempt.
+
+    Always false when ``REPRO_FAULTS`` is unset — the fast path is one
+    env lookup.  Firings are counted (``faults.fired{point=...}``) and
+    land in the trace ring as zero-duration ``fault`` events.
+    """
+    plan = active_plan()
+    if plan is None:
+        return False
+    hit = plan.should_fire(point)
+    if hit:
+        obs.counter("faults.fired", point=point)
+        obs.event("fault", point=point)
+    return hit
+
+
+def maybe_raise(point: str, exc_type: type[BaseException] = FaultError,
+                message: str | None = None) -> None:
+    """Raise ``exc_type`` if the fault at ``point`` fires."""
+    if fire(point):
+        raise exc_type(message or f"injected fault at {point}")
+
+
+def maybe_kill(point: str, sig: int = signal.SIGKILL) -> None:
+    """SIGKILL the *current process* if the fault at ``point`` fires.
+
+    Only meaningful in worker/child processes spawned by tests; the
+    whole point is that the parent must recover from the corpse.
+    """
+    if fire(point):
+        os.kill(os.getpid(), sig)
+
+
+def corrupt_bytes(point: str, data: bytes) -> bytes:
+    """Return ``data`` mangled if the fault at ``point`` fires.
+
+    ``disk.partial_write`` truncates to half; every other point flips
+    the middle byte.  Either way the result is deterministic for a
+    given input.
+    """
+    if not fire(point) or not data:
+        return data
+    if point == "disk.partial_write":
+        return data[: len(data) // 2]
+    mid = len(data) // 2
+    return data[:mid] + bytes([data[mid] ^ 0xFF]) + data[mid + 1:]
+
+
+def fired_counts() -> dict[str, int]:
+    """Firing counts of the active plan (empty when faults are off)."""
+    plan = active_plan()
+    return plan.fired_counts() if plan is not None else {}

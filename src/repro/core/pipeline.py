@@ -166,6 +166,8 @@ class CompiledKernel:
                     self.fallback_reason is None:
                 impl.countdown = None    # the hotness gate is moot now
                 job = impl.manager.promote(self)
+                if job is None:       # shed: breaker open / queue full
+                    return self
             else:
                 return self
         if not job.wait(timeout):

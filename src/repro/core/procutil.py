@@ -1,0 +1,51 @@
+"""Small process utilities shared by the resilience machinery.
+
+The cross-process cache locks, the compile watchdog and the leaked
+workdir sweep all need the same two primitives: "is this pid alive?"
+and "kill this whole process group".  They live here so the cache,
+compiler and native layers do not grow copies with diverging edge-case
+handling.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+__all__ = ["kill_process_group", "pid_alive"]
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe).
+
+    ``EPERM`` counts as alive — the process exists, we just may not
+    signal it.  Non-positive pids are never considered alive (0 / -1
+    would probe whole process groups).
+    """
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def kill_process_group(pid: int, sig: int = signal.SIGKILL) -> bool:
+    """Kill the process group led by ``pid`` (fall back to the single
+    process when it has no group of its own).  Returns whether any
+    signal was delivered."""
+    try:
+        os.killpg(pid, sig)
+        return True
+    except (ProcessLookupError, PermissionError, OSError):
+        pass
+    try:
+        os.kill(pid, sig)
+        return True
+    except OSError:
+        return False

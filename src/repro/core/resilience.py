@@ -63,6 +63,7 @@ from repro.codegen.native import (
     link_native,
     required_isas,
 )
+from repro.core import faults
 from repro.core.cache import DiskKernelCache, default_cache, graph_hash
 from repro.core.env import env_float
 from repro.lms.staging import StagedFunction
@@ -155,6 +156,7 @@ def clear_session_state() -> None:
     with _state_lock:
         _quarantined.clear()
         _trusted.clear()
+    faults.reset()
 
 
 # ---------------------------------------------------------------------------
@@ -263,6 +265,9 @@ def _child_smoke(artifact: NativeArtifact, shadow: list[Any],
     native code never returns at all — that is the point of the fork.
     """
     try:
+        # injected mid-smoke crash: the fork is the containment
+        # boundary this exercises — the parent sees WIFSIGNALED
+        faults.maybe_kill("smoke.kill_child")
         # faulthandler is imported at module scope: the child must not
         # touch the import machinery (a lock another thread may hold at
         # fork time, now that smoke-runs happen on compile workers).
@@ -459,15 +464,19 @@ def acquire_native(staged: StagedFunction, *,
                    use_disk_cache: bool | None = None,
                    smoke: bool | None = None,
                    max_retries: int | None = None,
+                   deadline: float | None = None,
                    ) -> tuple[NativeKernel, CompileReport]:
     """Produce a trusted, linked native kernel — or refuse loudly.
 
     The full resilience path: quarantine check, disk-cache probe,
     ladder compile (with retries), disk-cache store, forked smoke-run,
-    then (and only then) ``ctypes`` linking into this process.  Raises
-    :class:`KernelQuarantinedError`, :class:`PermanentCompileError` /
-    :class:`TransientCompileError` (both :class:`CompileError`) or
-    :class:`NativeLinkError`; each carries the ``report`` attribute.
+    then (and only then) ``ctypes`` linking into this process.
+    ``deadline`` (absolute ``time.monotonic()``) bounds the compile
+    ladder — see :class:`repro.codegen.compiler.CompileDeadlineError`.
+    Raises :class:`KernelQuarantinedError`,
+    :class:`PermanentCompileError` / :class:`TransientCompileError`
+    (both :class:`CompileError`) or :class:`NativeLinkError`; each
+    carries the ``report`` attribute.
     """
     system = system or inspect_system()
     ccs = list(compilers) if compilers is not None \
@@ -513,7 +522,8 @@ def acquire_native(staged: StagedFunction, *,
                 artifact = build_native(staged, check_isas=False,
                                         compilers=ccs,
                                         attempts=report.attempts,
-                                        max_retries=max_retries)
+                                        max_retries=max_retries,
+                                        deadline=deadline)
             except CompileError as err:
                 report.fallback_reason = str(err)
                 err.report = report  # type: ignore[attr-defined]

@@ -49,18 +49,23 @@ import repro.obs as obs
 from repro.codegen.compiler import CompileError
 from repro.codegen.native import NativeKernel, NativeLinkError
 from repro.core.cache import CompileJob, InflightCompiles, graph_hash
-from repro.core.env import env_int
+from repro.core.env import env_float, env_int
 from repro.core.resilience import KernelQuarantinedError, acquire_native
 
 __all__ = [
+    "CircuitBreaker",
     "KernelManager",
     "TierEvent",
     "TIER_MODES",
+    "breaker_cooldown",
+    "breaker_threshold",
+    "compile_deadline",
     "compile_many",
     "compile_workers",
     "default_manager",
     "get_manager",
     "hot_threshold",
+    "queue_bound",
     "tier_mode",
     "wait_all",
 ]
@@ -98,12 +103,173 @@ def hot_threshold() -> int:
     return env_int("REPRO_HOT_THRESHOLD", 8, minimum=1)
 
 
+def breaker_threshold() -> int:
+    """Consecutive environment-level compile failures before the
+    circuit breaker opens (``REPRO_BREAKER_THRESHOLD``, default 3)."""
+    return env_int("REPRO_BREAKER_THRESHOLD", 3, minimum=1)
+
+
+def breaker_cooldown() -> float:
+    """Seconds an open breaker waits before admitting one half-open
+    probe compile (``REPRO_BREAKER_COOLDOWN``, default 30)."""
+    return env_float("REPRO_BREAKER_COOLDOWN", 30.0, minimum=0.0)
+
+
+def queue_bound() -> int:
+    """Background compile admission bound (``REPRO_QUEUE_BOUND``,
+    default 64): promotions past this many in-flight jobs are shed to
+    the simulator instead of growing the queue unboundedly."""
+    return env_int("REPRO_QUEUE_BOUND", 64, minimum=1)
+
+
+def compile_deadline() -> float | None:
+    """Per-kernel wall-clock budget for one background compile
+    (``REPRO_COMPILE_DEADLINE``, default 300 s; ``0`` disables).  The
+    manager converts it to an absolute deadline threaded down the whole
+    ladder walk, so a hung compiler can never wedge a worker slot
+    longer than this."""
+    value = env_float("REPRO_COMPILE_DEADLINE", 300.0, minimum=0.0)
+    return None if value <= 0 else value
+
+
+_BREAKER_STATE_CODES = {"closed": 0, "half-open": 1, "open": 2}
+
+# reason substrings that implicate the toolchain/host rather than one
+# kernel's code (see CircuitBreaker and _environment_failure)
+_ENV_FAILURE_MARKERS = (
+    "no c compiler",
+    "could not be invoked",
+    "deadline",
+    "watchdog",
+    "timed out",
+)
+
+
+class CircuitBreaker:
+    """Admission control for background compiles when the *environment*
+    is broken.
+
+    A kernel whose own code fails to compile is that kernel's problem —
+    it gets demoted and the pipeline moves on.  But when the toolchain
+    itself is gone (compiler uninstalled, every rung hitting the
+    watchdog, deadlines expiring), each doomed compile still burns a
+    worker slot for its full timeout.  After ``REPRO_BREAKER_THRESHOLD``
+    *consecutive* environment-level failures the breaker **opens**:
+    ``auto`` kernels are shed straight to the simulator with zero
+    compiles enqueued.  After ``REPRO_BREAKER_COOLDOWN`` seconds the
+    breaker goes **half-open** and admits exactly one probe compile;
+    its success closes the breaker, its failure re-opens it for another
+    cooldown.  A *kernel-specific* failure (quarantine, diagnostics)
+    counts as proof the toolchain works and resets the streak.
+
+    State is exported as the ``tiered.breaker_state`` gauge
+    (closed=0, half-open=1, open=2); transitions into open bump
+    ``tiered.breaker_opens``.  ``clock`` is injectable for tests.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic
+                 ) -> None:
+        self._lock = threading.Lock()
+        self._clock = clock
+        self.state = "closed"
+        self.failure_streak = 0
+        self.opened_at = 0.0
+        self._probe_inflight = False
+        self.opens = 0
+
+    def _gauge(self) -> None:
+        obs.gauge("tiered.breaker_state",
+                  _BREAKER_STATE_CODES[self.state])
+
+    def _open(self) -> None:
+        self.state = "open"
+        self.opened_at = self._clock()
+        self._probe_inflight = False
+        self.opens += 1
+        obs.counter("tiered.breaker_opens")
+        obs.event("breaker", state="open",
+                  failure_streak=self.failure_streak)
+        self._gauge()
+
+    def allow(self) -> tuple[bool, bool]:
+        """Whether a new compile may be enqueued: ``(admit, is_probe)``.
+
+        Closed admits everything; open admits nothing until the
+        cooldown elapses, then (half-open) exactly one probe at a time.
+        """
+        with self._lock:
+            if self.state == "closed":
+                return True, False
+            if self.state == "open":
+                if self._clock() - self.opened_at < breaker_cooldown():
+                    return False, False
+                self.state = "half-open"
+                self._gauge()
+            # half-open: one probe in flight at a time
+            if self._probe_inflight:
+                return False, False
+            self._probe_inflight = True
+            return True, True
+
+    def record_success(self, probe: bool = False) -> None:
+        """A compile produced a linked native kernel."""
+        with self._lock:
+            if probe:
+                self._probe_inflight = False
+            self.failure_streak = 0
+            if self.state != "closed":
+                self.state = "closed"
+                obs.event("breaker", state="closed")
+                self._gauge()
+
+    def record_env_failure(self, probe: bool = False) -> None:
+        """A compile failed for environment-level reasons."""
+        with self._lock:
+            if probe:
+                self._probe_inflight = False
+            self.failure_streak += 1
+            if self.state == "half-open" or (
+                    self.state == "closed"
+                    and self.failure_streak >= breaker_threshold()):
+                self._open()
+
+    def record_other(self, probe: bool = False) -> None:
+        """A compile failed, but in a way that proves the toolchain
+        works (quarantine, kernel-specific diagnostics)."""
+        with self._lock:
+            if probe:
+                self._probe_inflight = False
+            self.failure_streak = 0
+            if self.state == "half-open":
+                self.state = "closed"
+                obs.event("breaker", state="closed")
+                self._gauge()
+
+    def record_aborted(self, probe: bool = False) -> None:
+        """A compile was cancelled before running (drain).  An aborted
+        probe returns the breaker to open *without* restarting the
+        cooldown, so the next promotion can probe immediately."""
+        with self._lock:
+            if probe and self.state == "half-open":
+                self._probe_inflight = False
+                self.state = "open"
+                self._gauge()
+
+    def reset(self) -> None:
+        with self._lock:
+            self.state = "closed"
+            self.failure_streak = 0
+            self._probe_inflight = False
+            self._gauge()
+
+
 @dataclass
 class TierEvent:
     """One step of a kernel's tier history (see
     ``CompiledKernel.explain``)."""
 
-    action: str     # "start" | "enqueue" | "swap" | "demote" | "cancel"
+    action: str     # "start" | "enqueue" | "swap" | "demote" |
+    #                 "cancel" | "shed"
     tier: str       # the tier serving calls after this event
     at: float       # time.monotonic() when it happened
     detail: str = ""
@@ -172,8 +338,10 @@ class KernelManager:
         self._pool: ThreadPoolExecutor | None = None
         self._workers = workers
         self._inflight = InflightCompiles()
+        self.breaker = CircuitBreaker()
         self._counts = {key: 0 for key in (
-            "submitted", "attached", "swapped", "demoted", "cancelled")}
+            "submitted", "attached", "swapped", "demoted", "cancelled",
+            "shed")}
 
     # -- introspection -------------------------------------------------
 
@@ -217,24 +385,58 @@ class KernelManager:
         if mode == "async":
             self.promote(kernel)
 
-    def promote(self, kernel) -> CompileJob:
+    def _shed(self, kernel, reason: str) -> None:
+        """Refuse a promotion: the kernel stays (permanently, unless
+        re-managed) on the simulated tier with ``reason`` recorded."""
+        kernel._record_tier_event("shed", "simulated", detail=reason)
+        kernel._demote(reason)
+        self._bump("shed")
+        obs.counter("tiered.shed")
+        obs.event("shed", kernel=kernel.staged.name, reason=reason)
+
+    def promote(self, kernel) -> CompileJob | None:
         """Enqueue background native compilation for ``kernel``
-        (single-flight by graph hash); returns the in-flight job."""
+        (single-flight by graph hash); returns the in-flight job.
+
+        Admission control: returns ``None`` — and demotes the kernel to
+        simulated-with-reason — when the circuit breaker refuses new
+        compiles or the background queue is at ``REPRO_QUEUE_BOUND``.
+        Joining an *existing* in-flight job is always admitted (it
+        costs nothing).
+        """
         existing = kernel._tier_job
         if existing is not None:
             return existing
         ghash = graph_hash(kernel.staged)
+        if not self._inflight.has(ghash):
+            admit, is_probe = self.breaker.allow()
+            if not admit:
+                self._shed(kernel, "circuit breaker open: compile "
+                           "environment is failing")
+                return None
+            if not is_probe and \
+                    self._inflight.pending() >= queue_bound():
+                # probes bypass the bound: they are the recovery path
+                self._shed(kernel, f"compile queue at bound "
+                           f"({queue_bound()})")
+                return None
+        else:
+            is_probe = False
         job, owner = self._inflight.join_or_open(ghash, kernel)
         kernel._tier_job = job
         kernel._record_tier_event(
             "enqueue", "simulated",
             detail="owner" if owner else "joined in-flight compile")
         if owner:
+            job.is_probe = is_probe
             self._bump("submitted")
             job.future = self._ensure_pool().submit(self._run_job, job)
             job.future.add_done_callback(
                 lambda fut, j=job: self._future_done(j, fut))
         else:
+            if is_probe:
+                # lost the has()/join race; someone else owns the job
+                self.breaker.record_aborted(probe=True)
             self._bump("attached")
         obs.counter("tiered.enqueued",
                     mode="owner" if owner else "attached")
@@ -243,16 +445,36 @@ class KernelManager:
 
     # -- worker side ---------------------------------------------------
 
+    @staticmethod
+    def _environment_failure(reason: str | None, report) -> bool:
+        """Whether a failed compile implicates the environment (feeds
+        the breaker) rather than the kernel's own code.
+
+        Environment-level: every recorded ladder attempt transient
+        (timeouts, watchdog kills, failed execs), or a reason carrying
+        one of the toolchain-failure markers.  Kernel-level: permanent
+        diagnostics, quarantines, link failures of a built artifact.
+        """
+        text = (reason or "").lower()
+        if any(marker in text for marker in _ENV_FAILURE_MARKERS):
+            return True
+        attempts = getattr(report, "attempts", None) or []
+        return bool(attempts) and all(
+            a.outcome == "transient" for a in attempts)
+
     def _run_job(self, job: CompileJob) -> str:
         staged = job.kernels[0].staged
         start = time.perf_counter()
         native = report = None
         reason: str | None = None
+        budget = compile_deadline()
+        deadline = None if budget is None else time.monotonic() + budget
         with obs.span("tiered.compile", kernel=staged.name,
                       graph_hash=job.key) as compile_span:
             trace_id = obs.get_tracer().current_trace_id()
             try:
-                native, report = acquire_native(staged)
+                native, report = acquire_native(staged,
+                                                deadline=deadline)
             except KernelQuarantinedError as exc:
                 reason = f"quarantined: {exc.reason}"
                 report = exc.report
@@ -263,6 +485,12 @@ class KernelManager:
                 reason = f"{type(exc).__name__}: {exc}"
             compile_span.set(
                 "outcome", "native" if native is not None else "demoted")
+        if native is not None:
+            self.breaker.record_success(probe=job.is_probe)
+        elif self._environment_failure(reason, report):
+            self.breaker.record_env_failure(probe=job.is_probe)
+        else:
+            self.breaker.record_other(probe=job.is_probe)
         obs.observe("tiered.compile.seconds",
                     time.perf_counter() - start)
         trace = obs.get_tracer().spans_for_trace(trace_id) \
@@ -291,6 +519,7 @@ class KernelManager:
         (``drain``); completed futures were settled by the worker."""
         if not fut.cancelled():
             return
+        self.breaker.record_aborted(probe=job.is_probe)
         for kernel in self._inflight.settle(job.key):
             kernel._record_tier_event(
                 "cancel", "simulated",
@@ -314,8 +543,25 @@ class KernelManager:
     def reset(self) -> None:
         """Drain pending work and zero the counters — the hermetic-test
         hook, also invoked by
-        :func:`repro.core.resilience.clear_session_state`."""
+        :func:`repro.core.resilience.clear_session_state`.
+
+        Compiles abandoned by the drain (their pool future was
+        cancelled before running) are *logged*, not silently dropped:
+        a ``tiered.abandoned`` counter and a :class:`RuntimeWarning`
+        naming the graph hashes, so a suite (or service shutdown) that
+        throws work away leaves a trace.
+        """
+        snapshot = self._inflight.jobs()
         self.drain(cancel=True)
+        abandoned = [job.key for job in snapshot
+                     if job.outcome == "cancelled"]
+        if abandoned:
+            obs.counter("tiered.abandoned", len(abandoned))
+            warnings.warn(
+                f"abandoned {len(abandoned)} pending background "
+                f"compile(s) on reset: {', '.join(sorted(abandoned))}",
+                RuntimeWarning, stacklevel=2)
+        self.breaker.reset()
         with self._lock:
             for key in self._counts:
                 self._counts[key] = 0

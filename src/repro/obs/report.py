@@ -101,6 +101,36 @@ def _ladder_summary(counters: Mapping[str, float]) -> list[str]:
     return lines
 
 
+_BREAKER_STATE_NAMES = {0: "closed", 1: "half-open", 2: "open"}
+
+
+def _resilience_summary(counters: Mapping[str, float],
+                        gauges: Mapping[str, float]) -> list[str]:
+    """Fault injection, watchdog and circuit-breaker activity."""
+    lines: list[str] = []
+    fault_cells = sorted((cell, value) for cell, value in counters.items()
+                         if cell.startswith("faults.fired"))
+    if fault_cells:
+        for cell, value in fault_cells:
+            lines.append(f"{cell} = {int(value)}")
+    else:
+        lines.append("faults.fired: none")
+    watchdog = sum(value for cell, value in counters.items()
+                   if cell.startswith("watchdog.kills"))
+    lines.append(f"watchdog.kills = {int(watchdog)}")
+    for name in ("tiered.shed", "tiered.abandoned",
+                 "tiered.breaker_opens", "cache.disk.recovered",
+                 "cache.disk.locks_broken", "native.workdirs_swept"):
+        value = counters.get(name, 0.0)
+        if value:
+            lines.append(f"{name} = {int(value)}")
+    state = gauges.get("tiered.breaker_state")
+    if state is not None:
+        name = _BREAKER_STATE_NAMES.get(int(state), f"state {state}")
+        lines.append(f"breaker: {name}")
+    return lines
+
+
 def render_report(spans: Sequence[Span],
                   metrics: Mapping | None,
                   top: int = 15) -> str:
@@ -128,6 +158,9 @@ def render_report(spans: Sequence[Span],
     out.append("== compile ladder ==")
     out.extend(_ladder_summary(counters))
     gauges = dict((metrics or {}).get("gauges", {}))
+    out.append("")
+    out.append("== resilience ==")
+    out.extend(_resilience_summary(counters, gauges))
     if gauges:
         out.append("")
         out.append("== gauges ==")

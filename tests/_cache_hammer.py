@@ -1,0 +1,64 @@
+"""Helper for cross-process disk-cache contention tests: one child
+process hammering a shared ``DiskKernelCache`` with a deterministic
+put/get/invalidate mix while injected disk faults fire.
+
+Run as ``python -c "from tests._cache_hammer import main; main(seed, iters)"``
+with ``REPRO_CACHE_DIR`` pointing at the cache under test and
+``REPRO_FAULTS`` arming disk-layer injection points.
+
+Exit codes: 0 = all invariants held, 1 = a torn read or checksum
+mismatch was observed (the bug the crash-consistent store exists to
+prevent), and an injected ``disk.kill_mid_publish`` leaves -SIGKILL.
+The only invariant checked is the one the store guarantees: a committed
+manifest's checksum always matches the payload that manifest was
+published for.  Blob bytes are *not* re-read outside the shard lock —
+a concurrent evict or corrupt-put makes that racy by design.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+import sys
+
+
+KEYS = [f"{i:02x}" + "ab" * 15 for i in range(12)]
+
+
+def payload_for(key: str) -> bytes:
+    return hashlib.sha256(key.encode()).digest() * 8
+
+
+def main(seed: int, iters: int = 200) -> None:
+    from repro.core.cache import CacheLockTimeout, DiskKernelCache
+    from repro.core.faults import FaultError
+
+    disk = DiskKernelCache(root=os.environ["REPRO_CACHE_DIR"],
+                           max_entries=8, lock_timeout=20.0)
+    checksums = {k: hashlib.sha256(payload_for(k)).hexdigest()
+                 for k in KEYS}
+    rng = random.Random(seed)
+    violations = 0
+    for _ in range(iters):
+        key = rng.choice(KEYS)
+        roll = rng.random()
+        try:
+            if roll < 0.5:
+                disk.put(key, payload_for(key), {"hammer": True})
+            elif roll < 0.9:
+                entry = disk.get(key)
+                if entry is not None and \
+                        entry.meta.get("checksum") != checksums[key]:
+                    violations += 1
+                    print(f"torn read: {key} checksum mismatch",
+                          file=sys.stderr)
+            else:
+                disk.invalidate(key)
+        except (CacheLockTimeout, FaultError):
+            continue    # injected faults and contention are expected
+    sys.exit(1 if violations else 0)
+
+
+if __name__ == "__main__":      # pragma: no cover
+    main(int(sys.argv[1]), int(sys.argv[2]) if len(sys.argv) > 2 else 200)

@@ -1,0 +1,136 @@
+"""Two processes hammer one on-disk kernel store while injected disk
+faults (torn writes, corrupted media, mid-publish kills) fire.
+
+The crash-consistency contract under test (DESIGN.md §11): no reader
+ever observes a half-published artifact or a checksum mismatch, and a
+recovery sweep plus eviction pass restores the bound with every
+surviving entry intact — no matter where a publisher died.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.cache import DiskKernelCache
+from tests._cache_hammer import KEYS, payload_for
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="requires POSIX process semantics")
+
+
+def _spawn(cache_dir: Path, seed: int, *, kills: bool,
+           iters: int = 150) -> subprocess.Popen:
+    schedule = [
+        f"disk.partial_write:p=0.15:seed={seed}",
+        f"disk.torn_publish:p=0.1:seed={seed + 1000}",
+    ]
+    if kills:
+        schedule.append(f"disk.kill_mid_publish:p=0.04:seed={seed + 2000}")
+    env = dict(os.environ,
+               REPRO_CACHE_DIR=str(cache_dir),
+               REPRO_FAULTS=",".join(schedule),
+               PYTHONPATH=f"{REPO_ROOT}/src:{REPO_ROOT}")
+    cmd = [sys.executable, "-c",
+           f"from tests._cache_hammer import main; main({seed}, {iters})"]
+    return subprocess.Popen(cmd, env=env, cwd=REPO_ROOT,
+                            stderr=subprocess.PIPE, text=True)
+
+
+def test_concurrent_hammer_never_tears(tmp_path):
+    cache_dir = tmp_path / "shared"
+    DiskKernelCache(root=cache_dir, max_entries=8).put(
+        KEYS[0], payload_for(KEYS[0]), {})
+
+    # Two children race put/get/invalidate on the shared store.  An
+    # injected mid-publish SIGKILL ends a child; it is relaunched with
+    # a fresh fault seed (the same seed would die at the same point
+    # forever).  The final launch drops the kill fault so every child
+    # is guaranteed to finish an uninterrupted pass.  Exit code 1 —
+    # the invariant violation — is the only failure.
+    max_launches = 4
+    launches = {1: 0, 2: 0}
+    while launches:
+        procs = {}
+        for child_id, launch in launches.items():
+            seed = 100 * child_id + 17 * launch
+            procs[child_id] = _spawn(cache_dir, seed,
+                                     kills=launch < max_launches - 1)
+        for child_id, proc in procs.items():
+            _, stderr = proc.communicate(timeout=120)
+            assert proc.returncode != 1, \
+                f"child {child_id} saw a torn read:\n{stderr}"
+            if proc.returncode == 0:
+                del launches[child_id]
+                continue
+            assert proc.returncode == -signal.SIGKILL, \
+                f"unexpected exit {proc.returncode}:\n{stderr}"
+            launches[child_id] += 1
+            assert launches[child_id] < max_launches, \
+                "kill-free final launch did not complete"
+
+    # Post-mortem: the sweep removes every torn pair and temp file the
+    # kills left behind; one eviction pass settles any transient
+    # overshoot (a publish that completed after the store's last
+    # internal evict can leave bound+1 on disk).
+    disk = DiskKernelCache(root=cache_dir, max_entries=8)
+    disk.recover()
+    disk._evict()
+    assert not list(cache_dir.rglob("*.tmp"))
+    metas = list(cache_dir.glob("*/*.json"))
+    assert len(metas) <= 8, "eviction bound exceeded after settling"
+    for meta_path in metas:
+        key = meta_path.stem
+        so_path = meta_path.with_suffix(".so")
+        assert so_path.exists(), f"torn pair survived recovery: {key}"
+        meta = json.loads(meta_path.read_text())
+        # by construction the manifest promises the intended payload
+        assert meta["checksum"] == \
+            hashlib.sha256(payload_for(key)).hexdigest()
+        entry = disk.get(key)
+        if entry is None:
+            # a *committed* torn write: the payload was mangled after
+            # its checksum was computed and both halves still
+            # published.  get must detect the lie and drop the pair.
+            assert not meta_path.exists() and not so_path.exists(), \
+                f"corrupt entry {key} detected but not dropped"
+        else:
+            assert entry.so_path.read_bytes() == payload_for(key), \
+                f"get served bytes that do not match {key}'s manifest"
+    for so_path in cache_dir.glob("*/*.so"):
+        assert so_path.with_suffix(".json").exists(), \
+            f"orphaned artifact survived recovery: {so_path.name}"
+
+
+def test_two_processes_share_one_entry(tmp_path):
+    """The boring happy path, cross-process: what one publishes the
+    other reads back verbatim (no faults armed)."""
+    cache_dir = tmp_path / "shared"
+    key = KEYS[3]
+    env = dict(os.environ,
+               REPRO_CACHE_DIR=str(cache_dir),
+               PYTHONPATH=f"{REPO_ROOT}/src:{REPO_ROOT}")
+    env.pop("REPRO_FAULTS", None)
+    writer = (f"from repro.core.cache import DiskKernelCache;"
+              f"from tests._cache_hammer import payload_for;"
+              f"DiskKernelCache(root={str(cache_dir)!r})"
+              f".put({key!r}, payload_for({key!r}), {{'who': 'w'}})")
+    reader = (f"from repro.core.cache import DiskKernelCache;"
+              f"e = DiskKernelCache(root={str(cache_dir)!r}).get({key!r});"
+              f"assert e is not None and e.meta['who'] == 'w';"
+              f"print(e.so_path.read_bytes().hex())")
+    for snippet in (writer, reader):
+        out = subprocess.run([sys.executable, "-c", snippet], env=env,
+                             cwd=REPO_ROOT, capture_output=True,
+                             text=True, timeout=60)
+        assert out.returncode == 0, out.stderr
+    assert bytes.fromhex(out.stdout.strip()) == payload_for(key)

@@ -36,6 +36,14 @@ from tests.conftest import requires_compiler
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
+@pytest.fixture(autouse=True)
+def _pin_faults(monkeypatch):
+    """Keep this suite hermetic: an ambient ``REPRO_FAULTS`` (the CI
+    chaos job sets one) must not perturb its exact assertions.  Chaos
+    behaviour is covered by ``tests/test_chaos.py``."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+
+
 @pytest.fixture
 def clean_state(monkeypatch, tmp_path):
     """Fresh cache dir, no quarantines, no REPRO_CC leakage."""
@@ -239,11 +247,11 @@ class TestSmokeAndQuarantine:
         *valid* checksum — corruption that only the smoke-run catches."""
         import hashlib
 
-        metas = list(cache_dir.glob("*.json"))
+        metas = list(cache_dir.glob("*/*.json"))
         assert len(metas) == 1
         meta = json.loads(metas[0].read_text())
         meta["checksum"] = hashlib.sha256(so_bytes).hexdigest()
-        cache_dir.joinpath(metas[0].stem + ".so").write_bytes(so_bytes)
+        metas[0].with_name(metas[0].stem + ".so").write_bytes(so_bytes)
         metas[0].write_text(json.dumps(meta))
 
     def _poisoned_pipeline_kernel(self, clean_state, salt, name,
@@ -339,7 +347,7 @@ class TestDiskCache:
         types = [array_of(FLOAT), INT32]
         compile_staged(fn, types, name="corrupt_k", backend="auto").wait_native()
         # corrupt the artifact *without* fixing the checksum
-        sos = list(clean_state.glob("*.so"))
+        sos = list(clean_state.glob("*/*.so"))
         assert len(sos) == 1
         sos[0].write_bytes(b"\x7fELFgarbage")
         default_cache.clear()
@@ -359,15 +367,19 @@ class TestDiskCache:
         assert disk.get("k" + "0".zfill(31) + "0") is None  # evicted
         hit = disk.get(f"k{2:032d}")
         assert hit is not None and hit.meta["i"] == 2
-        # no temp droppings left behind by the write-then-rename
-        assert not [p for p in (tmp_path / "d").iterdir()
-                    if p.name.startswith(".")]
+        # no temp droppings left behind by the write-then-rename; the
+        # only dotfiles are the per-shard advisory locks
+        droppings = [p for p in (tmp_path / "d").rglob(".*")
+                     if p.name != ".lock"]
+        assert not droppings
+        # entries live in two-hex-char shard directories
+        assert hit.so_path.parent.name == f"k{2:032d}"[:2]
 
     def test_checksum_validation(self, tmp_path):
         disk = DiskKernelCache(root=tmp_path / "d")
         key = "a" * 32
-        disk.put(key, b"good bytes", {})
-        (tmp_path / "d" / f"{key}.so").write_bytes(b"bad bytes")
+        entry = disk.put(key, b"good bytes", {})
+        entry.write_bytes(b"bad bytes")
         assert disk.get(key) is None
         assert disk.misses == 1
         # the corrupt entry was dropped entirely

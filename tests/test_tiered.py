@@ -50,6 +50,14 @@ def _expected(salt: float, n: int = 8) -> np.ndarray:
     return np.ones(n, np.float32) * 2.0 + np.float32(salt)
 
 
+@pytest.fixture(autouse=True)
+def _pin_faults(monkeypatch):
+    """Keep this suite hermetic: an ambient ``REPRO_FAULTS`` (the CI
+    chaos job sets one) must not perturb its exact assertions.  Chaos
+    behaviour is covered by ``tests/test_chaos.py``."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+
+
 @pytest.fixture
 def tiered_state(monkeypatch, tmp_path):
     """Fresh cache dir, drained manager, pinned worker count, no
@@ -272,11 +280,11 @@ class TestDemotion:
         subprocess.run(["gcc", "-shared", "-fPIC", str(src), "-o",
                         str(out)], check=True, capture_output=True)
         so_bytes = out.read_bytes()
-        metas = list(cache_dir.glob("*.json"))
+        metas = list(cache_dir.glob("*/*.json"))
         assert len(metas) == 1
         meta = json.loads(metas[0].read_text())
         meta["checksum"] = hashlib.sha256(so_bytes).hexdigest()
-        cache_dir.joinpath(metas[0].stem + ".so").write_bytes(so_bytes)
+        metas[0].with_name(metas[0].stem + ".so").write_bytes(so_bytes)
         metas[0].write_text(json.dumps(meta))
 
     def test_quarantine_during_background_compile_demotes(
