@@ -197,8 +197,10 @@ class DiskKernelCache:
     and acquisition retried once, after which :class:`CacheLockTimeout`
     is raised.
 
-    **Lock-held eviction.**  The entry count is LRU-bounded by manifest
-    mtime across all shards (reads touch entries); victims are dropped
+    **Lock-held eviction.**  The entry count is bounded across all
+    shards by (hits, recency): every ``get`` records a hit count in the
+    manifest (and touches it), and eviction drops the least-hit entries
+    first, manifest mtime breaking ties.  Victims are dropped
     shard-by-shard under each shard's lock.
     """
 
@@ -337,6 +339,18 @@ class DiskKernelCache:
                     self._miss()
                     obs.counter("cache.disk.corrupt_dropped")
                     return None
+                # record the hit in the manifest itself so eviction can
+                # rank by popularity, not recency alone; the atomic
+                # rewrite doubles as the manifest's recency touch
+                try:
+                    meta["hits"] = int(meta.get("hits", 0)) + 1
+                except (TypeError, ValueError):
+                    meta["hits"] = 1
+                try:
+                    self._publish_file(meta_path,
+                                       json.dumps(meta).encode())
+                except OSError:
+                    pass  # read-only store: recency via utime below
                 for p in (so_path, meta_path):
                     try:
                         os.utime(p)  # touch for LRU recency
@@ -414,26 +428,36 @@ class DiskKernelCache:
             return []
 
     def _evict(self) -> None:
-        """LRU-bound the manifest count (callers hold ``self._lock``).
+        """Bound the manifest count (callers hold ``self._lock``),
+        evicting by (hits, recency): the coldest entries go first, and
+        recency only breaks ties between equally-unpopular entries —
+        a once-written never-read artifact loses to a hot kernel no
+        matter how recently it was published.
 
         Victim selection scans without locks (read-only); each victim
         is then dropped under its shard's lock, re-checking existence —
         a concurrent toucher losing an entry costs one recompile, never
         a torn read.
         """
-        entries: list[tuple[float, Path]] = []
+        entries: list[tuple[int, float, Path]] = []
         for shard in self._shards():
             try:
                 for meta_path in shard.glob("*.json"):
-                    entries.append((meta_path.stat().st_mtime, meta_path))
+                    mtime = meta_path.stat().st_mtime
+                    try:
+                        hits = int(json.loads(
+                            meta_path.read_text()).get("hits", 0))
+                    except (OSError, ValueError, TypeError):
+                        hits = 0   # unreadable manifest: evict first
+                    entries.append((hits, mtime, meta_path))
             except OSError:
                 continue
         excess = len(entries) - self.max_entries
         if excess <= 0:
             return
-        entries.sort(key=lambda pair: pair[0])
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
         by_shard: dict[Path, list[str]] = {}
-        for _mtime, meta_path in entries[:excess]:
+        for _hits, _mtime, meta_path in entries[:excess]:
             by_shard.setdefault(meta_path.parent, []).append(
                 meta_path.stem)
         for shard, keys in by_shard.items():

@@ -30,7 +30,7 @@ from repro.core.tiered import (
     NativeDispatch,
     SimulatedDispatch,
     TierEvent,
-    default_manager,
+    get_manager,
     tier_mode,
 )
 from repro.lms.staging import StagedFunction, stage_function
@@ -359,7 +359,9 @@ def compile_staged(fn: Callable[..., object], arg_types: Sequence[Type],
             default_cache.put_for(staged, requested, kernel)
         if deferred:
             pipe_span.set("tier", mode)
-            default_manager.manage(kernel, mode)
+            # get_manager: REPRO_SERVICE routes deferred compiles
+            # through the service-backed manager
+            get_manager().manage(kernel, mode)
     if trace_id is not None:
         kernel.trace = obs.get_tracer().spans_for_trace(trace_id)
     return kernel

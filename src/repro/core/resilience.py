@@ -34,6 +34,7 @@ import faulthandler
 import hashlib
 import os
 import signal
+import sys
 import threading
 import time
 from dataclasses import dataclass, field
@@ -150,9 +151,20 @@ def clear_session_state() -> None:
 
     Order matters: the manager drains first so an in-flight compile
     cannot quarantine a kernel *after* the registry is cleared.
+
+    The serve layer is reset only if it was ever imported
+    (``sys.modules.get`` — never load it eagerly): the service client
+    singleton is dropped and any daemon started by *this* process is
+    stopped, which removes its socket and pid file.
     """
     from repro.core.tiered import default_manager
     default_manager.reset()
+    serve_client = sys.modules.get("repro.serve.client")
+    if serve_client is not None:
+        serve_client.reset_service()
+    serve_daemon = sys.modules.get("repro.serve.daemon")
+    if serve_daemon is not None:
+        serve_daemon.shutdown_local_daemons()
     with _state_lock:
         _quarantined.clear()
         _trusted.clear()

@@ -55,6 +55,7 @@ from repro.core.resilience import KernelQuarantinedError, acquire_native
 __all__ = [
     "CircuitBreaker",
     "KernelManager",
+    "SERVICE_MODES",
     "TierEvent",
     "TIER_MODES",
     "breaker_cooldown",
@@ -63,14 +64,36 @@ __all__ = [
     "compile_many",
     "compile_workers",
     "default_manager",
+    "environment_failure",
     "get_manager",
     "hot_threshold",
     "queue_bound",
+    "service_mode",
     "tier_mode",
     "wait_all",
 ]
 
 TIER_MODES = ("sync", "async", "hot")
+
+SERVICE_MODES = ("off", "auto", "require")
+
+
+def service_mode() -> str:
+    """Whether deferred compiles go through the kernel compilation
+    service (``REPRO_SERVICE``): ``off`` (default) compiles in-process,
+    ``auto`` uses the daemon when reachable and falls back locally,
+    ``require`` demotes to the simulator rather than compile locally
+    when the daemon is down (DESIGN.md §12)."""
+    raw = os.environ.get("REPRO_SERVICE")
+    if raw is None or not raw.strip():
+        return "off"
+    mode = raw.strip().lower()
+    if mode not in SERVICE_MODES:
+        warnings.warn(
+            f"ignoring unknown REPRO_SERVICE={raw!r}; using 'off'",
+            RuntimeWarning, stacklevel=2)
+        return "off"
+    return mode
 
 
 def tier_mode() -> str:
@@ -142,7 +165,27 @@ _ENV_FAILURE_MARKERS = (
     "deadline",
     "watchdog",
     "timed out",
+    "unreachable",
 )
+
+
+def environment_failure(reason: str | None, report=None) -> bool:
+    """Whether a failed compile implicates the environment (feeds the
+    breaker) rather than the kernel's own code.
+
+    Environment-level: every recorded ladder attempt transient
+    (timeouts, watchdog kills, failed execs, an unreachable compile
+    service), or a reason carrying one of the toolchain-failure
+    markers.  Kernel-level: permanent diagnostics, quarantines, link
+    failures of a built artifact.  Shared by the in-process manager and
+    the serve daemon so both breakers trip on the same taxonomy.
+    """
+    text = (reason or "").lower()
+    if any(marker in text for marker in _ENV_FAILURE_MARKERS):
+        return True
+    attempts = getattr(report, "attempts", None) or []
+    return bool(attempts) and all(
+        a.outcome == "transient" for a in attempts)
 
 
 class CircuitBreaker:
@@ -445,22 +488,17 @@ class KernelManager:
 
     # -- worker side ---------------------------------------------------
 
-    @staticmethod
-    def _environment_failure(reason: str | None, report) -> bool:
-        """Whether a failed compile implicates the environment (feeds
-        the breaker) rather than the kernel's own code.
+    # kept as a method name for callers/tests; the logic is module-level
+    # so the serve daemon shares the exact taxonomy
+    _environment_failure = staticmethod(environment_failure)
 
-        Environment-level: every recorded ladder attempt transient
-        (timeouts, watchdog kills, failed execs), or a reason carrying
-        one of the toolchain-failure markers.  Kernel-level: permanent
-        diagnostics, quarantines, link failures of a built artifact.
-        """
-        text = (reason or "").lower()
-        if any(marker in text for marker in _ENV_FAILURE_MARKERS):
-            return True
-        attempts = getattr(report, "attempts", None) or []
-        return bool(attempts) and all(
-            a.outcome == "transient" for a in attempts)
+    def _acquire(self, staged, deadline: float | None):
+        """The compile backend: produce ``(NativeKernel, report)`` for
+        one staged kernel.  The base manager compiles in-process;
+        :class:`repro.serve.client.ServiceKernelManager` overrides this
+        to delegate the compile to the daemon and link the published
+        artifact locally."""
+        return acquire_native(staged, deadline=deadline)
 
     def _run_job(self, job: CompileJob) -> str:
         staged = job.kernels[0].staged
@@ -473,8 +511,7 @@ class KernelManager:
                       graph_hash=job.key) as compile_span:
             trace_id = obs.get_tracer().current_trace_id()
             try:
-                native, report = acquire_native(staged,
-                                                deadline=deadline)
+                native, report = self._acquire(staged, deadline)
             except KernelQuarantinedError as exc:
                 reason = f"quarantined: {exc.reason}"
                 report = exc.report
@@ -572,6 +609,24 @@ default_manager = KernelManager()
 
 
 def get_manager() -> KernelManager:
+    """The manager deferred compiles go through.
+
+    ``REPRO_SERVICE=auto|require`` routes to the drop-in
+    :class:`repro.serve.client.ServiceKernelManager` (imported lazily —
+    ``serve`` is never loaded unless asked for); ``off`` — and any
+    failure to construct the service client — keeps the in-process
+    :data:`default_manager`, so a broken service layer degrades to
+    exactly the pre-service behaviour.
+    """
+    if service_mode() != "off":
+        try:
+            from repro.serve.client import get_service_manager
+            return get_service_manager()
+        except Exception:  # noqa: BLE001 - degraded, never broken
+            warnings.warn(
+                "REPRO_SERVICE is set but the service client could not "
+                "be initialised; compiling in-process",
+                RuntimeWarning, stacklevel=2)
     return default_manager
 
 

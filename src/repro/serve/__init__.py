@@ -1,0 +1,47 @@
+"""The kernel compilation service (DESIGN.md §12).
+
+``python -m repro.serve`` runs the multi-tenant compile daemon;
+``repro.serve.client.ServiceKernelManager`` is the drop-in client
+selected by ``REPRO_SERVICE=auto|require``.  Nothing in ``repro.core``
+imports this package eagerly — the service layer is opt-in.
+"""
+
+from repro.serve.client import (
+    ServiceError,
+    ServiceKernelManager,
+    ServiceUnavailableError,
+    daemon_available,
+    get_service_manager,
+    reset_service,
+)
+from repro.serve.daemon import (
+    DaemonAlreadyRunningError,
+    KernelCompileDaemon,
+    shutdown_local_daemons,
+)
+from repro.serve.protocol import (
+    FrameTooLargeError,
+    ProtocolError,
+    max_frame_bytes,
+    pid_path,
+    service_socket_path,
+    service_timeout,
+)
+
+__all__ = [
+    "DaemonAlreadyRunningError",
+    "FrameTooLargeError",
+    "KernelCompileDaemon",
+    "ProtocolError",
+    "ServiceError",
+    "ServiceKernelManager",
+    "ServiceUnavailableError",
+    "daemon_available",
+    "get_service_manager",
+    "max_frame_bytes",
+    "pid_path",
+    "reset_service",
+    "service_socket_path",
+    "service_timeout",
+    "shutdown_local_daemons",
+]

@@ -1,0 +1,75 @@
+"""``python -m repro.serve`` — run or poke the compile daemon.
+
+``run`` (the default) starts the daemon in the foreground and serves
+until SIGTERM/SIGINT, removing the socket and pid file on the way out.
+The other commands are thin client one-shots against a running daemon:
+``ping``, ``status``, ``stats``, ``metrics`` (Prometheus text on
+stdout) and ``shutdown``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+
+from repro.serve.client import ServiceError, request
+from repro.serve.daemon import DaemonAlreadyRunningError, \
+    KernelCompileDaemon
+
+_CLIENT_COMMANDS = ("ping", "status", "stats", "metrics", "shutdown")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="kernel compilation service daemon and client")
+    parser.add_argument(
+        "command", nargs="?", default="run",
+        choices=("run",) + _CLIENT_COMMANDS,
+        help="run the daemon (default) or send one verb to it")
+    parser.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="socket path (default: REPRO_SERVICE_SOCKET or the "
+             "per-user runtime dir)")
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="compile worker threads (default: REPRO_COMPILE_WORKERS)")
+    args = parser.parse_args(argv)
+
+    if args.command in _CLIENT_COMMANDS:
+        try:
+            response = request({"verb": args.command},
+                               socket_path=args.socket)
+        except ServiceError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        if args.command == "metrics" and "prometheus" in response:
+            print(response["prometheus"], end="")
+        else:
+            print(json.dumps(response, indent=2, sort_keys=True))
+        return 0 if response.get("ok") else 1
+
+    daemon = KernelCompileDaemon(socket_path=args.socket,
+                                 workers=args.workers)
+
+    def _terminate(_signum, _frame):  # noqa: ANN001
+        daemon.stop()
+
+    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGINT, _terminate)
+    try:
+        daemon.start()
+    except DaemonAlreadyRunningError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"repro-serve listening on {daemon.socket_path} "
+          f"({daemon.workers} workers)", flush=True)
+    daemon.serve_forever()
+    daemon.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

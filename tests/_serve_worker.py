@@ -1,0 +1,47 @@
+"""Child process for the two-client service dedup test: compile one
+kernel through the compilation service and report how it was served.
+
+Run as ``python -c "from tests._serve_worker import main; main(...)"``
+with ``REPRO_SERVICE=require``, ``REPRO_SERVICE_SOCKET`` pointing at
+the daemon under test, ``REPRO_CACHE_DIR`` at the shared artifact
+store, and (for compile counting) ``REPRO_CC`` at a counting compiler.
+
+Exit codes: 0 = the kernel reached the native tier and computes the
+right answer, 2 = it stayed simulated (a service-path failure under
+``require``), 3 = it computed a wrong answer.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(salt: float, name: str, timeout: float = 120.0) -> None:
+    import numpy as np
+
+    from repro.core import compile_staged
+    from repro.lms import forloop
+    from repro.lms.ops import array_apply, array_update
+    from repro.lms.types import FLOAT, INT32, array_of
+
+    def fn(a, n):
+        forloop(0, n, step=1, body=lambda i: array_update(
+            a, i, array_apply(a, i) * 2.0 + salt))
+
+    kernel = compile_staged(fn, [array_of(FLOAT), INT32],
+                            backend="auto", name=name)
+    kernel.wait_native(timeout=timeout)
+    if kernel.tier != "native":
+        print(f"stuck on tier {kernel.tier}: "
+              f"{kernel.fallback_reason}", file=sys.stderr)
+        sys.exit(2)
+    a = np.ones(8, np.float32)
+    kernel(a, 8)
+    if not np.allclose(a, 2.0 + salt):
+        print(f"wrong answer: {a!r}", file=sys.stderr)
+        sys.exit(3)
+    sys.exit(0)
+
+
+if __name__ == "__main__":      # pragma: no cover
+    main(float(sys.argv[1]), sys.argv[2])

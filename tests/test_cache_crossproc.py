@@ -111,6 +111,59 @@ def test_concurrent_hammer_never_tears(tmp_path):
             f"orphaned artifact survived recovery: {so_path.name}"
 
 
+def test_get_records_hits_in_manifest(tmp_path):
+    """Every ``get`` persists a hit count in the manifest (atomically,
+    checksum intact) — the popularity signal eviction ranks by."""
+    disk = DiskKernelCache(root=tmp_path / "c", max_entries=8)
+    key = KEYS[0]
+    disk.put(key, payload_for(key), {"who": "w"})
+    for expected in (1, 2, 3):
+        entry = disk.get(key)
+        assert entry is not None and entry.meta["hits"] == expected
+    meta = json.loads(
+        (disk.shard_dir(key) / f"{key}.json").read_text())
+    assert meta["hits"] == 3 and meta["who"] == "w"
+    assert meta["checksum"] == \
+        hashlib.sha256(payload_for(key)).hexdigest()
+    assert disk.get(key) is not None   # still checksum-valid
+
+
+def test_eviction_prefers_cold_entries_over_stale_ones(tmp_path):
+    """(hits, recency) eviction: a popular-but-stale entry outlives an
+    unpopular-but-fresh one — pure mtime LRU would pick the opposite
+    victim."""
+    import time as _time
+    disk = DiskKernelCache(root=tmp_path / "c", max_entries=2)
+    popular, fresh, trigger = KEYS[0], KEYS[1], KEYS[2]
+    disk.put(popular, payload_for(popular), {})
+    for _ in range(3):
+        disk.get(popular)
+    _time.sleep(0.02)
+    disk.put(fresh, payload_for(fresh), {})   # newer mtime, zero hits
+    _time.sleep(0.02)
+    disk.put(trigger, payload_for(trigger), {})   # forces one eviction
+    assert disk.get(popular) is not None, \
+        "the 3-hit entry was evicted despite a 0-hit candidate"
+    assert disk.get(fresh) is None
+    assert disk.get(trigger) is not None
+
+
+def test_eviction_recency_breaks_hit_ties(tmp_path):
+    """Among equally-unpopular entries the oldest goes first — the old
+    LRU behaviour is the tie-break, not the rule."""
+    import time as _time
+    disk = DiskKernelCache(root=tmp_path / "c", max_entries=2)
+    oldest, newer, trigger = KEYS[3], KEYS[4], KEYS[5]
+    disk.put(oldest, payload_for(oldest), {})
+    _time.sleep(0.02)
+    disk.put(newer, payload_for(newer), {})
+    _time.sleep(0.02)
+    disk.put(trigger, payload_for(trigger), {})
+    assert disk.get(oldest) is None
+    assert disk.get(newer) is not None
+    assert disk.get(trigger) is not None
+
+
 def test_two_processes_share_one_entry(tmp_path):
     """The boring happy path, cross-process: what one publishes the
     other reads back verbatim (no faults armed)."""

@@ -251,6 +251,32 @@ class TestReport:
         assert main(["metrics"]) == 0
         assert "repro_cache_mem_hits_total 1" in capsys.readouterr().out
 
+    def test_resilience_rows_print_zeros(self):
+        """Counter families that never fired still print (as zeros), so
+        reports from two runs diff cleanly row-for-row."""
+        self._record_some_activity()   # no resilience activity at all
+        text = render_report(obs.get_tracer().finished_spans(),
+                             obs.get_registry().snapshot())
+        for row in ("watchdog.kills = 0", "tiered.shed = 0",
+                    "tiered.abandoned = 0", "tiered.breaker_opens = 0",
+                    "cache.disk.recovered = 0",
+                    "cache.disk.locks_broken = 0",
+                    "native.workdirs_swept = 0"):
+            assert row in text, row
+        # and nonzero values still render
+        obs.counter("tiered.shed", 4)
+        text = render_report([], obs.get_registry().snapshot())
+        assert "tiered.shed = 4" in text
+
+    def test_service_section_only_with_service_traffic(self):
+        text = render_report([], obs.get_registry().snapshot())
+        assert "== compile service ==" not in text
+        obs.counter("service.requests", verb="compile")
+        text = render_report([], obs.get_registry().snapshot())
+        assert "== compile service ==" in text
+        assert "service.dedup = 0" in text   # zeros, not omission
+        assert 'service.requests{verb=compile} = 1' in text
+
 
 class TestSimulatorProfile:
     def test_classify_mnemonic(self):

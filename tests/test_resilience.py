@@ -39,9 +39,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 @pytest.fixture(autouse=True)
 def _pin_faults(monkeypatch):
     """Keep this suite hermetic: an ambient ``REPRO_FAULTS`` (the CI
-    chaos job sets one) must not perturb its exact assertions.  Chaos
-    behaviour is covered by ``tests/test_chaos.py``."""
+    chaos job sets one) must not perturb its exact assertions, and an
+    ambient ``REPRO_SERVICE`` (the CI service job sets one) must not
+    route this suite's fake-``REPRO_CC`` compiles to a daemon that
+    cannot see the monkeypatched environment.  Service behaviour is
+    covered by ``tests/test_serve.py``."""
     monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_SERVICE", raising=False)
 
 
 @pytest.fixture
