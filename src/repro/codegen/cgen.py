@@ -208,6 +208,50 @@ class _Emitter:
 
 EXPORT_PREFIX = "repro_native_"
 
+#: Suffix of the batched entry point emitted next to every export.
+BATCH_SUFFIX = "__batch"
+
+
+def emit_batch_wrapper(staged: StagedFunction, fn_name: str) -> str:
+    """The batched entry point: one native call executing ``n`` packed
+    argument sets (DESIGN.md §13).
+
+    ``argv`` is a flat ``void*[n * nargs]`` table — array arguments
+    contribute their data pointers directly (zero-copy), scalars point
+    into the caller's packed arena — and non-void results land in
+    ``out`` (an ``n``-element array of the result type).  The wrapper
+    is what lets the managed side amortize the Python→native boundary
+    tax across a whole batch: N invocations cost one ctypes call.
+    """
+    nargs = len(staged.params)
+    casts = []
+    for j, sym in enumerate(staged.params):
+        cell = f"repro_a[{j}]"
+        if isinstance(sym.tp, ArrayType):
+            casts.append(f"({c_type_of(sym.tp)}){cell}")
+        else:
+            casts.append(f"*({c_type_of(sym.tp)}*){cell}")
+    call = f"{fn_name}({', '.join(casts)})"
+    ret_c = c_type_of(staged.result_type)
+    if isinstance(staged.result_type, VoidType):
+        store = f"{call};"
+        out_use = "    (void)repro_out;\n"
+    else:
+        store = f"(({ret_c}*)repro_out)[repro_i] = {call};"
+        out_use = ""
+    argv_use = "    (void)repro_argv;\n" if nargs == 0 else ""
+    return (
+        f"void {fn_name}{BATCH_SUFFIX}(int64_t repro_n, "
+        f"void** repro_argv, void* repro_out) {{\n"
+        f"{out_use}{argv_use}"
+        f"    for (int64_t repro_i = 0; repro_i < repro_n; "
+        f"++repro_i) {{\n"
+        f"        void** repro_a = repro_argv + repro_i * {nargs};\n"
+        f"        {store}\n"
+        f"    }}\n"
+        f"}}\n"
+    )
+
 
 def emit_c_source(staged: StagedFunction,
                   export_name: str | None = None) -> str:
@@ -215,7 +259,11 @@ def emit_c_source(staged: StagedFunction,
 
     The exported symbol is ``repro_native_<name>`` — the analog of JNI's
     ``Java_<package>_<class>_<method>`` naming convention, which the
-    paper automates with Scala macros and we automate here.
+    paper automates with Scala macros and we automate here.  When an
+    ``export_name`` is given (the compile-and-link path), a second
+    ``<export_name>__batch`` symbol is emitted that executes ``n``
+    packed argument sets in one call (see :func:`emit_batch_wrapper`);
+    display-only emission (no export name) stays wrapper-free.
     """
     body = staged.scheduled()
     em = _Emitter()
@@ -233,9 +281,12 @@ def emit_c_source(staged: StagedFunction,
     includes = "\n".join(f"#include <{h}>"
                          for h in sorted(em.headers))
     sig = ", ".join(params) if params else "void"
+    batch = "\n" + emit_batch_wrapper(staged, fn_name) \
+        if export_name is not None else ""
     return (
         f"{includes}\n\n"
         f"{ret_c} {fn_name}({sig}) {{\n"
         + "\n".join(em.lines)
         + "\n}\n"
+        + batch
     )

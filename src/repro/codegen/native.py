@@ -28,7 +28,7 @@ import numpy as np
 import repro.obs as obs
 from repro.core import faults
 from repro.core.procutil import pid_alive
-from repro.codegen.cgen import EXPORT_PREFIX, emit_c_source
+from repro.codegen.cgen import BATCH_SUFFIX, EXPORT_PREFIX, emit_c_source
 from repro.codegen.compiler import (
     CompileAttempt,
     CompilerInfo,
@@ -108,13 +108,98 @@ def marshalling_plan(staged: StagedFunction) -> tuple:
         for p in staged.params)
 
 
+def _batch_array_packer(param) -> Any:
+    """One array parameter's *batch* marshalling closure: the same
+    validation as :func:`_array_converter` but yielding the raw data
+    address for the ``void**`` table — the array payload itself never
+    moves (zero-copy)."""
+    expected = param.tp.elem.np_dtype
+
+    def pack(value: Any) -> int:
+        if not isinstance(value, np.ndarray):
+            raise TypeError(f"expected numpy array for {param!r}")
+        if value.dtype != expected:
+            raise TypeError(
+                f"array for {param!r} must have dtype {expected}"
+            )
+        if not value.flags["C_CONTIGUOUS"]:
+            raise TypeError("arrays must be C-contiguous")
+        return value.ctypes.data
+
+    return pack
+
+
+def batch_marshalling_plan(staged: StagedFunction) -> tuple:
+    """The batch-shape marshalling plan: one entry per parameter.
+
+    Array entries are :func:`_batch_array_packer` closures (pointer
+    extraction, zero-copy); scalar entries are the numpy dtype their
+    values are packed into the arena with (one contiguous pack per
+    batch).
+    """
+    plan = []
+    for p in staged.params:
+        if isinstance(p.tp, ArrayType):
+            plan.append(("array", _batch_array_packer(p)))
+        elif isinstance(p.tp, ScalarType):
+            plan.append(("scalar", p.tp.np_dtype))
+        else:  # pragma: no cover - link_native refuses these already
+            raise NativeLinkError(f"no batch marshalling for {p.tp}")
+    return tuple(plan)
+
+
+class _BatchArena:
+    """The reusable buffers behind one kernel's batched calls.
+
+    Holds the ``void**`` argument table, one packed column per scalar
+    parameter and (for non-void kernels) the result column.  Buffers
+    grow geometrically to the largest batch seen and are reused for
+    every later flush — a warm batched call allocates nothing.  The
+    arena lock serializes packing *and* the native call, so concurrent
+    flushers never tear each other's tables; contention is bounded by
+    the batching layer, which flushes one batch per kernel at a time.
+    """
+
+    __slots__ = ("lock", "capacity", "argv", "scalars", "out",
+                 "_nargs", "_plan", "_out_dtype")
+
+    def __init__(self, plan: tuple, out_dtype: np.dtype | None) -> None:
+        self.lock = threading.Lock()
+        self.capacity = 0
+        self._nargs = len(plan)
+        self._plan = plan
+        self._out_dtype = out_dtype
+        self.argv: np.ndarray | None = None
+        self.scalars: dict[int, np.ndarray] = {}
+        self.out: np.ndarray | None = None
+
+    def reserve(self, n: int) -> None:
+        """Grow the buffers to hold ``n`` argument sets (lock held)."""
+        if n <= self.capacity:
+            return
+        cap = max(n, self.capacity * 2, 16)
+        self.argv = np.empty(max(cap * self._nargs, 1), dtype=np.uintp)
+        self.scalars = {
+            j: np.empty(cap, dtype=dt)
+            for j, (kind, dt) in enumerate(self._plan)
+            if kind == "scalar"
+        }
+        if self._out_dtype is not None:
+            self.out = np.empty(cap, dtype=self._out_dtype)
+        self.capacity = cap
+
+
 @dataclass
 class NativeKernel:
     """A compiled-and-linked staged function.
 
     The marshalling plan is memoized on the instance at construction
     (``__post_init__``), so the dispatch fast path does no per-call
-    type dispatch beyond the plan's own checks.
+    type dispatch beyond the plan's own checks.  When the artifact
+    carries the batched entry point (``<symbol>__batch``),
+    :meth:`call_batch` executes N argument sets in one native call
+    through the batch-shape plan; artifacts linked from older caches
+    fall back to a per-call loop transparently.
     """
 
     staged: StagedFunction
@@ -124,6 +209,9 @@ class NativeKernel:
     _fn: Any
     system: SystemInfo
     _plan: tuple = field(default=(), repr=False, compare=False)
+    _batch_fn: Any = field(default=None, repr=False, compare=False)
+    _batch_plan: tuple = field(default=(), repr=False, compare=False)
+    _arena: Any = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self._plan = marshalling_plan(self.staged)
@@ -137,6 +225,75 @@ class NativeKernel:
             )
         return self._fn(*[value if convert is None else convert(value)
                           for convert, value in zip(plan, args)])
+
+    @property
+    def supports_batch(self) -> bool:
+        """Whether the linked artifact exports the batched entry point."""
+        return self._batch_fn is not None
+
+    def _ensure_arena(self) -> "_BatchArena":
+        arena = self._arena
+        if arena is None:
+            out_dtype = None
+            tp = self.staged.result_type
+            if isinstance(tp, ScalarType):
+                out_dtype = tp.np_dtype
+            if self._batch_plan == ():
+                self._batch_plan = batch_marshalling_plan(self.staged)
+            arena = _BatchArena(self._batch_plan, out_dtype)
+            self._arena = arena
+        return arena
+
+    def call_batch(self, args_seq: Sequence[Sequence[Any]]) -> list:
+        """Execute ``args_seq`` (N argument tuples) in one native call.
+
+        Argument packing is batch-atomic: every entry is validated and
+        packed before the native call runs, so an invalid entry raises
+        without executing anything.  Array payloads are never copied —
+        their data pointers go straight into the ``void**`` table;
+        scalars are packed once into the reusable arena.  Without the
+        batched symbol (artifacts published before it existed) this
+        degrades to a per-call loop with identical results.
+        """
+        entries = [tuple(args) for args in args_seq]
+        n = len(entries)
+        if n == 0:
+            return []
+        if self._batch_fn is None:
+            return [self(*args) for args in entries]
+        nargs = len(self.staged.params)
+        for args in entries:
+            if len(args) != nargs:
+                raise TypeError(
+                    f"{self.staged.name} expects {nargs} "
+                    f"arguments, got {len(args)}"
+                )
+        arena = self._ensure_arena()
+        with arena.lock:
+            arena.reserve(n)
+            argv = arena.argv
+            for j, (kind, spec) in enumerate(self._batch_plan):
+                if kind == "array":
+                    argv[j:n * nargs:nargs] = \
+                        [spec(args[j]) for args in entries]
+                else:
+                    column = arena.scalars[j]
+                    column[:n] = [args[j] for args in entries]
+                    base = column.ctypes.data
+                    argv[j:n * nargs:nargs] = \
+                        base + column.itemsize * np.arange(n,
+                                                           dtype=np.uintp)
+            out = arena.out
+            out_ptr = ctypes.c_void_p(out.ctypes.data) \
+                if out is not None else ctypes.c_void_p(0)
+            self._batch_fn(
+                n, argv.ctypes.data_as(ctypes.POINTER(ctypes.c_void_p)),
+                out_ptr)
+            if out is None:
+                return [None] * n
+            # .tolist() yields the same Python values ctypes' restype
+            # conversion produces for the single-call path
+            return out[:n].tolist()
 
 
 def required_isas(staged: StagedFunction,
@@ -329,10 +486,18 @@ def link_native(artifact: NativeArtifact) -> NativeKernel:
         raise NativeLinkError(
             f"cannot link {artifact.so_path}: {exc}") from exc
     fn.argtypes, fn.restype = ctype_signature(artifact.staged)
+    # The batched entry point is optional: artifacts published before
+    # it existed still link, they just batch via a per-call loop.
+    batch_fn = getattr(lib, artifact.symbol + BATCH_SUFFIX, None)
+    if batch_fn is not None:
+        batch_fn.argtypes = [ctypes.c_int64,
+                             ctypes.POINTER(ctypes.c_void_p),
+                             ctypes.c_void_p]
+        batch_fn.restype = None
     return NativeKernel(staged=artifact.staged, c_source=artifact.c_source,
                         library_path=artifact.so_path,
                         symbol=artifact.symbol, _fn=fn,
-                        system=artifact.system)
+                        system=artifact.system, _batch_fn=batch_fn)
 
 
 def compile_to_native(staged: StagedFunction,

@@ -20,6 +20,7 @@ import repro.obs as obs
 from repro.codegen.cgen import emit_c_source
 from repro.codegen.compiler import CompileError
 from repro.codegen.native import NativeKernel, NativeLinkError
+from repro.core.batch import batch_enabled, default_batcher, execute_batch
 from repro.core.resilience import (
     CompileReport,
     KernelQuarantinedError,
@@ -77,6 +78,7 @@ class CompiledKernel:
         repr=False)
     _impl: Any = field(default=None, repr=False, compare=False)
     _tier_job: Any = field(default=None, repr=False, compare=False)
+    _batcher: Any = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self._impl is None:
@@ -91,7 +93,18 @@ class CompiledKernel:
         return self.staged.name
 
     def __call__(self, *args: Any) -> Any:
+        batcher = self._batcher
+        if batcher is not None:
+            return batcher.submit(self, args)
         return self._impl(*args)
+
+    def call_batch(self, args_seq: Sequence[Sequence[Any]]) -> list:
+        """Execute many argument sets as tier-level batches (the
+        explicit batch API; see :func:`repro.core.batch.execute_batch`
+        for the chunking and hot-swap splitting rules).  Results,
+        array mutations and simulator op accounting are bit-identical
+        to calling the kernel once per entry."""
+        return execute_batch(self, args_seq)
 
     def _sim_call(self, *args: Any) -> Any:
         return self._machine.run(self.staged, args)
@@ -329,6 +342,10 @@ def compile_staged(fn: Callable[..., object], arg_types: Sequence[Type],
             cached = default_cache.get_for(staged, requested)
             if cached is not None:
                 pipe_span.set("cache_source", "memory")
+                # One atomic store: cached kernels track the current
+                # REPRO_BATCH setting instead of the one at creation.
+                cached._batcher = default_batcher() \
+                    if batch_enabled() else None
                 return cached
         if deferred:
             # The HotSpot shape: the simulated tier serves immediately;
@@ -349,6 +366,8 @@ def compile_staged(fn: Callable[..., object], arg_types: Sequence[Type],
             machine_kernel=machine_kernel, _native=native,
             fallback_reason=reason, report=report,
         )
+        if batch_enabled():
+            kernel._batcher = default_batcher()
         pipe_span.set("backend", kind.value)
         obs.counter("pipeline.backend", kind=kind.value)
         if reason is not None:

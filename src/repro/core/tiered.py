@@ -37,6 +37,7 @@ roughly one ladder-walk of wall clock, not N.
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
 import time
@@ -321,31 +322,56 @@ class TierEvent:
 class SimulatedDispatch:
     """The simulated-tier call path of a managed kernel.
 
-    Counts tier-at-call, decrements the hotness countdown, and runs
-    the simulator.  The hot-swap replaces this object wholesale, so no
+    Counts tier-at-call, ticks the hotness gate, and runs the
+    simulator.  The hot-swap replaces this object wholesale, so no
     per-call branching on "am I native yet" is needed.
+
+    The gate is race-safe without a fast-path lock: ``countdown``
+    holds the armed threshold (``None`` disarms it) and never changes
+    per call; ``itertools.count`` hands each tick to exactly one
+    caller (its ``__next__`` is atomic under the GIL), so exactly one
+    thread observes the threshold tick and fires :meth:`promote` —
+    concurrent callers can neither lose ticks nor double-fire.
     """
 
-    __slots__ = ("kernel", "manager", "countdown")
+    __slots__ = ("kernel", "manager", "countdown", "_ticks")
 
     def __init__(self, kernel, manager: "KernelManager",
                  countdown: int | None = None) -> None:
         self.kernel = kernel
         self.manager = manager
         self.countdown = countdown   # None: no hotness gate pending
+        self._ticks = itertools.count(1)
 
     def __call__(self, *args: Any) -> Any:
         kernel = self.kernel
         kernel.tier_calls["simulated"] += 1
         obs.counter("tiered.calls", tier="simulated")
-        countdown = self.countdown
-        if countdown is not None:
-            countdown -= 1
-            self.countdown = countdown
-            if countdown <= 0:
-                self.countdown = None
-                self.manager.promote(kernel)
+        threshold = self.countdown
+        if threshold is not None and \
+                next(self._ticks) == (threshold if threshold > 0 else 1):
+            self.countdown = None
+            self.manager.promote(kernel)
         return kernel._machine.run(kernel.staged, args)
+
+    def call_batch(self, args_seq: Sequence[Sequence[Any]]) -> list:
+        """Batch entry point: every entry counts one invocation (the
+        hotness gate sees batch traffic), then one whole-batch
+        simulator run."""
+        kernel = self.kernel
+        n = len(args_seq)
+        kernel.tier_calls["simulated"] += n
+        obs.counter("tiered.calls", n, tier="simulated")
+        threshold = self.countdown
+        if threshold is not None:
+            arm = threshold if threshold > 0 else 1
+            ticks = self._ticks
+            for _ in range(n):
+                if next(ticks) == arm:
+                    self.countdown = None
+                    self.manager.promote(kernel)
+                    break
+        return kernel._machine.run_batch(kernel.staged, args_seq)
 
 
 class NativeDispatch:
@@ -362,6 +388,15 @@ class NativeDispatch:
         self.kernel.tier_calls["native"] += 1
         obs.counter("tiered.calls", tier="native")
         return self.native(*args)
+
+    def call_batch(self, args_seq: Sequence[Sequence[Any]]) -> list:
+        """Batch entry point: one packed native call for the whole
+        slice (zero-copy arrays, one scalar pack — see
+        :meth:`NativeKernel.call_batch`)."""
+        n = len(args_seq)
+        self.kernel.tier_calls["native"] += n
+        obs.counter("tiered.calls", n, tier="native")
+        return self.native.call_batch(args_seq)
 
 
 class KernelManager:

@@ -40,6 +40,7 @@ from typing import Any
 import repro.obs as obs
 from repro.codegen.cgen import EXPORT_PREFIX, emit_c_source
 from repro.codegen.compiler import (
+    CompileDeadlineError,
     PermanentCompileError,
     TransientCompileError,
     compiler_chain,
@@ -159,13 +160,21 @@ class ServiceKernelManager(KernelManager):
     def _artifact_published(self, ghash: str,
                             isas: frozenset[str]) -> bool:
         """Cheap local probe: skip the daemon round-trip entirely when
-        any ladder-producible artifact is already on disk."""
+        any ladder-producible artifact is already on disk.
+
+        Uses :meth:`DiskKernelCache.contains` — a stat-only existence
+        check — rather than ``get``: probing every ladder rung with
+        ``get`` would read and checksum full artifact pairs and bump a
+        manifest hit count per rung, inflating the (hits, recency)
+        eviction ranking with probes that never serve anything.  The
+        serving path (``acquire_native``) still goes through ``get``
+        and records the one real hit."""
         disk = default_cache.disk
         for cc in compiler_chain(inspect_system()):
             for _rung, flags in flag_ladder(cc, isas, required=isas):
                 key = DiskKernelCache.artifact_key(ghash, cc.version,
                                                    flags, isas)
-                if disk.get(key) is not None:
+                if disk.contains(key):
                     return True
         return False
 
@@ -175,7 +184,14 @@ class ServiceKernelManager(KernelManager):
         symbol = EXPORT_PREFIX + staged.name
         source = emit_c_source(staged, export_name=symbol)
         if deadline is not None:
-            remaining = max(0.5, deadline - time.monotonic())
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                # A lapsed budget must fail like the local ladder does,
+                # not clamp up and dispatch a doomed remote compile.
+                raise CompileDeadlineError(
+                    f"compile deadline exhausted before dispatching "
+                    f"{staged.name!r} to the compile service")
+            remaining = max(0.5, remaining)
         else:
             remaining = compile_deadline() or 300.0
         message = {

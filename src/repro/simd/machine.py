@@ -61,6 +61,69 @@ from repro.simd.semantics import lookup
 _EXECUTORS = ("compiled", "tree")
 
 
+def scalar_binop(rhs: BinaryOp, a: Any, b: Any) -> Any:
+    """One auxiliary scalar binary op with C semantics (usual arithmetic
+    conversions, fixed-width wraparound, truncating integer division).
+
+    Shared by the tree engine below and the whole-batch sweep of
+    :mod:`repro.simd.batch_exec` (for its batch-uniform operands), so
+    the two cannot drift apart.
+    """
+    op = rhs.op
+    tp = rhs.tp
+    # C usual arithmetic conversions happen before the operation.
+    if isinstance(tp, ScalarType) and tp.name != "Boolean" and \
+            op not in ("==", "!=", "<", "<=", ">", ">="):
+        a = _as_scalar(tp, a)
+        b = _as_scalar(tp, b)
+    with np.errstate(over="ignore", divide="ignore",
+                     invalid="ignore"):
+        if op == "+":
+            out = a + b
+        elif op == "-":
+            out = a - b
+        elif op == "*":
+            out = a * b
+        elif op == "/":
+            if isinstance(tp, ScalarType) and tp.is_integer:
+                # C semantics: truncation toward zero.
+                q = abs(int(a)) // abs(int(b))
+                out = q if (int(a) < 0) == (int(b) < 0) else -q
+            else:
+                out = a / b
+        elif op == "%":
+            ia, ib = int(a), int(b)
+            out = ia - (abs(ia) // abs(ib)) * abs(ib) * \
+                (1 if ia >= 0 else -1)
+        elif op == "&":
+            out = a & b
+        elif op == "|":
+            out = a | b
+        elif op == "^":
+            out = a ^ b
+        elif op == "<<":
+            out = int(a) << int(b)
+        elif op == ">>":
+            out = int(a) >> int(b)
+        elif op == "==":
+            return bool(a == b)
+        elif op == "!=":
+            return bool(a != b)
+        elif op == "<":
+            return bool(a < b)
+        elif op == "<=":
+            return bool(a <= b)
+        elif op == ">":
+            return bool(a > b)
+        elif op == ">=":
+            return bool(a >= b)
+        else:
+            raise ExecutionError(f"unknown binary op {op}")
+    if isinstance(tp, ScalarType):
+        return _as_scalar(tp, out)
+    return out
+
+
 def default_executor() -> str:
     """The engine used when ``SimdMachine(executor=...)`` is not given:
     ``REPRO_SIM_EXEC``, defaulting to ``compiled``."""
@@ -133,6 +196,57 @@ class SimdMachine:
         if profiling:
             self._flush_profile(before)
         return result
+
+    def run_batch(self, staged: StagedFunction,
+                  args_list: Sequence[Sequence[Any]]) -> list:
+        """Execute a batch of argument sets, amortizing interpretation.
+
+        Batches whose entries follow the same control-flow path are
+        *swept*: one whole-batch tree walk over ``(N,)`` numpy columns
+        (:mod:`repro.simd.batch_exec`) instead of N engine runs.
+        Anything the sweep cannot vectorize bit-exactly — intrinsics,
+        batch-varying branches, aliased mutated arrays — falls back to
+        a per-entry loop through the configured engine.  Results,
+        mutated arrays and ``op_counts`` are bit-identical to calling
+        :meth:`run` once per entry either way.
+        """
+        entries = [tuple(args) for args in args_list]
+        for args in entries:
+            if len(args) != len(staged.params):
+                raise ExecutionError(
+                    f"{staged.name} expects {len(staged.params)} "
+                    f"arguments, got {len(args)}"
+                )
+        if not entries:
+            return []
+        profiling = self._profile and obs.obs_enabled()
+        before = Counter(self.op_counts) if profiling else None
+        obs.counter("sim.exec.batch", engine=self.executor)
+        obs.observe("sim.exec.batch.size", float(len(entries)))
+        results = None
+        if len(entries) > 1:
+            from repro.simd.batch_exec import BatchFallback, sweep_batch
+            try:
+                results = sweep_batch(self, staged, entries)
+                obs.counter("sim.exec.batch.swept")
+            except BatchFallback:
+                obs.counter("sim.exec.batch.fallback")
+            except Exception:
+                # The sweep never touches caller arrays before its
+                # final copy-back, so the loop below replays the batch
+                # with exact per-entry error semantics (partial side
+                # effects, the entry's own exception).
+                obs.counter("sim.exec.batch.fallback")
+        if results is None:
+            if self.executor == "compiled":
+                program = compile_program(staged)
+                results = [program.run(self, args) for args in entries]
+            else:
+                results = [self._run_tree(staged, args)
+                           for args in entries]
+        if profiling:
+            self._flush_profile(before)
+        return results
 
     def _run_tree(self, staged: StagedFunction, args: Sequence[Any]) -> Any:
         env: dict[int, Any] = {}
@@ -266,59 +380,7 @@ class SimdMachine:
         raise ExecutionError(f"cannot execute node {type(rhs).__name__}")
 
     def _binop(self, rhs: BinaryOp, a: Any, b: Any) -> Any:
-        op = rhs.op
-        tp = rhs.tp
-        # C usual arithmetic conversions happen before the operation.
-        if isinstance(tp, ScalarType) and tp.name != "Boolean" and \
-                op not in ("==", "!=", "<", "<=", ">", ">="):
-            a = _as_scalar(tp, a)
-            b = _as_scalar(tp, b)
-        with np.errstate(over="ignore", divide="ignore",
-                        invalid="ignore"):
-            if op == "+":
-                out = a + b
-            elif op == "-":
-                out = a - b
-            elif op == "*":
-                out = a * b
-            elif op == "/":
-                if isinstance(tp, ScalarType) and tp.is_integer:
-                    # C semantics: truncation toward zero.
-                    q = abs(int(a)) // abs(int(b))
-                    out = q if (int(a) < 0) == (int(b) < 0) else -q
-                else:
-                    out = a / b
-            elif op == "%":
-                ia, ib = int(a), int(b)
-                out = ia - (abs(ia) // abs(ib)) * abs(ib) * \
-                    (1 if ia >= 0 else -1)
-            elif op == "&":
-                out = a & b
-            elif op == "|":
-                out = a | b
-            elif op == "^":
-                out = a ^ b
-            elif op == "<<":
-                out = int(a) << int(b)
-            elif op == ">>":
-                out = int(a) >> int(b)
-            elif op == "==":
-                return bool(a == b)
-            elif op == "!=":
-                return bool(a != b)
-            elif op == "<":
-                return bool(a < b)
-            elif op == "<=":
-                return bool(a <= b)
-            elif op == ">":
-                return bool(a > b)
-            elif op == ">=":
-                return bool(a >= b)
-            else:
-                raise ExecutionError(f"unknown binary op {op}")
-        if isinstance(tp, ScalarType):
-            return _as_scalar(tp, out)
-        return out
+        return scalar_binop(rhs, a, b)
 
 
 def execute_staged(staged: StagedFunction, args: Sequence[Any],
