@@ -34,6 +34,7 @@ from repro.core.tiered import (
     get_manager,
     tier_mode,
 )
+from repro.lms.optimize import OptStats, effective_level, optimize_staged
 from repro.lms.staging import StagedFunction, stage_function
 from repro.lms.types import Type
 from repro.simd.machine import SimdMachine
@@ -76,6 +77,8 @@ class CompiledKernel:
     tier_calls: dict = field(
         default_factory=lambda: {"simulated": 0, "native": 0},
         repr=False)
+    opt_stats: OptStats | None = field(
+        default=None, repr=False, compare=False)
     _impl: Any = field(default=None, repr=False, compare=False)
     _tier_job: Any = field(default=None, repr=False, compare=False)
     _batcher: Any = field(default=None, repr=False, compare=False)
@@ -238,6 +241,12 @@ class CompiledKernel:
                     f"{ev.action:8s}-> {ev.tier}{suffix}")
         if self.fallback_reason:
             lines.append(f"fallback_reason: {self.fallback_reason}")
+        if self.opt_stats is not None:
+            lines.append("optimizer:")
+            for ln in self.opt_stats.summary_lines():
+                lines.append(f"  {ln}")
+        else:
+            lines.append("optimizer: (REPRO_OPT=0 or served from cache)")
         if self.report is not None:
             r = self.report
             lines.append(
@@ -337,9 +346,15 @@ def compile_staged(fn: Callable[..., object], arg_types: Sequence[Type],
         with obs.span("stage"):
             staged = stage_function(fn, arg_types, name)
         pipe_span.set("kernel", staged.name)
+        # Stamp the effective middle-end level *before* the cache probe:
+        # graph_hash folds it in, so a kernel optimized at one level is
+        # never served to a caller running at another.
+        opt_level = effective_level()
+        staged.opt_level = opt_level
+        pre_opt = staged
         if use_cache:
             from repro.core.cache import default_cache
-            cached = default_cache.get_for(staged, requested)
+            cached = default_cache.get_for(pre_opt, requested)
             if cached is not None:
                 pipe_span.set("cache_source", "memory")
                 # One atomic store: cached kernels track the current
@@ -347,6 +362,12 @@ def compile_staged(fn: Callable[..., object], arg_types: Sequence[Type],
                 cached._batcher = default_batcher() \
                     if batch_enabled() else None
                 return cached
+        opt_stats: OptStats | None = None
+        if opt_level > 0:
+            with obs.span("opt", level=opt_level) as opt_span:
+                staged, opt_stats = optimize_staged(staged, opt_level)
+                opt_span.set("eliminated", opt_stats.total_eliminated)
+                opt_span.set("iterations", opt_stats.iterations)
         if deferred:
             # The HotSpot shape: the simulated tier serves immediately;
             # acquire_native runs on the manager's worker pool and the
@@ -365,6 +386,7 @@ def compile_staged(fn: Callable[..., object], arg_types: Sequence[Type],
             staged=staged, backend=kind, c_source=c_source,
             machine_kernel=machine_kernel, _native=native,
             fallback_reason=reason, report=report,
+            opt_stats=opt_stats,
         )
         if batch_enabled():
             kernel._batcher = default_batcher()
@@ -375,7 +397,9 @@ def compile_staged(fn: Callable[..., object], arg_types: Sequence[Type],
             obs.counter("pipeline.fallbacks")
         if use_cache:
             from repro.core.cache import default_cache
-            default_cache.put_for(staged, requested, kernel)
+            # Keyed on the pre-optimization graph: the probe above used
+            # it, and re-staging the same kernel reproduces it exactly.
+            default_cache.put_for(pre_opt, requested, kernel)
         if deferred:
             pipe_span.set("tier", mode)
             # get_manager: REPRO_SERVICE routes deferred compiles

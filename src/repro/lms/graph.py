@@ -85,16 +85,25 @@ class IRBuilder:
 
     # -- reflection ---------------------------------------------------------
 
-    def reflect_pure(self, rhs: Def) -> Sym:
-        """Reflect a pure node, reusing an existing statement via CSE."""
-        key = rhs.structural_key()
-        for frame in reversed(self._frames):
-            if key in frame.cse:
-                return frame.cse[key]
+    def reflect_pure(self, rhs: Def, cse: bool = True) -> Sym:
+        """Reflect a pure node, reusing an existing statement via CSE.
+
+        ``cse=False`` reflects without consulting or entering the CSE
+        tables.  The optimizer uses it for pure nodes that can raise at
+        run time (integer division, casts of non-finite floats): merging
+        two such nodes could turn a dead occurrence live and change
+        which error path fires relative to the unoptimized graph.
+        """
+        if cse:
+            key = rhs.structural_key()
+            for frame in reversed(self._frames):
+                if key in frame.cse:
+                    return frame.cse[key]
         sym = self.fresh(rhs.tp)
         stm = Stm(sym, rhs, PURE)
         self._frame.stms.append(stm)
-        self._frame.cse[key] = sym
+        if cse:
+            self._frame.cse[key] = sym
         self.definitions[sym.id] = stm
         return sym
 

@@ -85,14 +85,29 @@ def binary(op: str, lhs: Any, rhs: Any) -> Exp:
     return current_builder().reflect_pure(BinaryOp(op, lhs, rhs, out))
 
 
+def _c_div(a: Any, b: Any) -> int:
+    """C integer division: truncation toward zero (Python's ``//``
+    floors, which differs for negative operands: ``-7 // 2 == -4`` but C
+    computes ``-3``).  Matches ``repro.simd.machine.scalar_binop``."""
+    q = abs(int(a)) // abs(int(b))
+    return q if (int(a) < 0) == (int(b) < 0) else -q
+
+
+def _c_rem(a: Any, b: Any) -> int:
+    """C remainder: sign follows the dividend, satisfying
+    ``a == (a / b) * b + a % b`` under truncating division."""
+    ia, ib = int(a), int(b)
+    return ia - (abs(ia) // abs(ib)) * abs(ib) * (1 if ia >= 0 else -1)
+
+
 def _fold(op: str, a: Any, b: Any, out: ScalarType) -> Const | None:
     try:
         table = {
             "+": lambda: a + b,
             "-": lambda: a - b,
             "*": lambda: a * b,
-            "/": lambda: (a // b if out.is_integer else a / b),
-            "%": lambda: a % b,
+            "/": lambda: (_c_div(a, b) if out.is_integer else a / b),
+            "%": lambda: _c_rem(a, b),
             "&": lambda: a & b,
             "|": lambda: a | b,
             "^": lambda: a ^ b,

@@ -6,31 +6,174 @@ around it.  This module uses that machinery for a classic cleanup pass —
 algebraic simplification with constant propagation — applied to a staged
 function before code generation:
 
-* ``x + 0``, ``x - 0``, ``x * 1``, ``x / 1``, ``x << 0``, ``x >> 0``,
-  ``x | 0``, ``x ^ 0`` → ``x``
-* ``x * 0``, ``x & 0`` → ``0`` (integers only: ``0.0 * x`` is not a
-  float identity under NaN/inf)
+* ``x + 0`` (integers), ``x - 0``, ``x * 1``, ``x / 1``, ``x << 0``,
+  ``x >> 0``, ``x | 0``, ``x ^ 0`` → ``x``
+* ``x * 0``, ``x & 0`` → ``0`` (integers only, and only when the
+  discarded operand provably cannot trap — see below)
 * ``x * 2^k`` → ``x << k`` (integer strength reduction)
 * constant folding happens on reflection already; the pass re-triggers
   it for operands that become constant after substitution.
 
-The pass is semantics-preserving by construction: it only ever replaces
-a pure node with an equivalent expression, and effectful statements are
-re-reflected in order by the transformer.
+Float identities are restricted to the IEEE-754-exact ones: ``x + 0.0``
+is *not* ``x`` (it maps ``-0.0`` to ``+0.0``), while ``x - 0.0``,
+``x * 1.0`` and ``x / 1.0`` are exact for every input including NaN,
+infinities and signed zeros.
+
+Two safety mechanisms make the rules, and the optimizer passes built on
+top of them (:mod:`repro.lms.optimize`), preserve *error paths* as well
+as values:
+
+* :func:`may_trap` classifies the pure nodes that can raise at run time
+  (integer division/remainder by a possibly-zero divisor, shifts by a
+  non-constant count, float→int casts of non-finite values, and
+  division-family intrinsics).
+* :class:`SafeTransformer` tracks a transitive "taint" over rebuilt pure
+  nodes: a symbol is tainted when its defining subgraph contains a
+  may-trap node.  Value-discarding rewrites (``x * 0 → 0``) only fire on
+  untainted operands, and may-trap nodes are reflected *without* CSE so
+  two occurrences are never merged (merging could turn a dead trapping
+  node live, or vice versa, relative to the unoptimized schedule).
 """
 
 from __future__ import annotations
 
-from repro.lms.defs import BinaryOp, Stm
-from repro.lms.expr import Const, Exp
-from repro.lms.graph import IRBuilder, finish_root_block, staging_scope
+import math
+
+from repro.lms.defs import BinaryOp, Convert, Def, Stm
+from repro.lms.expr import Const, Exp, Sym
+from repro.lms.graph import current_builder
 from repro.lms.staging import StagedFunction
-from repro.lms.transform import Transformer
+from repro.lms.transform import Transformer, remirror_function
 from repro.lms.types import ScalarType
 
+_TRAP_INTRINSIC_MARKERS = ("_div_", "_rem_", "_idiv", "_irem",
+                           "_udiv", "_urem")
 
-def _is_const(e: Exp, value) -> bool:
-    return isinstance(e, Const) and e.value == value
+
+def _nonzero_const(e: Exp) -> bool:
+    return isinstance(e, Const) and isinstance(e.value, (int, bool)) \
+        and int(e.value) != 0
+
+
+def may_trap(rhs: Def) -> bool:
+    """True when executing ``rhs`` can raise at run time.
+
+    Conservative in the safe direction: returns True unless the node is
+    provably trap-free.  The optimizer never hoists, CSE-merges or
+    discards a may-trap node, so a graph optimized at any level raises
+    exactly when the unoptimized graph does.
+    """
+    if isinstance(rhs, BinaryOp):
+        tp = rhs.tp
+        if rhs.op in ("/", "%"):
+            if isinstance(tp, ScalarType) and tp.is_float:
+                return False  # IEEE: divide by zero yields inf/NaN
+            return not _nonzero_const(rhs.rhs)
+        if rhs.op in ("<<", ">>"):
+            b = rhs.rhs
+            return not (isinstance(b, Const) and isinstance(b.value, (int, bool))
+                        and 0 <= int(b.value) < 64)
+        return False
+    if isinstance(rhs, Convert):
+        src = rhs.operand.tp
+        dst = rhs.tp
+        if isinstance(src, ScalarType) and isinstance(dst, ScalarType) \
+                and src.is_float and dst.is_integer:
+            # int(NaN) / int(inf) raise in both engines.
+            return not isinstance(rhs.operand, Const)
+        return False
+    name = getattr(rhs, "intrinsic_name", "")
+    if name and any(marker in name for marker in _TRAP_INTRINSIC_MARKERS):
+        return True
+    return False
+
+
+class SafeTransformer(Transformer):
+    """Mirroring transformer with trap-aware taint tracking.
+
+    Subclasses implement rewrites in :meth:`_rewrite` (return ``None``
+    to fall through to plain mirroring).  The base class guarantees:
+
+    * every rebuilt pure symbol's taint is recorded (a symbol is tainted
+      when its defining subgraph contains a :func:`may_trap` node), and
+    * may-trap pure nodes are reflected without CSE, so substitution can
+      never merge two trapping occurrences.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._tainted: set[int] = set()
+
+    # -- rewrite hook -------------------------------------------------------
+
+    def _rewrite(self, rhs: Def, stm: Stm) -> Exp | None:
+        return None
+
+    def mirror(self, rhs: Def, stm: Stm) -> Exp:
+        out = self._rewrite(rhs, stm)
+        if out is None:
+            out = self._mirror_safe(rhs, stm)
+        if isinstance(out, Exp):
+            self._note_taint(out)
+        return out
+
+    def _mirror_safe(self, rhs: Def, stm: Stm) -> Exp:
+        f = self
+        if stm.effects.pure:
+            node: Def | None = None
+            if isinstance(rhs, BinaryOp):
+                node = BinaryOp(rhs.op, f(rhs.lhs), f(rhs.rhs), rhs.tp)
+            elif isinstance(rhs, Convert):
+                node = Convert(f(rhs.operand), rhs.tp)
+            elif getattr(rhs, "intrinsic_name", None) is not None:
+                node = type(rhs)([f(a) if isinstance(a, Exp) else a
+                                  for a in rhs.args])
+            if node is not None and may_trap(node):
+                return current_builder().reflect_pure(node, cse=False)
+        return super().mirror(rhs, stm)
+
+    # -- taint --------------------------------------------------------------
+
+    def is_tainted(self, e: Exp) -> bool:
+        return isinstance(e, Sym) and e.id in self._tainted
+
+    def discardable(self, e: Exp) -> bool:
+        """True when dropping every use of ``e`` cannot change the error
+        path: constants, and symbols whose defining subgraph is free of
+        may-trap pure nodes."""
+        return isinstance(e, Const) or \
+            (isinstance(e, Sym) and e.id not in self._tainted)
+
+    def _note_taint(self, exp: Exp) -> None:
+        if not isinstance(exp, Sym) or exp.id in self._tainted:
+            return
+        stm = current_builder().lookup(exp)
+        if stm is None or stm.effects.effectful:
+            # Effectful statements are always scheduled; discarding a
+            # *reference* to one never changes whether it executes.
+            return
+        rhs = stm.rhs
+        if may_trap(rhs) or any(self.is_tainted(a) for a in rhs.exp_args):
+            self._tainted.add(exp.id)
+
+
+def _is_int_zero(e: Exp) -> bool:
+    return isinstance(e, Const) and isinstance(e.value, (int, bool)) \
+        and int(e.value) == 0
+
+
+def _is_pos_zero(e: Exp) -> bool:
+    """Const ``+0`` of either dtype — explicitly excluding ``-0.0``,
+    for which ``x - (-0.0)`` maps ``-0.0`` to ``+0.0``."""
+    if not isinstance(e, Const) or e.value != 0:
+        return False
+    v = e.value
+    return not (isinstance(v, float) and math.copysign(1.0, v) < 0)
+
+
+def _is_one(e: Exp) -> bool:
+    return isinstance(e, Const) and not isinstance(e.value, bool) \
+        and e.value == 1
 
 
 def _power_of_two(e: Exp) -> int | None:
@@ -40,14 +183,14 @@ def _power_of_two(e: Exp) -> int | None:
     return None
 
 
-class SimplifyTransformer(Transformer):
+class SimplifyTransformer(SafeTransformer):
     """Mirroring transformer with algebraic rewrite rules."""
 
     def __init__(self) -> None:
         super().__init__()
         self.rewrites = 0
 
-    def mirror(self, rhs, stm: Stm) -> Exp:
+    def _rewrite(self, rhs: Def, stm: Stm) -> Exp | None:
         if isinstance(rhs, BinaryOp):
             lhs = self(rhs.lhs)
             rval = self(rhs.rhs)
@@ -55,70 +198,67 @@ class SimplifyTransformer(Transformer):
             if simplified is not None:
                 self.rewrites += 1
                 return simplified
-        return super().mirror(rhs, stm)
+        return None
 
     def _simplify(self, node: BinaryOp, a: Exp, b: Exp) -> Exp | None:
         op = node.op
         tp = node.tp
         is_int = isinstance(tp, ScalarType) and tp.is_integer
 
+        def same_type(e: Exp) -> Exp | None:
+            # Identity rules may only return the surviving operand when
+            # its type matches the node's (promotion can widen: returning
+            # an int8 where consumers expect the promoted int32 would
+            # change wraparound/shift semantics downstream).
+            return e if e.tp == tp else None
+
         if op == "+":
-            if _is_const(b, 0) or _is_const(b, 0.0):
-                return a
-            if _is_const(a, 0) or _is_const(a, 0.0):
-                return b
+            # Float x + 0.0 is NOT x: it maps -0.0 to +0.0.
+            if is_int and _is_int_zero(b):
+                return same_type(a)
+            if is_int and _is_int_zero(a):
+                return same_type(b)
         elif op == "-":
-            if _is_const(b, 0) or _is_const(b, 0.0):
-                return a
+            # x - (+0) is exact for ints and IEEE floats alike (incl.
+            # NaN, inf and -0.0); x - (-0.0) is not.
+            if _is_pos_zero(b):
+                return same_type(a)
         elif op == "*":
-            if _is_const(b, 1) or _is_const(b, 1.0):
-                return a
-            if _is_const(a, 1) or _is_const(a, 1.0):
-                return b
-            if is_int and (_is_const(b, 0) or _is_const(a, 0)):
+            # x * 1.0 is exact for every float input.
+            if _is_one(b):
+                return same_type(a)
+            if _is_one(a):
+                return same_type(b)
+            if is_int and _is_int_zero(b) and self.discardable(a):
                 return Const(0, tp)
-            if is_int:
+            if is_int and _is_int_zero(a) and self.discardable(b):
+                return Const(0, tp)
+            if is_int and tp == a.tp:
                 k = _power_of_two(b)
                 if k is not None:
                     from repro.lms.ops import binary
                     return binary("<<", a, Const(k, node.rhs.tp))
         elif op == "/":
-            if _is_const(b, 1) or _is_const(b, 1.0):
-                return a
+            if _is_one(b):
+                return same_type(a)
         elif op in ("<<", ">>"):
-            if _is_const(b, 0):
-                return a
+            if _is_int_zero(b):
+                return same_type(a)
         elif op == "|" or op == "^":
-            if _is_const(b, 0):
-                return a
-            if _is_const(a, 0):
-                return b
+            if _is_int_zero(b):
+                return same_type(a)
+            if _is_int_zero(a):
+                return same_type(b)
         elif op == "&":
-            if _is_const(b, 0) or _is_const(a, 0):
+            if _is_int_zero(b) and self.discardable(a):
+                return Const(0, tp)
+            if _is_int_zero(a) and self.discardable(b):
                 return Const(0, tp)
         return None
 
 
 def simplify(staged: StagedFunction) -> tuple[StagedFunction, int]:
     """Run the simplification pass; returns (new function, #rewrites)."""
-    builder = IRBuilder()
     t = SimplifyTransformer()
-    with staging_scope(builder):
-        new_params = [builder.fresh(p.tp) for p in staged.params]
-        for old, new in zip(staged.params, new_params):
-            t.register(old, new)
-        for sym_id in staged.builder.mutable_syms:
-            # Mutability marks carry over to the mirrored params.
-            for old, new in zip(staged.params, new_params):
-                if old.id == sym_id:
-                    builder.mark_mutable(new)
-        t.transform_statements(staged.body)
-        result = t(staged.body.result)
-        body, effects = finish_root_block(
-            builder, result if not isinstance(result, Const)
-            or result.value is not None else None)
-    simplified = StagedFunction(
-        name=staged.name, params=new_params,
-        param_names=list(staged.param_names), body=body,
-        effects=effects, builder=builder)
+    simplified = remirror_function(staged, t)
     return simplified, t.rewrites

@@ -132,6 +132,24 @@ def _resilience_summary(counters: Mapping[str, float],
     return lines
 
 
+def _optimizer_summary(counters: Mapping[str, float]) -> list[str]:
+    """Middle-end activity (see :mod:`repro.lms.optimize`).  Standing
+    rows always print — zeros included — so a report from a
+    ``REPRO_OPT=0`` run diffs cleanly against an optimized one."""
+    lines: list[str] = []
+    lines.append(f"opt.runs = {int(counters.get('opt.runs', 0.0))}")
+    eliminated = sorted((cell, value) for cell, value in counters.items()
+                        if cell.startswith("opt.eliminated"))
+    total = sum(value for _, value in eliminated)
+    lines.append(f"opt.eliminated = {int(total)}")
+    for cell, value in eliminated:
+        lines.append(f"  {cell} = {int(value)}")
+    for name in ("opt.folds", "opt.hoisted", "opt.forwarded_loads",
+                 "opt.forwarded_reads"):
+        lines.append(f"{name} = {int(counters.get(name, 0.0))}")
+    return lines
+
+
 def _service_summary(counters: Mapping[str, float]) -> list[str]:
     """Compile-service activity (daemon- and client-side): rendered
     only when a ``service.*`` family exists, but then every standing
@@ -180,6 +198,9 @@ def render_report(spans: Sequence[Span],
     out.append("")
     out.append("== compile ladder ==")
     out.extend(_ladder_summary(counters))
+    out.append("")
+    out.append("== optimizer ==")
+    out.extend(_optimizer_summary(counters))
     gauges = dict((metrics or {}).get("gauges", {}))
     out.append("")
     out.append("== resilience ==")

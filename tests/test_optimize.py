@@ -1,0 +1,639 @@
+"""The optimizing middle-end (repro.lms.optimize).
+
+Three layers of assurance:
+
+* per-pass unit tests — CSE collapses duplicate intrinsics (but never
+  may-trap nodes), LICM hoists invariants, folding matches the machine
+  semantics bit-for-bit (C truncating division, declined NaN/inf folds),
+  forwarding eliminates redundant loads while any store invalidates,
+  DCE never drops stores, and float-unsafe identities stay un-rewritten;
+* randomized differential sweeps — optimized-at-level-2 vs unoptimized
+  graphs must agree on results, mutated arrays and raised exception
+  types, on both simulator engines, for the same generated kernels the
+  engine-equivalence suite uses, plus the real paper kernels;
+* plumbing — ``REPRO_OPT`` gating, cache keys that incorporate the
+  level, ``explain()`` and the ``== optimizer ==`` report section.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro.obs as obs
+from repro.isa.registry import load_isas
+from repro.kernels import make_staged_mmm, make_staged_saxpy
+from repro.lms import forloop, stage_function
+from repro.lms.defs import ArrayUpdate, BinaryOp, ForLoop
+from repro.lms.expr import Const
+from repro.lms.ops import (
+    Variable,
+    array_apply,
+    array_update,
+    binary,
+    convert,
+    reflect_mutable,
+    select,
+)
+from repro.lms.optimize import (
+    OptStats,
+    effective_level,
+    hoist_loop_invariants,
+    may_trap,
+    optimize_staged,
+)
+from repro.lms.schedule import count_statements, schedule_block
+from repro.lms.types import FLOAT, INT32, array_of
+from repro.quant import dot_ps_step, make_staged_dot
+from repro.simd.machine import SimdMachine
+from tests.test_differential import _build_control_kernel, _build_kernel
+from tests.conftest import requires_compiler
+
+_CIR = load_isas("AVX", "AVX2", "FMA")
+
+
+def _intrinsic_stms(block, name):
+    return [s for s, _depth in _walk(block)
+            if getattr(s.rhs, "intrinsic_name", None) == name]
+
+
+def _walk(block, depth=0):
+    for stm in block.stms:
+        yield stm, depth
+        for inner in stm.rhs.blocks:
+            yield from _walk(inner, depth + 1)
+
+
+def _loop_body_len(staged):
+    loops = [s.rhs for s, _ in _walk(staged.body)
+             if isinstance(s.rhs, ForLoop)]
+    assert loops
+    return len(loops[0].body.stms)
+
+
+# ---------------------------------------------------------------------------
+# Per-pass units.
+# ---------------------------------------------------------------------------
+
+
+class TestCse:
+    def test_duplicate_intrinsics_collapse_after_simplify(self):
+        """``set1(n + 0)`` and ``set1(n)`` are distinct staged nodes;
+        simplify makes them structurally identical and the GVN mirror
+        merges them."""
+
+        def fn(a, n):
+            reflect_mutable(a)
+            v1 = _CIR._mm256_set1_ps(convert(n + 0, FLOAT))
+            v2 = _CIR._mm256_set1_ps(convert(n, FLOAT))
+            s = _CIR._mm256_add_ps(v1, v2)
+            _CIR._mm256_storeu_ps(a, s, 0)
+
+        staged = stage_function(fn, [array_of(FLOAT), INT32], "cse_k")
+        assert len(_intrinsic_stms(staged.body, "_mm256_set1_ps")) == 2
+        opt, _ = optimize_staged(staged, 1)
+        assert len(_intrinsic_stms(opt.body, "_mm256_set1_ps")) == 1
+        a = np.zeros(8, np.float32)
+        SimdMachine(executor="tree").run(opt, [a, np.int32(3)])
+        assert a.tolist() == [6.0] * 8
+
+    def test_may_trap_divisions_never_merge(self):
+        """``a / (b + 0)`` and ``a / b`` are distinct staged nodes (so
+        staging-time CSE leaves them apart); simplify makes them
+        structurally identical, but may-trap nodes are reflected
+        without CSE so the optimizer must not merge them either."""
+
+        def fn(a, b):
+            q1 = binary("/", a, binary("+", b, 0))
+            q2 = binary("/", a, b)
+            return q1 + q2
+
+        staged = stage_function(fn, [INT32, INT32], "div_k")
+        divs0 = [s for s, _ in _walk(staged.body)
+                 if isinstance(s.rhs, BinaryOp) and s.rhs.op == "/"]
+        assert len(divs0) == 2
+        opt, _ = optimize_staged(staged, 2)
+        divs = [s for s, _ in _walk(opt.body)
+                if isinstance(s.rhs, BinaryOp) and s.rhs.op == "/"]
+        assert len(divs) == 2
+        got = SimdMachine(executor="tree").run(
+            opt, [np.int32(-7), np.int32(2)])
+        assert int(got) == -6  # C truncation: -3 + -3
+        with pytest.raises(ZeroDivisionError):
+            SimdMachine(executor="tree").run(
+                opt, [np.int32(-7), np.int32(0)])
+
+    def test_licm_hoists_broadcast_out_of_loop(self):
+        def fn(a, s, n):
+            reflect_mutable(a)
+
+            def body(i):
+                vs = _CIR._mm256_set1_ps(s)
+                va = _CIR._mm256_loadu_ps(a, i)
+                _CIR._mm256_storeu_ps(a, _CIR._mm256_add_ps(va, vs), i)
+
+            forloop(0, n, step=8, body=body)
+
+        staged = stage_function(fn, [array_of(FLOAT), FLOAT, INT32],
+                                "licm_k")
+        before = _loop_body_len(staged)
+        opt, stats = optimize_staged(staged, 1)
+        assert stats.hoisted >= 1
+        assert _loop_body_len(opt) < before
+        # The hoisted set1 sits before the loop at top level.
+        assert _intrinsic_stms(opt.body, "_mm256_set1_ps")
+        top = [getattr(s.rhs, "intrinsic_name", None)
+               for s in opt.body.stms]
+        assert "_mm256_set1_ps" in top
+        a = np.arange(16, dtype=np.float32)
+        SimdMachine(executor="tree").run(
+            opt, [a, np.float32(2.0), np.int32(16)])
+        assert a.tolist() == [float(i) + 2.0 for i in range(16)]
+
+    def test_hoist_respects_loop_dependence(self):
+        def fn(a, n):
+            reflect_mutable(a)
+
+            def body(i):
+                array_update(a, i, convert(i * 2, FLOAT))
+
+            forloop(0, n, step=1, body=body)
+
+        staged = stage_function(fn, [array_of(FLOAT), INT32], "dep_k")
+        moved = hoist_loop_invariants(staged)
+        assert moved == 0
+
+
+class TestFold:
+    def test_c_truncating_division(self):
+        """Folded division must truncate toward zero (C), not floor
+        (Python): the same value both engines compute at run time."""
+
+        def fn(n):
+            return binary("/", n * 0 - 7, 2)
+
+        staged = stage_function(fn, [INT32], "cdiv_k")
+        opt, _ = optimize_staged(staged, 2)
+        got = SimdMachine(executor="tree").run(opt, [np.int32(5)])
+        assert int(got) == -3
+        unopt = SimdMachine(executor="tree").run(staged, [np.int32(5)])
+        assert int(got) == int(unopt)
+
+    def test_convert_and_select_fold(self):
+        def fn(n):
+            c = convert(Const(2.75, FLOAT), INT32)  # -> 2
+            return select(binary("<", n * 0, 1), c + 1, c)
+
+        staged = stage_function(fn, [INT32], "csel_k")
+        opt, stats = optimize_staged(staged, 2)
+        assert isinstance(opt.body.result, Const)
+        assert int(opt.body.result.value) == 3
+        got = SimdMachine(executor="tree").run(opt, [np.int32(9)])
+        assert int(got) == 3
+
+    def test_scalar_intrinsic_folds_through_machine_semantics(self):
+        cir = load_isas("POPCNT")
+
+        def fn(n):
+            return binary("+", cir._mm_popcnt_u32(n * 0 + 255), n * 0)
+
+        staged = stage_function(fn, [INT32], "pop_k")
+        opt, stats = optimize_staged(staged, 2)
+        got = SimdMachine(executor="tree").run(opt, [np.int32(1)])
+        assert int(got) == 8
+        assert stats.folds >= 1
+
+    def test_non_finite_folds_declined(self):
+        """1e30f * 1e30f overflows float32 to inf; the fold is declined
+        (no exact C literal) and the runtime computes it instead."""
+
+        def fn(x):
+            big = x * 0.0 + 1.0  # keeps x in the graph
+            return big * Const(1e30, FLOAT) * Const(1e30, FLOAT)
+
+        staged = stage_function(fn, [FLOAT], "inf_k")
+        opt, _ = optimize_staged(staged, 2)
+        got = SimdMachine(executor="tree").run(opt, [np.float32(1.0)])
+        ref = SimdMachine(executor="tree").run(staged, [np.float32(1.0)])
+        assert np.float32(got).tobytes() == np.float32(ref).tobytes()
+
+
+class TestFloatSafety:
+    def test_plus_zero_not_rewritten(self):
+        """x + 0.0 maps -0.0 to +0.0, so it must survive."""
+
+        def fn(x):
+            return x + 0.0
+
+        staged = stage_function(fn, [FLOAT], "pz_k")
+        opt, _ = optimize_staged(staged, 2)
+        got = SimdMachine(executor="tree").run(opt, [np.float32(-0.0)])
+        assert np.float32(got).tobytes() == np.float32(0.0).tobytes()
+        adds = [s for s, _ in _walk(opt.body)
+                if isinstance(s.rhs, BinaryOp) and s.rhs.op == "+"]
+        assert adds
+
+    def test_minus_zero_and_times_one_preserve_bits(self):
+        def fn(x):
+            return (x - 0.0) * 1.0
+
+        staged = stage_function(fn, [FLOAT], "mz_k")
+        opt, stats = optimize_staged(staged, 2)
+        for v in (-0.0, float("nan"), float("inf"), 1.5):
+            got = np.float32(SimdMachine(executor="tree").run(
+                opt, [np.float32(v)]))
+            ref = np.float32(SimdMachine(executor="tree").run(
+                staged, [np.float32(v)]))
+            assert got.tobytes() == ref.tobytes()
+        # both identities fired: the body is just the parameter
+        assert count_statements(opt.body) == 0
+
+    def test_float_mul_zero_not_discarded(self):
+        def fn(x):
+            return x * 0.0
+
+        staged = stage_function(fn, [FLOAT], "fz_k")
+        opt, _ = optimize_staged(staged, 2)
+        got = SimdMachine(executor="tree").run(opt, [np.float32("inf")])
+        assert np.isnan(got)
+
+
+class TestTrapPreservation:
+    def test_dead_division_still_raises(self):
+        """q = a / b is unused after ``q * 0 -> 0`` would fire — but q
+        is tainted, so the rewrite declines and div-by-zero raises at
+        every level, exactly like the unoptimized graph."""
+
+        def fn(a, b):
+            q = binary("/", a, b)
+            return q * 0
+
+        staged = stage_function(fn, [INT32, INT32], "trap_k")
+        for level in (0, 1, 2):
+            opt, _ = optimize_staged(staged, level)
+            with pytest.raises(ZeroDivisionError):
+                SimdMachine(executor="tree").run(
+                    opt, [np.int32(7), np.int32(0)])
+            got = SimdMachine(executor="tree").run(
+                opt, [np.int32(7), np.int32(2)])
+            assert int(got) == 0
+
+    def test_may_trap_classifier(self):
+        i32 = INT32
+        assert may_trap(BinaryOp("/", Const(1, i32), Const(0, i32), i32))
+        assert not may_trap(
+            BinaryOp("/", Const(1, i32), Const(2, i32), i32))
+        assert not may_trap(
+            BinaryOp("+", Const(1, i32), Const(2, i32), i32))
+        assert not may_trap(
+            BinaryOp("/", Const(1.0, FLOAT), Const(0.0, FLOAT), FLOAT))
+
+
+class TestForwarding:
+    def test_redundant_scalar_loads_collapse(self):
+        def fn(a, out, n):
+            reflect_mutable(out)
+
+            def body(i):
+                x = array_apply(a, i)
+                y = array_apply(a, i)
+                array_update(out, i, x + y)
+
+            forloop(0, n, step=1, body=body)
+
+        staged = stage_function(
+            fn, [array_of(INT32), array_of(INT32), INT32], "rload_k")
+        opt, stats = optimize_staged(staged, 2)
+        assert stats.forwarded_loads >= 1
+        a = np.arange(6, dtype=np.int32)
+        out = np.zeros(6, dtype=np.int32)
+        SimdMachine(executor="tree").run(opt, [a, out, np.int32(6)])
+        assert out.tolist() == [0, 2, 4, 6, 8, 10]
+
+    def test_store_invalidates_aliasable_load(self):
+        """A store to *any* array kills forwarding for all arrays: the
+        two parameters may be the same numpy array at run time."""
+
+        def fn(a, b, n):
+            reflect_mutable(b)
+            x = array_apply(a, 0)
+            array_update(b, 0, x + 1)
+            return array_apply(a, 0)  # must re-load: b may alias a
+
+        staged = stage_function(
+            fn, [array_of(INT32), array_of(INT32), INT32], "alias_k")
+        opt, _ = optimize_staged(staged, 2)
+        buf = np.array([10, 20], dtype=np.int32)
+        got = SimdMachine(executor="tree").run(
+            opt, [buf, buf, np.int32(2)])
+        assert int(got) == 11
+
+    def test_store_to_load_forwarding_same_address(self):
+        def fn(a, n):
+            reflect_mutable(a)
+            array_update(a, 1, n * 2)
+            return array_apply(a, 1)
+
+        staged = stage_function(fn, [array_of(INT32), INT32], "stl_k")
+        opt, stats = optimize_staged(staged, 2)
+        assert stats.forwarded_loads >= 1
+        a = np.zeros(4, dtype=np.int32)
+        got = SimdMachine(executor="tree").run(opt, [a, np.int32(21)])
+        assert int(got) == 42 and a[1] == 42
+
+    def test_vector_load_forwarding(self):
+        def fn(a, out, n):
+            reflect_mutable(out)
+            v1 = _CIR._mm256_loadu_ps(a, 0)
+            v2 = _CIR._mm256_loadu_ps(a, 0)
+            _CIR._mm256_storeu_ps(out, _CIR._mm256_add_ps(v1, v2), 0)
+
+        staged = stage_function(
+            fn, [array_of(FLOAT), array_of(FLOAT), INT32], "vload_k")
+        assert len(_intrinsic_stms(staged.body, "_mm256_loadu_ps")) == 2
+        opt, stats = optimize_staged(staged, 2)
+        assert len(_intrinsic_stms(opt.body, "_mm256_loadu_ps")) == 1
+        a = np.arange(8, dtype=np.float32)
+        out = np.zeros(8, dtype=np.float32)
+        SimdMachine(executor="tree").run(opt, [a, out, np.int32(8)])
+        assert out.tolist() == [2.0 * i for i in range(8)]
+
+    def test_var_read_forwarding_respects_loop(self):
+        def fn(n):
+            acc = Variable(0)
+
+            def body(i):
+                acc.set(acc.get() + i)
+
+            forloop(0, n, step=1, body=body)
+            return acc.get() + acc.get()
+
+        staged = stage_function(fn, [INT32], "var_k")
+        opt, stats = optimize_staged(staged, 2)
+        got = SimdMachine(executor="tree").run(opt, [np.int32(5)])
+        assert int(got) == 20
+        # the two reads after the loop forward to one
+        assert stats.forwarded_reads >= 1
+
+    def test_loop_body_never_forwards_across_iterations(self):
+        """a[i] written this iteration, a[0] read each iteration: the
+        body scope starts empty, so iteration i must re-load a[0]
+        (which iteration 0 overwrote)."""
+
+        def fn(a, n):
+            reflect_mutable(a)
+            seed = array_apply(a, 0)
+
+            def body(i):
+                array_update(a, i, array_apply(a, 0) + i)
+
+            forloop(0, n, step=1, body=body)
+            return seed
+
+        staged = stage_function(fn, [array_of(INT32), INT32], "iter_k")
+        for level in (0, 2):
+            opt, _ = optimize_staged(staged, level)
+            a = np.array([5, 0, 0], dtype=np.int32)
+            SimdMachine(executor="tree").run(opt, [a, np.int32(3)])
+            # i=0: a[0]=5+0=5; i=1: a[1]=5+1; i=2: a[2]=5+2
+            assert a.tolist() == [5, 6, 7]
+
+
+class TestDce:
+    def test_stores_survive_unused_results(self):
+        def fn(a, n):
+            reflect_mutable(a)
+            array_update(a, 0, n * 2)
+            dead = binary("+", n, 1)  # pure, unused
+            del dead
+
+        staged = stage_function(fn, [array_of(INT32), INT32], "dce_k")
+        opt, _ = optimize_staged(staged, 1)
+        stores = [s for s, _ in _walk(opt.body)
+                  if isinstance(s.rhs, ArrayUpdate)]
+        assert stores
+        adds = [s for s, _ in _walk(opt.body)
+                if isinstance(s.rhs, BinaryOp) and s.rhs.op == "+"]
+        assert not adds
+
+
+# ---------------------------------------------------------------------------
+# Differential sweeps: level 2 vs level 0, both engines.
+# ---------------------------------------------------------------------------
+
+
+def _run_one(staged, arr, n, engine):
+    machine = SimdMachine(executor=engine, profile=True)
+    try:
+        result = machine.run(staged, [arr, np.int32(n)])
+        return ("ok", result, arr)
+    except Exception as exc:  # noqa: BLE001 - compared by type
+        return ("raise", type(exc).__name__, arr)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(choices=st.lists(st.integers(0, 10_000), min_size=8, max_size=40),
+       data=st.lists(st.integers(-100, 100), min_size=1, max_size=24))
+def test_control_kernels_bit_identical_both_engines(choices, data):
+    staged = _build_control_kernel(choices)
+    opt, _ = optimize_staged(staged, 2)
+    n = len(data)
+    for engine in ("tree", "compiled"):
+        a0 = np.array(data, dtype=np.int32)
+        a2 = np.array(data, dtype=np.int32)
+        k0, r0, _ = _run_one(staged, a0, n, engine)
+        k2, r2, _ = _run_one(opt, a2, n, engine)
+        assert k0 == k2
+        if k0 == "ok":
+            assert np.int32(r0).tobytes() == np.int32(r2).tobytes()
+        else:
+            assert r0 == r2
+        assert np.array_equal(a0, a2)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(choices=st.lists(st.integers(0, 10_000), min_size=8, max_size=40),
+       a=st.integers(-(2**31), 2**31 - 1),
+       b=st.integers(-1000, 1000),
+       x=st.floats(-100.0, 100.0, width=32, allow_nan=False))
+def test_scalar_kernels_bit_identical(choices, a, b, x):
+    for as_float in (False, True):
+        staged = _build_kernel(choices, as_float)
+        opt, _ = optimize_staged(staged, 2)
+        from repro.simd.machine import execute_staged
+        ref = execute_staged(staged, [a, b, x])
+        got = execute_staged(opt, [a, b, x])
+        if as_float:
+            assert np.float32(ref).tobytes() == np.float32(got).tobytes()
+        else:
+            assert np.int32(ref).tobytes() == np.int32(got).tobytes()
+
+
+class TestKernelCorpus:
+    """The real paper kernels: optimized graphs produce bit-identical
+    arrays on both engines, and the middle-end pays for itself."""
+
+    @pytest.mark.parametrize("engine", ["tree", "compiled"])
+    def test_saxpy(self, engine, rng):
+        n = 24
+        staged = make_staged_saxpy()
+        opt, _ = optimize_staged(staged, 2)
+        a0 = rng.normal(size=n).astype(np.float32)
+        b = rng.normal(size=n).astype(np.float32)
+        a_ref, a_opt = a0.copy(), a0.copy()
+        SimdMachine(executor=engine).run(
+            staged, [a_ref, b, np.float32(1.75), np.int32(n)])
+        SimdMachine(executor=engine).run(
+            opt, [a_opt, b, np.float32(1.75), np.int32(n)])
+        assert a_ref.tobytes() == a_opt.tobytes()
+
+    @pytest.mark.parametrize("engine", ["tree", "compiled"])
+    def test_mmm(self, engine, rng):
+        n = 8
+        staged = make_staged_mmm()
+        opt, _ = optimize_staged(staged, 2)
+        a = rng.normal(size=(n, n)).astype(np.float32).ravel()
+        b = rng.normal(size=(n, n)).astype(np.float32).ravel()
+        c_ref = np.zeros(n * n, dtype=np.float32)
+        c_opt = np.zeros(n * n, dtype=np.float32)
+        SimdMachine(executor=engine).run(staged, [a, b, c_ref, np.int32(n)])
+        SimdMachine(executor=engine).run(opt, [a, b, c_opt, np.int32(n)])
+        assert c_ref.tobytes() == c_opt.tobytes()
+
+    @pytest.mark.parametrize("bits", [32, 8])
+    def test_quant_dot(self, bits, rng):
+        n = dot_ps_step(bits) * 2
+        staged = make_staged_dot(bits)
+        opt, _ = optimize_staged(staged, 2)
+        if bits == 32:
+            a = rng.normal(size=n).astype(np.float32)
+            b = rng.normal(size=n).astype(np.float32)
+            args_ref = [a, b, np.int32(n)]
+            args_opt = [a.copy(), b.copy(), np.int32(n)]
+        else:
+            a = rng.integers(-127, 127, size=n, dtype=np.int8)
+            b = rng.integers(-127, 127, size=n, dtype=np.int8)
+            args_ref = [a, b, np.float32(1.0), np.int32(n)]
+            args_opt = [a.copy(), b.copy(), np.float32(1.0), np.int32(n)]
+        ref = SimdMachine(executor="tree").run(staged, args_ref)
+        got = SimdMachine(executor="tree").run(opt, args_opt)
+        assert np.float32(ref).tobytes() == np.float32(got).tobytes()
+
+
+@requires_compiler
+class TestNativeTier:
+    def test_native_matches_unoptimized_simulator(self, rng):
+        """The generated C from an optimized graph computes the same
+        bytes the unoptimized simulator does."""
+        from repro.codegen.native import compile_to_native
+
+        n = 24
+        staged = make_staged_saxpy()
+        opt, _ = optimize_staged(staged, 2)
+        kernel = compile_to_native(opt)
+        a0 = rng.normal(size=n).astype(np.float32)
+        b = rng.normal(size=n).astype(np.float32)
+        a_native, a_sim = a0.copy(), a0.copy()
+        kernel(a_native, b, 1.75, n)
+        SimdMachine(executor="tree").run(
+            staged, [a_sim, b, np.float32(1.75), np.int32(n)])
+        assert a_native.tobytes() == a_sim.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# Plumbing: env gate, cache keys, explain, report.
+# ---------------------------------------------------------------------------
+
+
+class TestPlumbing:
+    def test_effective_level(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OPT", raising=False)
+        assert effective_level() == 1
+        monkeypatch.setenv("REPRO_OPT", "0")
+        assert effective_level() == 0
+        monkeypatch.setenv("REPRO_OPT", "2")
+        assert effective_level() == 2
+        monkeypatch.setenv("REPRO_OPT", "9")
+        assert effective_level() == 2
+        monkeypatch.setenv("REPRO_OPT", "junk")
+        assert effective_level() == 1
+        assert effective_level(0) == 0  # explicit argument wins
+
+    def test_level_zero_returns_input_unchanged(self):
+        def fn(n):
+            return n + 0
+
+        staged = stage_function(fn, [INT32], "id_k")
+        opt, stats = optimize_staged(staged, 0)
+        assert opt is staged
+        assert stats.level == 0 and stats.total_eliminated == 0
+
+    def test_graph_hash_incorporates_level(self):
+        from repro.core.cache import graph_hash
+
+        def fn(n):
+            return n * 2
+
+        h = {}
+        for level in (0, 1, 2):
+            staged = stage_function(fn, [INT32], "hash_k")
+            staged.opt_level = level
+            h[level] = graph_hash(staged)
+        assert len(set(h.values())) == 3
+
+    def test_pipeline_respects_opt_env(self, monkeypatch):
+        from repro.core import compile_staged
+        from repro.core.cache import default_cache
+
+        def fn(n):
+            return (n + 0) * 1
+
+        default_cache.clear()
+        monkeypatch.setenv("REPRO_OPT", "0")
+        k0 = compile_staged(fn, [INT32], name="env_k",
+                            backend="simulated")
+        monkeypatch.setenv("REPRO_OPT", "1")
+        k1 = compile_staged(fn, [INT32], name="env_k",
+                            backend="simulated")
+        assert k0 is not k1  # level is part of the cache key
+        assert k0.opt_stats is None
+        assert k1.opt_stats is not None and k1.opt_stats.level == 1
+        assert count_statements(k1.staged.body) < \
+            count_statements(k0.staged.body)
+        assert int(k0(np.int32(7))) == int(k1(np.int32(7))) == 7
+        assert "optimizer:" in k1.explain()
+        assert "level=1" in k1.explain()
+        default_cache.clear()
+
+    def test_report_optimizer_section_prints_zeros(self):
+        from repro.obs.report import render_report
+
+        text = render_report([], {"counters": {}, "gauges": {}})
+        assert "== optimizer ==" in text
+        assert "opt.runs = 0" in text
+        assert "opt.hoisted = 0" in text
+
+    def test_obs_counters_emitted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        obs.reset()
+
+        def fn(n):
+            return (n + 0) * 1
+
+        staged = stage_function(fn, [INT32], "obs_k")
+        optimize_staged(staged, 1)
+        counters = obs.get_registry().snapshot()["counters"]
+        obs.reset()
+        assert counters.get("opt.runs", 0) >= 1
+        assert any(c.startswith("opt.eliminated") for c in counters)
+
+    def test_stats_summary_lines(self):
+        stats = OptStats(level=2, iterations=2, stms_before=10,
+                         stms_after=4,
+                         eliminated={"simplify": 4, "dce": 2})
+        text = "\n".join(stats.summary_lines())
+        assert "level=2" in text and "10 -> 4" in text
+        assert "simplify" in text and "dce" in text

@@ -299,6 +299,11 @@ class TestSmokeAndQuarantine:
         default_cache.clear()  # memory tier only; quarantine survives
         fn = build_unique(19.5, "q_k")
         staged = stage_function(fn, [array_of(FLOAT), INT32], "q_k")
+        # The pipeline quarantined the post-middle-end graph; reproduce
+        # the same preprocessing to hit the same quarantine key.
+        from repro.lms.optimize import effective_level, optimize_staged
+        staged.opt_level = effective_level()
+        staged, _ = optimize_staged(staged)
         with pytest.raises(KernelQuarantinedError) as exc:
             acquire_native(staged)
         # refused before any compiler ran
