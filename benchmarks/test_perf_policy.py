@@ -1,0 +1,238 @@
+"""Learned-policy performance: replayed synthetic traffic traces
+comparing ``REPRO_POLICY=off`` (the fixed pipeline) against
+``REPRO_POLICY=learned`` (DESIGN.md §15).
+
+Three traces, three numbers in ``BENCH_policy.json``:
+
+* **failing-icc ladder** — a compiler chain whose icc rung always
+  fails; learned rung ordering must pay *strictly fewer* compile
+  attempts per successful compile than the fixed icc-first walk
+  (hard-asserted).
+* **shifting-popularity disk cache** — a bounded disk cache under a
+  workload whose hot set moves; decayed-history eviction must deliver
+  a hit rate at least 10% higher than raw ``(hits, mtime)`` ranking
+  (hard-asserted).
+* **time-to-native** — calls a ``hot``-tier kernel needs before
+  promotion fires, fixed threshold vs. learned (reported, not
+  asserted: compile wall time dominates and varies with CI load).
+"""
+
+from __future__ import annotations
+
+import shutil
+import stat
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import print_series, write_bench_json
+from repro.codegen.compiler import CompilerInfo, inspect_system
+from repro.codegen.compiler import compile_with_fallback
+from repro.core import compile_staged, policy
+from repro.core.cache import DiskKernelCache, default_cache
+from repro.core.resilience import clear_session_state
+from repro.lms import forloop
+from repro.lms.ops import array_apply, array_update
+from repro.lms.types import FLOAT, INT32, array_of
+
+requires_compiler = pytest.mark.skipif(
+    inspect_system().best_compiler is None,
+    reason="no C compiler on this host",
+)
+
+KERNELS_PER_MODE = 6
+
+_C_TEMPLATE = """
+void repro_native_polbench_{tag}(float* a, int n) {{
+    for (int i = 0; i < n; i++) a[i] = a[i] * 2.0f + {tag}.0f;
+}}
+"""
+
+
+def _fake_icc(tmp_path: Path) -> Path:
+    script = tmp_path / "fake-icc"
+    script.write_text("#!/bin/sh\n"
+                      'if [ "$1" = "--version" ]; then'
+                      " exec gcc --version; fi\n"
+                      'echo "catastrophic error: icc is doomed" >&2\n'
+                      "exit 1\n")
+    script.chmod(script.stat().st_mode | stat.S_IXUSR)
+    return script
+
+
+def _fresh_policy_state(monkeypatch, tmp_path: Path, tag: str,
+                        mode: str) -> None:
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / f"cache-{tag}"))
+    monkeypatch.setenv("REPRO_POLICY", mode)
+    default_cache.clear()
+    clear_session_state()
+
+
+def _ladder_trace(monkeypatch, tmp_path: Path, mode: str) -> dict:
+    """Walk ``KERNELS_PER_MODE`` same-family kernels down a chain whose
+    icc rung always fails; count ladder invocations per success."""
+    _fresh_policy_state(monkeypatch, tmp_path, f"ladder-{mode}", mode)
+    chain = [
+        CompilerInfo("icc", str(_fake_icc(tmp_path)), "fake icc 1"),
+        CompilerInfo("gcc", shutil.which("gcc"), "gcc"),
+    ]
+    total_attempts = 0
+    first_attempt_ok = 0
+    t0 = time.perf_counter()
+    for k in range(KERNELS_PER_MODE):
+        workdir = tmp_path / f"wd-{mode}-{k}"
+        attempts: list = []
+        compile_with_fallback(
+            _C_TEMPLATE.format(tag=k), workdir, frozenset(),
+            required=frozenset(), compilers=chain,
+            name=f"polbench{k}", attempts=attempts)
+        total_attempts += len(attempts)
+        first_attempt_ok += attempts[0].outcome == "ok"
+    wall = time.perf_counter() - t0
+    return {
+        "kernel": "failing-icc-ladder",
+        "backend": mode,
+        "compiles": KERNELS_PER_MODE,
+        "attempts": total_attempts,
+        "attempts_per_success": total_attempts / KERNELS_PER_MODE,
+        "first_attempt_ok": first_attempt_ok,
+        "wall_s": wall,
+    }
+
+
+def _cache_trace(monkeypatch, tmp_path: Path, mode: str) -> dict:
+    """Shifting-popularity workload: three phases, each with its own
+    8-key hot set replayed for 5 rounds over an 8-entry cache, the
+    previous phase's popularity left to go cold between phases."""
+    _fresh_policy_state(monkeypatch, tmp_path, f"cache-{mode}", mode)
+    half_life = 0.1
+    monkeypatch.setenv("REPRO_CACHE_HALF_LIFE", str(half_life))
+    disk = DiskKernelCache(root=tmp_path / f"disk-{mode}",
+                           max_entries=8, hit_flush=1)
+    hits = misses = 0
+    t0 = time.perf_counter()
+    for phase in range(3):
+        hot = [f"{phase * 8 + i:032x}" for i in range(8)]
+        for _round in range(5):
+            for key in hot:
+                if disk.get(key) is None:
+                    misses += 1
+                    disk.put(key, key.encode() * 8, {})
+                else:
+                    hits += 1
+        time.sleep(half_life * 5)   # the hot set dies between phases
+    wall = time.perf_counter() - t0
+    return {
+        "kernel": "shifting-popularity-cache",
+        "backend": mode,
+        "gets": hits + misses,
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / (hits + misses),
+        "wall_s": wall,
+    }
+
+
+def _time_to_native(monkeypatch, tmp_path: Path, mode: str) -> dict:
+    """Calls a ``hot``-tier kernel needs before its promotion fires,
+    and the wall time from first call to the native swap."""
+    _fresh_policy_state(monkeypatch, tmp_path, f"ttn-{mode}", mode)
+    monkeypatch.delenv("REPRO_CC", raising=False)
+    if mode == "learned":
+        # warm history: this family's compiles are known to be cheap
+        policy.get_policy().record_value("ttnk", "compile_cost", 0.25)
+    salt = 1.5 if mode == "learned" else 2.5
+
+    def fn(a, n):
+        forloop(0, n, step=1, body=lambda i: array_update(
+            a, i, array_apply(a, i) * 2.0 + salt))
+
+    kernel = compile_staged(fn, [array_of(FLOAT), INT32],
+                            name=f"ttnk{1 if mode == 'learned' else 2}",
+                            backend="auto", tier="hot")
+    import numpy as np
+    a = np.ones(8, np.float32)
+    t0 = time.perf_counter()
+    calls = 0
+    while kernel._impl.__class__.__name__ == "SimulatedDispatch" \
+            and kernel._impl.countdown is not None and calls < 64:
+        kernel(a, 8)
+        calls += 1
+    kernel.wait_native(timeout=240.0)
+    wall = time.perf_counter() - t0
+    return {
+        "kernel": "time-to-native",
+        "backend": mode,
+        "calls_to_promotion": calls,
+        "native": kernel.tier == "native",
+        "time_to_native_s": wall,
+    }
+
+
+@requires_compiler
+@pytest.mark.benchmark(group="policy")
+def test_perf_policy(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_SERVICE", raising=False)
+    monkeypatch.delenv("REPRO_CC", raising=False)
+    monkeypatch.delenv("REPRO_POLICY_SEED", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_HIT_FLUSH", raising=False)
+    series: list[dict] = []
+    wall = 0.0
+
+    ladder_fixed = _ladder_trace(monkeypatch, tmp_path, "off")
+    ladder_learned = _ladder_trace(monkeypatch, tmp_path, "learned")
+    series += [ladder_fixed, ladder_learned]
+    wall += ladder_fixed["wall_s"] + ladder_learned["wall_s"]
+    # the acceptance gate: strictly fewer attempts per success
+    assert ladder_learned["attempts_per_success"] < \
+        ladder_fixed["attempts_per_success"], (
+        f"learned ladder order did not beat fixed: "
+        f"{ladder_learned['attempts_per_success']:.2f} vs "
+        f"{ladder_fixed['attempts_per_success']:.2f}")
+
+    cache_fixed = _cache_trace(monkeypatch, tmp_path, "off")
+    cache_learned = _cache_trace(monkeypatch, tmp_path, "learned")
+    series += [cache_fixed, cache_learned]
+    wall += cache_fixed["wall_s"] + cache_learned["wall_s"]
+    # the acceptance gate: >= 10% higher hit rate under shift
+    assert cache_learned["hit_rate"] >= 1.10 * cache_fixed["hit_rate"], (
+        f"learned eviction did not beat (hits, mtime): "
+        f"{cache_learned['hit_rate']:.3f} vs "
+        f"{cache_fixed['hit_rate']:.3f}")
+
+    ttn_fixed = _time_to_native(monkeypatch, tmp_path, "off")
+    ttn_learned = _time_to_native(monkeypatch, tmp_path, "learned")
+    series += [ttn_fixed, ttn_learned]
+    wall += ttn_fixed["time_to_native_s"] + ttn_learned["time_to_native_s"]
+    assert ttn_fixed["native"] and ttn_learned["native"]
+
+    print_series(
+        "Learned policy vs fixed",
+        ["trace", "fixed", "learned"],
+        [("attempts/success",
+          ladder_fixed["attempts_per_success"],
+          ladder_learned["attempts_per_success"]),
+         ("cache hit rate",
+          cache_fixed["hit_rate"], cache_learned["hit_rate"]),
+         ("calls to promote",
+          float(ttn_fixed["calls_to_promotion"]),
+          float(ttn_learned["calls_to_promotion"])),
+         ("time-to-native [s]",
+          ttn_fixed["time_to_native_s"],
+          ttn_learned["time_to_native_s"])])
+    write_bench_json(
+        "policy", series, wall,
+        extra={
+            "unit": "mixed",
+            "attempts_per_success": {
+                "fixed": ladder_fixed["attempts_per_success"],
+                "learned": ladder_learned["attempts_per_success"]},
+            "disk_hit_rate": {
+                "fixed": cache_fixed["hit_rate"],
+                "learned": cache_learned["hit_rate"]},
+            "time_to_native_s": {
+                "fixed": ttn_fixed["time_to_native_s"],
+                "learned": ttn_learned["time_to_native_s"]},
+        })

@@ -20,6 +20,7 @@ import repro.obs as obs
 from repro.codegen.cgen import emit_c_source
 from repro.codegen.compiler import CompileError
 from repro.codegen.native import NativeKernel, NativeLinkError
+from repro.core import policy
 from repro.core.batch import batch_enabled, default_batcher, execute_batch
 from repro.core.resilience import (
     CompileReport,
@@ -79,6 +80,8 @@ class CompiledKernel:
         repr=False)
     opt_stats: OptStats | None = field(
         default=None, repr=False, compare=False)
+    policy_log: list = field(
+        default_factory=list, repr=False, compare=False)
     _impl: Any = field(default=None, repr=False, compare=False)
     _tier_job: Any = field(default=None, repr=False, compare=False)
     _batcher: Any = field(default=None, repr=False, compare=False)
@@ -126,6 +129,11 @@ class CompiledKernel:
                            detail: str = "") -> None:
         self.tier_events.append(
             TierEvent(action, tier, time.monotonic(), detail))
+
+    def _policy_note(self, note: str) -> None:
+        """Record one learned-policy decision this kernel received
+        (surfaced by :meth:`explain`)."""
+        self.policy_log.append(note)
 
     def _swap_to_native(self, native: NativeKernel,
                         report: CompileReport | None = None,
@@ -241,6 +249,13 @@ class CompiledKernel:
                     f"{ev.action:8s}-> {ev.tier}{suffix}")
         if self.fallback_reason:
             lines.append(f"fallback_reason: {self.fallback_reason}")
+        if self.policy_log:
+            lines.append("policy decisions:")
+            for note in self.policy_log:
+                lines.append(f"  {note}")
+        else:
+            lines.append(f"policy decisions: (none; "
+                         f"REPRO_POLICY={policy.policy_mode()})")
         if self.opt_stats is not None:
             lines.append("optimizer:")
             for ln in self.opt_stats.summary_lines():
@@ -285,7 +300,8 @@ def _shadow_args(args: Sequence[Any]) -> list[Any]:
     return shadow
 
 
-def _pick_backend(staged: StagedFunction, requested: str) -> tuple[
+def _pick_backend(staged: StagedFunction, requested: str,
+                  notes: list[str] | None = None) -> tuple[
         BackendKind, NativeKernel | None, str | None,
         CompileReport | None]:
     """Resolve the backend through the resilience layer.
@@ -296,18 +312,39 @@ def _pick_backend(staged: StagedFunction, requested: str) -> tuple[
     both :class:`CompileError`) degrade to the simulator under
     ``"auto"`` with the reason recorded, and propagate under
     ``"native"``.
+
+    Every settled ``"auto"``/``"native"`` probe records a per-family
+    backend verdict in the policy table; under ``REPRO_POLICY=learned``
+    a family whose probes keep failing (quarantine-prone, ladder
+    doomed) is routed straight to the simulator without paying the
+    native probe tax (DESIGN.md §15).  Explicit ``"native"`` requests
+    are never gated — the caller asked to see the failure.
     """
     if requested == "simulated":
         return BackendKind.SIMULATED, None, None, None
+    family = policy.family_of(staged.name)
+    if requested == "auto" and policy.acting():
+        gate = policy.native_backend_gate(family)
+        if gate is not None:
+            if notes is not None:
+                notes.append(gate)
+            return BackendKind.SIMULATED, None, gate, None
+    table = policy.get_policy() if policy.recording() else None
     try:
         native, report = acquire_native(staged)
+        if table is not None:
+            table.record(family, "backend", "native", True)
         return BackendKind.NATIVE, native, None, report
     except KernelQuarantinedError as exc:
+        if table is not None:
+            table.record(family, "backend", "native", False)
         if requested == "native":
             raise
         return (BackendKind.SIMULATED, None,
                 f"quarantined: {exc.reason}", exc.report)
     except (NativeLinkError, CompileError) as exc:
+        if table is not None:
+            table.record(family, "backend", "native", False)
         if requested == "native":
             raise
         return (BackendKind.SIMULATED, None, str(exc),
@@ -368,6 +405,7 @@ def compile_staged(fn: Callable[..., object], arg_types: Sequence[Type],
                 staged, opt_stats = optimize_staged(staged, opt_level)
                 opt_span.set("eliminated", opt_stats.total_eliminated)
                 opt_span.set("iterations", opt_stats.iterations)
+        policy_notes: list[str] = []
         if deferred:
             # The HotSpot shape: the simulated tier serves immediately;
             # acquire_native runs on the manager's worker pool and the
@@ -376,7 +414,8 @@ def compile_staged(fn: Callable[..., object], arg_types: Sequence[Type],
             native = None
             reason = report = None
         else:
-            kind, native, reason, report = _pick_backend(staged, requested)
+            kind, native, reason, report = _pick_backend(
+                staged, requested, notes=policy_notes)
         c_source = native.c_source \
             if native is not None and native.c_source \
             else _try_emit_c(staged)
@@ -386,7 +425,7 @@ def compile_staged(fn: Callable[..., object], arg_types: Sequence[Type],
             staged=staged, backend=kind, c_source=c_source,
             machine_kernel=machine_kernel, _native=native,
             fallback_reason=reason, report=report,
-            opt_stats=opt_stats,
+            opt_stats=opt_stats, policy_log=policy_notes,
         )
         if batch_enabled():
             kernel._batcher = default_batcher()

@@ -1,0 +1,508 @@
+"""Learned, history-weighted policies for adaptive pipeline decisions.
+
+Every adaptive decision in the pipeline used to be a fixed constant:
+the compiler ladder walked icc→gcc→clang / O3→O2→minimal-ISA in the
+same doomed order for every kernel, ``REPRO_TIER=hot`` promoted at a
+hard-coded call count, the backend prober paid for a native attempt on
+families that quarantine every time, and both cache tiers evicted by
+``(hits, recency)`` with no notion of *future* value.  This module is
+the shared learning substrate behind all four decision points
+(DESIGN.md §15): a thread-safe **bit-history table** keyed by
+``(kernel_family, decision_kind, choice)``.
+
+* **Bit history.**  Each entry is a fixed-width 64-bit shift register
+  of recent success/failure observations (bit 0 = most recent).  The
+  score is a recency-weighted popcount: ``sum(bit_i * decay**i) /
+  sum(decay**i)`` over the observed window, so one old success cannot
+  outrank a streak of recent failures, and history older than 64
+  observations falls off the end (saturation).
+* **Deterministic ranking.**  ``rank`` orders choices by score
+  (unobserved choices take the neutral prior 0.5) with deterministic
+  tie-breaking: ties keep the caller's fixed order, unless
+  ``REPRO_POLICY_SEED`` is set to a non-zero value, in which case ties
+  break by a seeded keyed hash — stable across processes with the same
+  seed.  A cold table therefore reproduces the fixed ordering exactly.
+* **Mode gating.**  ``REPRO_POLICY`` is ``off`` (record nothing, act
+  on nothing — bit-for-bit the fixed pipeline), ``observe`` (the
+  default: record outcomes and export counters, never change a
+  decision), or ``learned`` (record *and* act).
+* **Crash-safe persistence.**  Tables live under
+  ``REPRO_CACHE_DIR/policy/policy.json`` with the same
+  write-fsync-rename discipline as the disk kernel cache, flushed
+  every ``_FLUSH_EVERY`` records and at interpreter exit.  A torn or
+  corrupt file is a clean cold start, never a crash.  Because the
+  serve daemon and its clients share one ``REPRO_CACHE_DIR``, history
+  learned by the daemon's compiles is shared with every tenant.
+
+Policy decisions are bit-transparent by construction: they reorder
+*when and how* native code arrives (ladder order, promotion timing,
+eviction victims) and never change computed results — every ladder
+rung is exactness-preserving, so the differential suites must pass
+unchanged at ``REPRO_POLICY=learned``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import json
+import os
+import threading
+import warnings
+from pathlib import Path
+
+import repro.obs as obs
+from repro.core.env import env_float, env_int
+
+__all__ = [
+    "MODES",
+    "BitHistory",
+    "PolicyTable",
+    "decay",
+    "family_of",
+    "get_policy",
+    "learned_hot_threshold",
+    "native_backend_gate",
+    "policy_mode",
+    "policy_seed",
+    "recording",
+    "acting",
+    "reset_tables",
+]
+
+MODES = ("off", "observe", "learned")
+
+_HISTORY_BITS = 64
+_MASK = (1 << _HISTORY_BITS) - 1
+
+#: Score assigned to a never-observed choice when ranking: neutral, so
+#: proven-good choices rise above it and proven-bad ones sink below.
+NEUTRAL_PRIOR = 0.5
+
+#: Observations required before a learned decision may *override* the
+#: fixed behaviour (backend gate, tier deferral) — one unlucky sample
+#: must not flip a decision.
+MIN_OBSERVATIONS = 4
+
+#: Success-rate floor below which the native backend probe (and the
+#: hot-tier promotion) is considered a waste of a compile.
+FAILURE_FLOOR = 0.25
+
+#: The compile-cost pivot for the learned hot threshold: a family whose
+#: measured native acquisition costs exactly this many seconds keeps
+#: the configured base threshold; cheaper families promote earlier,
+#: more expensive ones later (clamped to [1, 8 * base]).
+COST_PIVOT_S = 1.0
+
+_FLUSH_EVERY = 32
+
+_MODE_CODES = {"off": 0, "observe": 1, "learned": 2}
+
+
+def policy_mode() -> str:
+    """The policy gate (``REPRO_POLICY``): ``off`` | ``observe``
+    (default) | ``learned``."""
+    raw = os.environ.get("REPRO_POLICY")
+    if raw is None or not raw.strip():
+        return "observe"
+    mode = raw.strip().lower()
+    if mode not in MODES:
+        warnings.warn(
+            f"ignoring unknown REPRO_POLICY={raw!r}; using 'observe'",
+            RuntimeWarning, stacklevel=2)
+        return "observe"
+    return mode
+
+
+def recording() -> bool:
+    """Whether outcomes are recorded (``observe`` and ``learned``)."""
+    return policy_mode() != "off"
+
+
+def acting() -> bool:
+    """Whether learned scores may change decisions (``learned`` only)."""
+    return policy_mode() == "learned"
+
+
+def policy_seed() -> int:
+    """Tie-break seed (``REPRO_POLICY_SEED``, default 0).  Zero keeps
+    ties in the caller's fixed order; any other value breaks ties by a
+    seeded keyed hash, deterministic across processes."""
+    return env_int("REPRO_POLICY_SEED", 0)
+
+
+def decay() -> float:
+    """Per-observation decay of the bit-history weighting
+    (``REPRO_POLICY_DECAY``, default 0.9, clamped to [0.01, 0.999])."""
+    value = env_float("REPRO_POLICY_DECAY", 0.9, minimum=0.01)
+    return min(value, 0.999)
+
+
+def family_of(name: str) -> str:
+    """The kernel family a kernel name belongs to.
+
+    Trailing digits, underscores and dots are stripped so variants of
+    one logical kernel (``dot8``/``dot16``/``dot32``, ``saxpy_2``)
+    share one history; a name that is *all* suffix keeps itself.
+    """
+    stripped = name.rstrip("0123456789_.")
+    return stripped or name
+
+
+class BitHistory:
+    """One (family, kind, choice) entry: a 64-bit success/failure shift
+    register plus the observed count (capped at the register width)."""
+
+    __slots__ = ("bits", "n")
+
+    def __init__(self, bits: int = 0, n: int = 0) -> None:
+        self.bits = bits & _MASK
+        self.n = max(0, min(int(n), _HISTORY_BITS))
+
+    def record(self, success: bool) -> None:
+        self.bits = ((self.bits << 1) | (1 if success else 0)) & _MASK
+        self.n = min(self.n + 1, _HISTORY_BITS)
+
+    def score(self, decay_: float) -> float | None:
+        """Recency-weighted popcount over the observed window, in
+        [0, 1]; ``None`` when nothing has been observed."""
+        if self.n == 0:
+            return None
+        num = 0.0
+        den = 0.0
+        weight = 1.0
+        bits = self.bits
+        for i in range(self.n):
+            if (bits >> i) & 1:
+                num += weight
+            den += weight
+            weight *= decay_
+        return num / den
+
+    def to_state(self) -> dict:
+        return {"bits": self.bits, "n": self.n}
+
+
+def _tie_hash(seed: int, family: str, kind: str, choice: str) -> int:
+    digest = hashlib.blake2b(
+        f"{seed}\x1f{family}\x1f{kind}\x1f{choice}".encode(),
+        digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class PolicyTable:
+    """The thread-safe bit-history table behind every learned decision.
+
+    ``record`` shifts one success/failure bit into the entry for
+    ``(family, kind, choice)``; ``score`` reads its decayed success
+    probability; ``rank`` orders a fixed candidate list by score with
+    deterministic ties.  ``record_value``/``value`` keep an auxiliary
+    EWMA per ``(family, kind)`` — the measured compile cost feeding the
+    learned hot threshold.  Everything persists to ``<dir>/policy.json``
+    (write-fsync-rename); concurrent writers are last-writer-wins,
+    which is acceptable because each process's table converges on the
+    same traffic and the file is advisory history, not a ledger.
+    """
+
+    _EWMA_ALPHA = 0.3
+
+    def __init__(self, directory: str | Path | None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self._lock = threading.Lock()
+        self._entries: dict[tuple[str, str, str], BitHistory] = {}
+        self._values: dict[tuple[str, str], tuple[float, int]] = {}
+        self._dirty = 0
+        if self.directory is not None:
+            self._load()
+        obs.gauge("policy.mode", _MODE_CODES[policy_mode()])
+
+    # -- recording -----------------------------------------------------
+
+    def record(self, family: str, kind: str, choice: str,
+               success: bool) -> None:
+        with self._lock:
+            entry = self._entries.get((family, kind, choice))
+            if entry is None:
+                entry = BitHistory()
+                self._entries[(family, kind, choice)] = entry
+            entry.record(success)
+            self._dirty += 1
+            should_flush = self._dirty >= _FLUSH_EVERY
+        obs.counter("policy.records", kind=kind)
+        obs.counter("policy.outcomes", kind=kind, choice=choice,
+                    outcome="ok" if success else "fail")
+        if should_flush:
+            self.flush()
+
+    def record_value(self, family: str, kind: str, value: float) -> None:
+        """Fold ``value`` into the (family, kind) EWMA (e.g. measured
+        native-acquisition seconds for the learned hot threshold)."""
+        with self._lock:
+            prev = self._values.get((family, kind))
+            if prev is None:
+                self._values[(family, kind)] = (float(value), 1)
+            else:
+                mean, n = prev
+                alpha = self._EWMA_ALPHA
+                self._values[(family, kind)] = (
+                    (1.0 - alpha) * mean + alpha * float(value), n + 1)
+            self._dirty += 1
+            should_flush = self._dirty >= _FLUSH_EVERY
+        if should_flush:
+            self.flush()
+
+    # -- reading -------------------------------------------------------
+
+    def score(self, family: str, kind: str, choice: str) -> float | None:
+        with self._lock:
+            entry = self._entries.get((family, kind, choice))
+        return entry.score(decay()) if entry is not None else None
+
+    def observations(self, family: str, kind: str, choice: str) -> int:
+        with self._lock:
+            entry = self._entries.get((family, kind, choice))
+        return entry.n if entry is not None else 0
+
+    def value(self, family: str, kind: str) -> float | None:
+        with self._lock:
+            stored = self._values.get((family, kind))
+        return stored[0] if stored is not None else None
+
+    def rank(self, family: str, kind: str,
+             choices: list[str] | tuple[str, ...]) -> list[int]:
+        """A permutation of ``range(len(choices))``: highest learned
+        score first, ties deterministic (fixed order, or seeded hash
+        when ``REPRO_POLICY_SEED`` is non-zero).  A cold table returns
+        the identity permutation."""
+        d = decay()
+        seed = policy_seed()
+        with self._lock:
+            scores = []
+            for choice in choices:
+                entry = self._entries.get((family, kind, choice))
+                s = entry.score(d) if entry is not None else None
+                scores.append(NEUTRAL_PRIOR if s is None else s)
+
+        def sort_key(idx: int):
+            tie = _tie_hash(seed, family, kind, choices[idx]) \
+                if seed else 0
+            return (-scores[idx], tie, idx)
+
+        return sorted(range(len(choices)), key=sort_key)
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view of every entry (debugging / the report)."""
+        d = decay()
+        with self._lock:
+            entries = [
+                {"family": fam, "kind": kind, "choice": choice,
+                 "n": e.n, "score": e.score(d)}
+                for (fam, kind, choice), e in sorted(self._entries.items())]
+            values = [
+                {"family": fam, "kind": kind, "value": v, "n": n}
+                for (fam, kind), (v, n) in sorted(self._values.items())]
+        return {"entries": entries, "values": values}
+
+    # -- persistence ---------------------------------------------------
+
+    @property
+    def path(self) -> Path | None:
+        return self.directory / "policy.json" \
+            if self.directory is not None else None
+
+    def _load(self) -> None:
+        path = self.path
+        if path is None:
+            return
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            obs.counter("policy.load", outcome="absent")
+            return
+        try:
+            state = json.loads(raw)
+            if not isinstance(state, dict) or state.get("version") != 1:
+                raise ValueError("unrecognized policy state")
+            for item in state.get("entries", []):
+                key = (str(item["family"]), str(item["kind"]),
+                       str(item["choice"]))
+                self._entries[key] = BitHistory(int(item["bits"]),
+                                                int(item["n"]))
+            for item in state.get("values", []):
+                self._values[(str(item["family"]), str(item["kind"]))] = (
+                    float(item["value"]), int(item.get("n", 1)))
+        except (KeyError, TypeError, ValueError):
+            # torn write or foreign schema: clean cold start, and the
+            # next flush overwrites the debris
+            self._entries.clear()
+            self._values.clear()
+            obs.counter("policy.load", outcome="corrupt")
+            return
+        obs.counter("policy.load", outcome="ok")
+
+    def flush(self, force: bool = False) -> None:
+        """Persist the table (write-fsync-rename, same crash discipline
+        as the disk kernel cache).  Best-effort: a read-only or deleted
+        cache directory never blocks the pipeline."""
+        path = self.path
+        if path is None:
+            return
+        with self._lock:
+            if self._dirty == 0 and not force:
+                return
+            payload = json.dumps({
+                "version": 1,
+                "entries": [
+                    {"family": fam, "kind": kind, "choice": choice,
+                     **entry.to_state()}
+                    for (fam, kind, choice), entry
+                    in sorted(self._entries.items())],
+                "values": [
+                    {"family": fam, "kind": kind, "value": v, "n": n}
+                    for (fam, kind), (v, n)
+                    in sorted(self._values.items())],
+            }).encode()
+            self._dirty = 0
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC,
+                         0o644)
+            try:
+                os.write(fd, payload)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            os.replace(tmp, path)
+            try:
+                dir_fd = os.open(path.parent, os.O_RDONLY)
+            except OSError:
+                dir_fd = -1
+            if dir_fd >= 0:
+                try:
+                    os.fsync(dir_fd)
+                except OSError:
+                    pass
+                finally:
+                    os.close(dir_fd)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        obs.counter("policy.flushes")
+
+
+# ---------------------------------------------------------------------------
+# The process-wide table registry (one table per policy directory, so a
+# test that re-points REPRO_CACHE_DIR gets a fresh table that loads the
+# new directory's history).
+
+_tables: dict[Path, PolicyTable] = {}
+_tables_lock = threading.Lock()
+
+
+def _policy_dir() -> Path:
+    from repro.core.cache import cache_root
+    return cache_root() / "policy"
+
+
+def get_policy() -> PolicyTable:
+    """The policy table for the current ``REPRO_CACHE_DIR``."""
+    directory = _policy_dir()
+    with _tables_lock:
+        table = _tables.get(directory)
+        if table is None:
+            table = PolicyTable(directory)
+            _tables[directory] = table
+        return table
+
+
+def reset_tables(flush: bool = True) -> None:
+    """Flush and drop every live table (the hermetic-test hook, also
+    invoked by :func:`repro.core.resilience.clear_session_state`).
+    Persisted history survives — only in-memory state is dropped."""
+    with _tables_lock:
+        tables = list(_tables.values())
+        _tables.clear()
+    if flush and recording():
+        for table in tables:
+            table.flush()
+
+
+@atexit.register
+def _flush_at_exit() -> None:  # pragma: no cover - exit path
+    if not recording():
+        return
+    with _tables_lock:
+        tables = list(_tables.values())
+    for table in tables:
+        try:
+            table.flush()
+        except Exception:  # noqa: BLE001 - never fail interpreter exit
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Decision helpers: the four wired-in policy consumers call these.
+
+def native_backend_gate(family: str) -> str | None:
+    """A reason to *skip* the native backend probe for ``family``, or
+    ``None`` to proceed.
+
+    Only consulted in ``learned`` mode and only for ``backend="auto"``
+    requests: a family whose native acquisition has failed (quarantine,
+    ladder exhaustion, link failure) in at least
+    :data:`MIN_OBSERVATIONS` recent attempts with a decayed success
+    rate below :data:`FAILURE_FLOOR` stops paying the probe tax and is
+    served by the simulator immediately.  Fresh successes recorded by
+    the tiered path re-open the gate as the history re-weights.
+    """
+    table = get_policy()
+    score = table.score(family, "backend", "native")
+    nobs = table.observations(family, "backend", "native")
+    obs.counter("policy.decisions", kind="backend")
+    if score is not None and nobs >= MIN_OBSERVATIONS \
+            and score < FAILURE_FLOOR:
+        obs.counter("policy.overrides", kind="backend")
+        return (f"policy: family {family!r} native success rate "
+                f"{score:.2f} over {nobs} recent attempts; "
+                f"skipping native probe")
+    return None
+
+
+def learned_hot_threshold(family: str, base: int) -> tuple[int, str]:
+    """The promotion threshold for a ``hot``-tier kernel of ``family``.
+
+    Replaces the fixed ``REPRO_HOT_THRESHOLD`` with a learned score:
+    the threshold scales with the family's measured native-acquisition
+    cost relative to :data:`COST_PIVOT_S` (cheap-to-compile
+    frequently-called kernels promote early, expensive ones later),
+    clamped to ``[1, 8 * base]``; a family whose promotions mostly
+    *fail* (decayed success below :data:`FAILURE_FLOOR` over at least
+    :data:`MIN_OBSERVATIONS` observations) is pinned to the ceiling so
+    it stays on the simulator unless traffic insists.  An open circuit
+    breaker still wins: admission control runs at promote time,
+    downstream of this gate.  Returns ``(threshold, note)``.
+    """
+    table = get_policy()
+    cost = table.value(family, "compile_cost")
+    threshold = base
+    parts = []
+    if cost is not None:
+        threshold = max(1, min(base * 8,
+                               round(base * (cost / COST_PIVOT_S))))
+        parts.append(f"acquire cost ~{cost * 1e3:.0f} ms")
+    score = table.score(family, "tier", "promote")
+    nobs = table.observations(family, "tier", "promote")
+    if score is not None and nobs >= MIN_OBSERVATIONS \
+            and score < FAILURE_FLOOR:
+        threshold = base * 8
+        parts.append(f"promote success {score:.2f} over {nobs} obs")
+    obs.counter("policy.decisions", kind="tier")
+    if threshold != base:
+        obs.counter("policy.overrides", kind="tier")
+    note = (f"policy: hot threshold {threshold} (base {base}"
+            + (", " + ", ".join(parts) if parts else "") + ")")
+    return threshold, note

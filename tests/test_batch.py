@@ -573,7 +573,11 @@ class TestContainsProbe:
         return int(json.loads(meta_path.read_text()).get("hits", 0))
 
     def test_contains_is_stat_only(self, tmp_path):
-        cache = DiskKernelCache(root=tmp_path / "disk", max_entries=8)
+        # hit_flush=1: publish every hit immediately so the manifest
+        # read below sees it (write-back batching is covered by
+        # test_cache_crossproc.py::test_hit_writeback_batches)
+        cache = DiskKernelCache(root=tmp_path / "disk", max_entries=8,
+                                hit_flush=1)
         key = DiskKernelCache.artifact_key("f" * 16, "gcc-13.0",
                                            ("-O2",), frozenset())
         cache.put(key, b"\x7fELF-not-really", {"name": "probe_me"})

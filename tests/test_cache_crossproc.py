@@ -113,8 +113,11 @@ def test_concurrent_hammer_never_tears(tmp_path):
 
 def test_get_records_hits_in_manifest(tmp_path):
     """Every ``get`` persists a hit count in the manifest (atomically,
-    checksum intact) — the popularity signal eviction ranks by."""
-    disk = DiskKernelCache(root=tmp_path / "c", max_entries=8)
+    checksum intact) — the popularity signal eviction ranks by.
+    ``hit_flush=1`` forces the per-get write-back; the batched default
+    is covered by ``test_hit_writeback_batches``."""
+    disk = DiskKernelCache(root=tmp_path / "c", max_entries=8,
+                           hit_flush=1)
     key = KEYS[0]
     disk.put(key, payload_for(key), {"who": "w"})
     for expected in (1, 2, 3):

@@ -495,10 +495,12 @@ class TestChaosDifferential:
         if chaos_state.is_dir():
             DiskKernelCache(root=chaos_state).recover()
             assert not list(chaos_state.rglob("*.tmp"))
-            for so in chaos_state.glob("*/*.so"):
+            # [0-9a-f][0-9a-f]/: only cache shards — the policy
+            # table persists under <root>/policy/ with no .so twin
+            for so in chaos_state.glob("[0-9a-f][0-9a-f]/*.so"):
                 assert so.with_suffix(".json").exists(), \
                     f"orphaned artifact {so.name} survived recovery"
-            for meta in chaos_state.glob("*/*.json"):
+            for meta in chaos_state.glob("[0-9a-f][0-9a-f]/*.json"):
                 assert meta.with_suffix(".so").exists(), \
                     f"orphaned manifest {meta.name} survived recovery"
                 json.loads(meta.read_text())    # and it parses

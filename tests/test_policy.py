@@ -1,0 +1,573 @@
+"""The learned policy layer (DESIGN.md §15): bit-history table
+mechanics, deterministic ranking, crash-safe persistence, mode gating,
+and the four wired decision points — compiler ladder, hot-tier
+threshold, backend probe gate, and history-weighted cache eviction."""
+
+from __future__ import annotations
+
+import json
+import shutil
+import stat
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.obs as obs
+from repro.core import BackendKind, compile_staged
+from repro.core import policy
+from repro.core.cache import DiskKernelCache, KernelCache, default_cache
+from repro.core.policy import BitHistory, PolicyTable
+from repro.core.resilience import clear_session_state
+from repro.lms import forloop, stage_function
+from repro.lms.ops import array_apply, array_update
+from repro.lms.types import FLOAT, INT32, array_of
+from repro.obs.report import render_report
+from tests.conftest import requires_compiler
+
+
+@pytest.fixture(autouse=True)
+def _pin_env(monkeypatch):
+    """Hermetic: no ambient chaos schedule, service routing, or policy
+    mode may perturb this suite's exact assertions."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_SERVICE", raising=False)
+    monkeypatch.delenv("REPRO_POLICY", raising=False)
+    monkeypatch.delenv("REPRO_POLICY_SEED", raising=False)
+    monkeypatch.delenv("REPRO_POLICY_DECAY", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_HIT_FLUSH", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_HALF_LIFE", raising=False)
+
+
+@pytest.fixture
+def clean_state(monkeypatch, tmp_path):
+    """Fresh cache dir (hence fresh policy table), no REPRO_CC leakage."""
+    cache_dir = tmp_path / "kcache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    monkeypatch.delenv("REPRO_CC", raising=False)
+    default_cache.clear()
+    clear_session_state()
+    yield cache_dir
+    default_cache.clear()
+    clear_session_state()
+
+
+def _staged(salt: float, name: str):
+    """A unique-by-salt scalar-loop kernel (compiles on any host)."""
+
+    def fn(a, n):
+        forloop(0, n, step=1, body=lambda i: array_update(
+            a, i, array_apply(a, i) * 2.0 + salt))
+
+    return stage_function(fn, [array_of(FLOAT), INT32], name)
+
+
+def _write_script(path: Path, body: str) -> Path:
+    path.write_text("#!/bin/sh\n" + body)
+    path.chmod(path.stat().st_mode | stat.S_IXUSR)
+    return path
+
+
+_VERSION_PASSTHROUGH = """
+if [ "$1" = "--version" ]; then exec gcc --version; fi
+"""
+
+
+def _fake_icc_always_fail(tmp_path: Path) -> Path:
+    return _write_script(tmp_path / "fake-icc", _VERSION_PASSTHROUGH + """
+echo "catastrophic error: cannot open source file" >&2
+exit 1
+""")
+
+
+# ---------------------------------------------------------------------------
+# Bit-history mechanics
+
+
+class TestBitHistory:
+    def test_empty_history_has_no_score(self):
+        assert BitHistory().score(0.9) is None
+
+    def test_decay_prefers_recent_outcomes(self):
+        """Recent observations dominate: old successes followed by
+        fresh failures score below 0.5, and the mirror image above."""
+        went_bad = BitHistory()
+        for ok in [True] * 4 + [False] * 4:
+            went_bad.record(ok)
+        got_good = BitHistory()
+        for ok in [False] * 4 + [True] * 4:
+            got_good.record(ok)
+        assert went_bad.score(0.9) < 0.5 < got_good.score(0.9)
+        # same popcount, different order — the decay is what separates
+        assert bin(went_bad.bits).count("1") == \
+            bin(got_good.bits).count("1")
+
+    def test_saturation_drops_history_off_the_end(self):
+        """The register is fixed-width: after 64 fresh failures, 64
+        ancient successes are gone entirely."""
+        h = BitHistory()
+        for _ in range(64):
+            h.record(True)
+        assert h.n == 64 and h.score(0.9) == pytest.approx(1.0)
+        for _ in range(64):
+            h.record(False)
+        assert h.n == 64
+        assert h.score(0.9) == pytest.approx(0.0)
+
+    def test_scores_monotone_in_recent_successes(self):
+        streaks = []
+        for wins in range(5):
+            h = BitHistory()
+            for i in range(4):
+                h.record(i >= 4 - wins)
+            streaks.append(h.score(0.9))
+        assert streaks == sorted(streaks)
+
+
+class TestRanking:
+    def test_cold_table_is_identity(self):
+        table = PolicyTable(None)
+        assert table.rank("f", "ladder", ["a", "b", "c"]) == [0, 1, 2]
+
+    def test_learned_scores_reorder(self):
+        table = PolicyTable(None)
+        for _ in range(3):
+            table.record("f", "ladder", "a", False)
+            table.record("f", "ladder", "c", True)
+        # c proven good, b unobserved (neutral), a proven bad
+        assert table.rank("f", "ladder", ["a", "b", "c"]) == [2, 1, 0]
+
+    def test_seeded_ties_are_deterministic(self, monkeypatch):
+        """With a non-zero seed, ties break by a keyed hash — the same
+        permutation from two independent tables (and so from two
+        processes with the same seed)."""
+        monkeypatch.setenv("REPRO_POLICY_SEED", "7")
+        choices = ["icc/O3", "gcc/O3", "clang/O3", "gcc/O2"]
+        got_a = PolicyTable(None).rank("f", "ladder", choices)
+        got_b = PolicyTable(None).rank("f", "ladder", choices)
+        expected = sorted(
+            range(len(choices)),
+            key=lambda i: policy._tie_hash(7, "f", "ladder", choices[i]))
+        assert got_a == got_b == expected
+        monkeypatch.setenv("REPRO_POLICY_SEED", "0")
+        assert PolicyTable(None).rank("f", "ladder", choices) \
+            == [0, 1, 2, 3]
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        table = PolicyTable(tmp_path / "p")
+        table.record("fam", "ladder", "gcc/O3", True)
+        table.record("fam", "ladder", "icc/O3", False)
+        table.record_value("fam", "compile_cost", 0.5)
+        table.flush(force=True)
+        assert (tmp_path / "p" / "policy.json").is_file()
+        reborn = PolicyTable(tmp_path / "p")
+        assert reborn.score("fam", "ladder", "gcc/O3") == \
+            pytest.approx(1.0)
+        assert reborn.score("fam", "ladder", "icc/O3") == \
+            pytest.approx(0.0)
+        assert reborn.value("fam", "compile_cost") == pytest.approx(0.5)
+        # no temp debris from the write-fsync-rename
+        assert not list((tmp_path / "p").glob("*.tmp"))
+
+    @pytest.mark.parametrize("debris", [
+        b"{truncated", b"[1, 2, 3]", b'{"version": 99}', b"\x00\xff"])
+    def test_torn_file_is_a_clean_cold_start(self, tmp_path, debris):
+        d = tmp_path / "p"
+        d.mkdir()
+        (d / "policy.json").write_bytes(debris)
+        table = PolicyTable(d)     # must not raise
+        assert table.score("fam", "ladder", "gcc/O3") is None
+        assert table.rank("fam", "ladder", ["a", "b"]) == [0, 1]
+        # the next flush overwrites the debris with valid state
+        table.record("fam", "ladder", "a", True)
+        table.flush(force=True)
+        state = json.loads((d / "policy.json").read_text())
+        assert state["version"] == 1 and state["entries"]
+
+    def test_registry_keys_on_cache_dir(self, clean_state, monkeypatch,
+                                        tmp_path):
+        first = policy.get_policy()
+        assert first is policy.get_policy()
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "other"))
+        assert policy.get_policy() is not first
+
+
+class TestModes:
+    def test_default_is_observe(self):
+        assert policy.policy_mode() == "observe"
+        assert policy.recording() and not policy.acting()
+
+    def test_off_disables_everything(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POLICY", "off")
+        assert not policy.recording() and not policy.acting()
+
+    def test_learned_acts(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POLICY", "learned")
+        assert policy.recording() and policy.acting()
+
+    def test_unknown_mode_warns_and_observes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POLICY", "bogus")
+        with pytest.warns(RuntimeWarning, match="REPRO_POLICY"):
+            assert policy.policy_mode() == "observe"
+
+
+# ---------------------------------------------------------------------------
+# Decision point 1: the compiler ladder
+
+
+@requires_compiler
+class TestLadderPolicy:
+    def _chain_env(self, tmp_path, monkeypatch):
+        real_gcc = shutil.which("gcc")
+        assert real_gcc, "suite requires gcc"
+        fake = _fake_icc_always_fail(tmp_path)
+        monkeypatch.setenv("REPRO_CC", f"icc={fake},gcc={real_gcc}")
+
+    def test_learned_skips_the_doomed_icc_rung(
+            self, clean_state, tmp_path, monkeypatch):
+        self._chain_env(tmp_path, monkeypatch)
+        monkeypatch.setenv("REPRO_POLICY", "learned")
+        first = compile_staged(
+            lambda a, n: forloop(0, n, step=1, body=lambda i: array_update(
+                a, i, array_apply(a, i) * 2.0 + 1.5)),
+            [array_of(FLOAT), INT32], name="ladfam1", backend="native")
+        assert first.backend == BackendKind.NATIVE
+        rep = first.report
+        # cold table: the fixed icc-first walk, failures recorded
+        assert rep.attempts[0].compiler == "icc"
+        assert rep.attempts[-1].compiler == "gcc"
+        assert len(rep.attempts) >= 3
+        second = compile_staged(
+            lambda a, n: forloop(0, n, step=1, body=lambda i: array_update(
+                a, i, array_apply(a, i) * 2.0 + 2.5)),
+            [array_of(FLOAT), INT32], name="ladfam2", backend="native")
+        rep2 = second.report
+        # same family: the learned order jumps straight to the rung
+        # that links — one attempt, gcc first
+        assert [a.outcome for a in rep2.attempts] == ["ok"]
+        assert rep2.attempts[0].compiler == "gcc"
+
+    def test_observe_records_but_keeps_fixed_order(
+            self, clean_state, tmp_path, monkeypatch):
+        self._chain_env(tmp_path, monkeypatch)
+        # default mode: observe
+        for salt, name in ((3.5, "obsfam1"), (4.5, "obsfam2")):
+            kernel = compile_staged(_make_fn(salt),
+                                    [array_of(FLOAT), INT32],
+                                    name=name, backend="native")
+            # both kernels pay the full fixed icc-first walk
+            assert kernel.report.attempts[0].compiler == "icc"
+            assert kernel.report.attempts[0].outcome == "permanent"
+        # ...but the history was recorded for a future learned run
+        table = policy.get_policy()
+        assert table.score("obsfam", "ladder", "gcc/O3") == \
+            pytest.approx(1.0)
+        assert table.score("obsfam", "ladder", "icc/O3") == \
+            pytest.approx(0.0)
+
+    def test_off_is_fixed_order_even_with_poisoned_history(
+            self, clean_state, tmp_path, monkeypatch):
+        """``REPRO_POLICY=off`` byte-for-byte regression: a persisted
+        table that would reorder the ladder is never consulted."""
+        poisoned = PolicyTable(clean_state / "policy")
+        for _ in range(8):
+            poisoned.record("offfam", "ladder", "icc/O3", False)
+            poisoned.record("offfam", "ladder", "gcc/O3", True)
+        poisoned.flush(force=True)
+        policy.reset_tables(flush=False)
+        self._chain_env(tmp_path, monkeypatch)
+        monkeypatch.setenv("REPRO_POLICY", "off")
+        before = (clean_state / "policy" / "policy.json").read_bytes()
+        kernel = compile_staged(_make_fn(5.5), [array_of(FLOAT), INT32],
+                                name="offfam1", backend="native")
+        assert kernel.report.attempts[0].compiler == "icc"
+        assert kernel.report.attempts[0].outcome == "permanent"
+        assert kernel.report.attempts[-1].compiler == "gcc"
+        # off records nothing: the persisted table is untouched
+        policy.reset_tables()
+        after = (clean_state / "policy" / "policy.json").read_bytes()
+        assert after == before
+
+
+def _make_fn(salt: float):
+    def fn(a, n):
+        forloop(0, n, step=1, body=lambda i: array_update(
+            a, i, array_apply(a, i) * 2.0 + salt))
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# Decision point 2: the hot-tier promotion threshold
+
+
+class TestTierPolicy:
+    def test_cheap_families_promote_early(self, clean_state):
+        table = policy.get_policy()
+        table.record_value("cheap", "compile_cost", 0.125)
+        threshold, note = policy.learned_hot_threshold("cheap", 8)
+        assert threshold == 1
+        assert "hot threshold 1" in note
+
+    def test_expensive_families_promote_late(self, clean_state):
+        table = policy.get_policy()
+        table.record_value("slow", "compile_cost", 3.0)
+        threshold, _ = policy.learned_hot_threshold("slow", 8)
+        assert threshold == 24
+
+    def test_threshold_clamped_to_eight_times_base(self, clean_state):
+        table = policy.get_policy()
+        table.record_value("glacial", "compile_cost", 1000.0)
+        threshold, _ = policy.learned_hot_threshold("glacial", 8)
+        assert threshold == 64
+
+    def test_failing_promotions_pin_to_ceiling(self, clean_state):
+        table = policy.get_policy()
+        table.record_value("doomed", "compile_cost", 0.01)  # cheap...
+        for _ in range(policy.MIN_OBSERVATIONS):
+            table.record("doomed", "tier", "promote", False)
+        threshold, note = policy.learned_hot_threshold("doomed", 8)
+        assert threshold == 64       # ...but promotion never lands
+        assert "promote success 0.00" in note
+
+    def test_learned_threshold_arms_the_hot_countdown(
+            self, clean_state, monkeypatch):
+        monkeypatch.setenv("REPRO_POLICY", "learned")
+        policy.get_policy().record_value("hotfam", "compile_cost", 0.25)
+        kernel = compile_staged(_make_fn(6.5), [array_of(FLOAT), INT32],
+                                name="hotfam1", backend="auto",
+                                tier="hot")
+        assert kernel._impl.countdown == 2     # round(8 * 0.25)
+        assert any("hot threshold 2" in n for n in kernel.policy_log)
+        assert "policy decisions:" in kernel.explain()
+
+    def test_fixed_threshold_without_learned_mode(self, clean_state):
+        policy.get_policy().record_value("obshot", "compile_cost", 0.25)
+        kernel = compile_staged(_make_fn(7.5), [array_of(FLOAT), INT32],
+                                name="obshot1", backend="auto",
+                                tier="hot")
+        assert kernel._impl.countdown == 8     # observe never acts
+        assert kernel.policy_log == []
+
+
+# ---------------------------------------------------------------------------
+# Decision point 3: the backend probe gate
+
+
+class TestBackendGate:
+    def _poison(self, family: str) -> None:
+        table = policy.get_policy()
+        for _ in range(policy.MIN_OBSERVATIONS):
+            table.record(family, "backend", "native", False)
+
+    def test_failing_family_skips_the_probe(self, clean_state,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_POLICY", "learned")
+        self._poison("gatefam")
+
+        def boom(*_a, **_k):
+            raise AssertionError("native probe should have been gated")
+
+        monkeypatch.setattr("repro.core.pipeline.acquire_native", boom)
+        kernel = compile_staged(_make_fn(8.5), [array_of(FLOAT), INT32],
+                                name="gatefam1", backend="auto")
+        assert kernel.backend == BackendKind.SIMULATED
+        assert "skipping native probe" in (kernel.fallback_reason or "")
+        assert any("skipping native probe" in n
+                   for n in kernel.policy_log)
+        assert "skipping native probe" in kernel.explain()
+
+    def test_explicit_native_requests_are_never_gated(
+            self, clean_state, monkeypatch):
+        monkeypatch.setenv("REPRO_POLICY", "learned")
+        self._poison("wantfam")
+        probed = []
+
+        def fake_acquire(staged, *a, **k):
+            probed.append(staged.name)
+            raise AssertionError("probe reached (expected)")
+
+        monkeypatch.setattr("repro.core.pipeline.acquire_native",
+                            fake_acquire)
+        with pytest.raises(AssertionError, match="probe reached"):
+            compile_staged(_make_fn(9.5), [array_of(FLOAT), INT32],
+                           name="wantfam1", backend="native")
+        assert probed == ["wantfam1"]
+
+    def test_observe_mode_never_gates(self, clean_state, monkeypatch):
+        self._poison("obsgate")
+        probed = []
+
+        def fake_acquire(staged, *a, **k):
+            probed.append(staged.name)
+            from repro.codegen.compiler import PermanentCompileError
+            raise PermanentCompileError("still probing")
+
+        monkeypatch.setattr("repro.core.pipeline.acquire_native",
+                            fake_acquire)
+        kernel = compile_staged(_make_fn(10.5), [array_of(FLOAT), INT32],
+                                name="obsgate1", backend="auto")
+        assert probed == ["obsgate1"]
+        assert kernel.backend == BackendKind.SIMULATED
+        assert kernel.policy_log == []
+
+
+# ---------------------------------------------------------------------------
+# Decision point 4a: the in-memory kernel cache
+
+
+class TestMemCacheEviction:
+    def _traffic(self, cache: KernelCache):
+        """A hot entry, a recent entry, then an overflow put."""
+        sa = _staged(1.0, "mema")
+        sb = _staged(2.0, "memb")
+        sc = _staged(3.0, "memc")
+        cache.put_for(sa, "auto", "ka")
+        cache.put_for(sb, "auto", "kb")
+        for _ in range(5):
+            assert cache.get_for(sa, "auto") == "ka"
+        assert cache.get_for(sb, "auto") == "kb"   # most recent access
+        cache.put_for(sc, "auto", "kc")            # forces one eviction
+        return sa, sb, sc
+
+    def test_lru_keeps_the_most_recent(self, clean_state, monkeypatch):
+        monkeypatch.setenv("REPRO_POLICY", "off")
+        cache = KernelCache(maxsize=2)
+        sa, sb, _sc = self._traffic(cache)
+        # pure LRU: the hot-but-less-recent entry is the victim
+        assert cache.get_for(sa, "auto") is None
+        assert cache.get_for(sb, "auto") == "kb"
+
+    def test_learned_keeps_the_hot_entry(self, clean_state, monkeypatch):
+        monkeypatch.setenv("REPRO_POLICY", "learned")
+        cache = KernelCache(maxsize=2)
+        sa, sb, _sc = self._traffic(cache)
+        # decayed-hit score: five hits outweigh one recent touch
+        assert cache.get_for(sa, "auto") == "ka"
+        assert cache.get_for(sb, "auto") is None
+
+
+# ---------------------------------------------------------------------------
+# Decision point 4b + satellites: the disk cache
+
+
+def _payload(tag: str) -> bytes:
+    return (tag * 20).encode()
+
+
+class TestDiskCachePolicy:
+    def test_census_gates_the_evict_scan(self, clean_state, tmp_path):
+        """Satellite: a put under the bound must not JSON-parse every
+        manifest — the full scan only fires past ``max_entries``."""
+        reg = obs.get_registry()
+        before = reg.counter_value("cache.disk.evict_scans")
+        disk = DiskKernelCache(root=tmp_path / "c", max_entries=4)
+        for i in range(4):
+            disk.put(f"{i:032x}", _payload(str(i)), {})
+        assert reg.counter_value("cache.disk.evict_scans") == before
+        disk.put(f"{4:032x}", _payload("4"), {})   # past the bound
+        assert reg.counter_value("cache.disk.evict_scans") == before + 1
+        assert len(list((tmp_path / "c").glob("*/*.json"))) == 4
+
+    def test_hit_writeback_batches(self, clean_state, tmp_path):
+        """Satellite: hits accumulate in memory and persist every
+        ``hit_flush`` per key; ``flush_hits`` drains the remainder."""
+        disk = DiskKernelCache(root=tmp_path / "c", max_entries=8,
+                               hit_flush=4)
+        key = f"{7:032x}"
+        disk.put(key, _payload("h"), {})
+        meta_path = disk.shard_dir(key) / f"{key}.json"
+
+        def on_disk() -> int:
+            return int(json.loads(meta_path.read_text()).get("hits", 0))
+
+        for i in range(1, 4):
+            entry = disk.get(key)
+            assert entry.meta["hits"] == i   # served count includes
+            assert on_disk() == 0            # ...unflushed pending
+        assert disk.get(key).meta["hits"] == 4
+        assert on_disk() == 4                # the 4th hit flushed
+        disk.get(key)
+        assert on_disk() == 4
+        disk.flush_hits()
+        assert on_disk() == 5
+
+    def test_eviction_flushes_pending_hits_first(self, clean_state,
+                                                 tmp_path):
+        disk = DiskKernelCache(root=tmp_path / "c", max_entries=2,
+                               hit_flush=100)
+        hot, cold, trigger = f"{1:032x}", f"{2:032x}", f"{3:032x}"
+        disk.put(hot, _payload("a"), {})
+        for _ in range(3):
+            disk.get(hot)          # pending only, nothing on disk yet
+        time.sleep(0.02)
+        disk.put(cold, _payload("b"), {})
+        time.sleep(0.02)
+        disk.put(trigger, _payload("c"), {})
+        # eviction ranked on flushed counts: the 3-hit entry survived
+        assert disk.get(hot) is not None
+        assert disk.get(cold) is None
+
+    def test_learned_eviction_drops_stale_hot_entries(
+            self, clean_state, tmp_path, monkeypatch):
+        """A formerly-hot-now-dead kernel loses to a currently-warm one
+        under learned eviction; raw ``(hits, mtime)`` keeps it."""
+        monkeypatch.setenv("REPRO_CACHE_HALF_LIFE", "0.05")
+        stale, warm = f"{10:032x}", f"{11:032x}"
+
+        def build(mode: str, root: Path) -> DiskKernelCache:
+            monkeypatch.setenv("REPRO_POLICY", mode)
+            disk = DiskKernelCache(root=root, max_entries=2, hit_flush=1)
+            disk.put(stale, _payload("s"), {})
+            for _ in range(5):
+                disk.get(stale)           # five hits, then silence
+            time.sleep(0.4)               # ~8 half-lives of decay
+            disk.put(warm, _payload("w"), {})
+            for _ in range(2):
+                disk.get(warm)
+            disk.max_entries = 1
+            disk._evict()
+            return disk
+
+        fixed = build("observe", tmp_path / "fixed")
+        # raw hits: 5 beats 2, the stale entry is pinned
+        assert fixed.get(stale) is not None
+        assert fixed.get(warm) is None
+
+        learned = build("learned", tmp_path / "learned")
+        # decayed history: 5 * 0.5^8 < 2, the dead entry finally goes
+        assert learned.get(stale) is None
+        assert learned.get(warm) is not None
+
+
+# ---------------------------------------------------------------------------
+# Observability
+
+
+class TestPolicyReport:
+    def test_report_has_policy_section(self):
+        counters = {
+            "policy.records{kind=ladder}": 6.0,
+            "policy.decisions{kind=ladder}": 2.0,
+            "policy.overrides{kind=ladder}": 1.0,
+            "policy.outcomes{choice=gcc/O3,kind=ladder,outcome=ok}": 3.0,
+            "policy.load{outcome=ok}": 1.0,
+            "policy.flushes": 2.0,
+        }
+        text = render_report([], {"counters": counters,
+                                  "gauges": {"policy.mode": 2}})
+        assert "== policy ==" in text
+        assert "mode: learned" in text
+        assert "policy.records = 6" in text
+        assert "policy.decisions = 2" in text
+        assert "policy.overrides = 1" in text
+        assert "policy.outcomes{choice=gcc/O3,kind=ladder,outcome=ok}" \
+            in text
+
+    def test_report_prints_standing_rows_when_idle(self):
+        text = render_report([], {"counters": {}, "gauges": {}})
+        assert "== policy ==" in text
+        assert "policy.records = 0" in text
+        assert "policy.decisions = 0" in text
+        assert "policy.overrides = 0" in text
